@@ -1,0 +1,202 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Tables 2-3, the mapping-time discussion, the objective/runtime
+   correlation, Figure 1) through Hmn_experiments; repetition counts
+   come from HMN_REPS / HMN_MAX_TRIES (defaults 5 / 200; the paper used
+   30 / 100000 — see EXPERIMENTS.md).
+
+   Part 2 runs Bechamel micro-benchmarks: one Test.make per
+   table/figure target plus the DESIGN.md ablations (Migration stage
+   on/off, A*Prune dominance pruning on/off, A*Prune vs DFS routing).
+
+   Set HMN_BENCH_FAST=1 to shrink part 1 to one repetition (used by CI
+   smoke runs). *)
+
+open Bechamel
+open Toolkit
+
+(* ---- part 1: paper tables and figures ---- *)
+
+let part1 () =
+  let config =
+    let c = Hmn_experiments.Runner.default_config () in
+    if Sys.getenv_opt "HMN_BENCH_FAST" <> None then
+      { c with Hmn_experiments.Runner.reps = 1 }
+    else c
+  in
+  print_endline "== Table 1: simulation setup ==";
+  print_string (Hmn_experiments.Setup.render ());
+  Printf.printf "(reps=%d, max_tries=%d, seed=%d)\n\n"
+    config.Hmn_experiments.Runner.reps config.Hmn_experiments.Runner.max_tries
+    config.Hmn_experiments.Runner.base_seed;
+  let t0 = Unix.gettimeofday () in
+  let results = Hmn_experiments.Runner.run ~config () in
+  Printf.printf "(sweep wall time: %.1f s)\n\n" (Unix.gettimeofday () -. t0);
+  print_endline "== Table 2: objective function and failures ==";
+  print_string (Hmn_experiments.Tables.table2 results);
+  print_newline ();
+  print_endline "== Table 3: simulated experiment time ==";
+  print_string (Hmn_experiments.Tables.table3 results);
+  print_newline ();
+  print_endline "== Mapping wall-clock time (cf. the paper's 5.2 discussion) ==";
+  print_string (Hmn_experiments.Tables.mapping_time results);
+  print_newline ();
+  print_endline "== Objective vs experiment-time correlation (5.2) ==";
+  print_string (Hmn_experiments.Tables.correlation_report results);
+  print_newline ();
+  print_endline "== Shape checks (EXPERIMENTS.md claims, machine-checked) ==";
+  print_string
+    (Hmn_experiments.Paper_check.render (Hmn_experiments.Paper_check.check_all results));
+  print_newline ();
+  print_endline "== Figure 1: HMN mapping time vs number of virtual links ==";
+  let points = Hmn_experiments.Figure1.run () in
+  print_string (Hmn_experiments.Figure1.render points);
+  print_newline ();
+  print_endline "== Ablations (DESIGN.md: Migration / routing metric / topology) ==";
+  print_string (Hmn_experiments.Ablation.all ~reps:3 ());
+  print_newline ()
+
+(* ---- part 2: micro-benchmarks ---- *)
+
+(* Shared fixture: a representative high-level instance on each
+   topology, plus a completed HMN mapping for the simulator bench. *)
+type fixture = {
+  torus : Hmn_mapping.Problem.t;
+  switched : Hmn_mapping.Problem.t;
+  placement : Hmn_mapping.Placement.t;  (* hosting output on torus *)
+  hmn_mapping : Hmn_mapping.Mapping.t;
+}
+
+let build_fixture () =
+  let build kind =
+    let rng = Hmn_rng.Rng.create 4242 in
+    let cluster = Hmn_experiments.Scenario.build_cluster kind ~rng in
+    let venv =
+      Hmn_vnet.Venv_gen.generate
+        ~scale_to_fit:(cluster, Hmn_experiments.Setup.fit_fraction)
+        ~profile:Hmn_vnet.Workload.high_level ~n:200 ~density:0.02 ~rng ()
+    in
+    Hmn_mapping.Problem.make ~cluster ~venv
+  in
+  let torus = build Hmn_experiments.Scenario.Torus in
+  let switched = build Hmn_experiments.Scenario.Switched in
+  let placement =
+    match Hmn_core.Hosting.run torus with
+    | Ok p -> p
+    | Error f -> failwith ("bench fixture: hosting failed: " ^ f.Hmn_core.Mapper.reason)
+  in
+  let hmn_mapping =
+    match (Hmn_core.Hmn.run torus).Hmn_core.Mapper.result with
+    | Ok m -> m
+    | Error f -> failwith ("bench fixture: HMN failed: " ^ f.Hmn_core.Mapper.reason)
+  in
+  { torus; switched; placement; hmn_mapping }
+
+let mapper_test ~name ~problem mapper =
+  let rng = Hmn_rng.Rng.create 99 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         match (mapper.Hmn_core.Mapper.run ~rng problem).Hmn_core.Mapper.result with
+         | Ok _ -> ()
+         | Error _ -> ()))
+
+let routing_fixture problem =
+  ( Hmn_routing.Residual.create problem.Hmn_mapping.Problem.cluster,
+    Hmn_routing.Latency_table.create problem.Hmn_mapping.Problem.cluster )
+
+let tests fixture =
+  let maprs = Hmn_core.Registry.paper ~max_tries:50 () in
+  let by_name n = List.find (fun m -> m.Hmn_core.Mapper.name = n) maprs in
+  [
+    (* Table 2: the cost of producing each column's mapping. *)
+    Test.make_grouped ~name:"table2"
+      [
+        mapper_test ~name:"HMN-torus" ~problem:fixture.torus (by_name "HMN");
+        mapper_test ~name:"R-torus" ~problem:fixture.torus (by_name "R");
+        mapper_test ~name:"RA-torus" ~problem:fixture.torus (by_name "RA");
+        mapper_test ~name:"HS-torus" ~problem:fixture.torus (by_name "HS");
+        mapper_test ~name:"HMN-switched" ~problem:fixture.switched (by_name "HMN");
+      ];
+    (* Table 3: the cost of one emulated-experiment simulation. *)
+    Test.make_grouped ~name:"table3"
+      [
+        Test.make ~name:"exec-sim-200-guests"
+          (Staged.stage (fun () ->
+               ignore (Hmn_emulation.Exec_sim.run fixture.hmn_mapping)));
+        Test.make ~name:"request-sim-200-guests"
+          (Staged.stage (fun () ->
+               ignore (Hmn_emulation.Request_sim.run fixture.hmn_mapping)));
+      ];
+    (* Figure 1: the Networking stage, which dominates mapping time. *)
+    Test.make_grouped ~name:"figure1"
+      [
+        Test.make ~name:"networking-torus"
+          (Staged.stage (fun () ->
+               ignore (Hmn_core.Networking.run fixture.placement)));
+      ];
+    (* DESIGN.md ablations. *)
+    Test.make_grouped ~name:"ablation"
+      [
+        mapper_test ~name:"HMN-full" ~problem:fixture.torus Hmn_core.Hmn.mapper;
+        mapper_test ~name:"HN-no-migration" ~problem:fixture.torus
+          Hmn_core.Hmn.mapper_without_migration;
+        (let residual, tables = routing_fixture fixture.torus in
+         Test.make ~name:"astar-dominance-on"
+           (Staged.stage (fun () ->
+                ignore
+                  (Hmn_routing.Astar_prune.route ~residual ~latency_tables:tables
+                     ~src:0 ~dst:21 ~bandwidth_mbps:1. ~latency_ms:60. ()))));
+        (let residual, tables = routing_fixture fixture.torus in
+         Test.make ~name:"astar-dominance-off"
+           (Staged.stage (fun () ->
+                ignore
+                  (Hmn_routing.Astar_prune.route ~prune_dominated:false ~residual
+                     ~latency_tables:tables ~src:0 ~dst:21 ~bandwidth_mbps:1.
+                     ~latency_ms:60. ()))));
+        (let residual, _ = routing_fixture fixture.torus in
+         Test.make ~name:"dfs-route"
+           (Staged.stage (fun () ->
+                ignore
+                  (Hmn_routing.Dfs_route.route ~residual ~src:0 ~dst:21
+                     ~bandwidth_mbps:1. ~latency_ms:60. ()))));
+      ];
+  ]
+
+let run_benchmarks fixture =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let grouped = Test.make_grouped ~name:"hmn" (tests fixture) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    Analyze.merge ols instances
+      (List.map (fun instance -> Analyze.all ols instance raw) instances)
+  in
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        (* Skip aggregate group entries; only leaf tests carry a
+           "group/test" name. *)
+        if not (String.contains name '/') then acc
+        else begin
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> (name, ns) :: acc
+          | _ -> (name, nan) :: acc
+        end)
+      clock []
+  in
+  print_endline "== Micro-benchmarks (Bechamel, monotonic clock) ==";
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "%-40s (no estimate)\n" name
+      else if ns > 1e6 then Printf.printf "%-40s %10.3f ms/run\n" name (ns /. 1e6)
+      else Printf.printf "%-40s %10.0f ns/run\n" name ns)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let () =
+  part1 ();
+  run_benchmarks (build_fixture ())

@@ -1,0 +1,304 @@
+(* hmn — command-line frontend to the testbed-mapping library.
+
+   Subcommands:
+     list          enumerate the available heuristics
+     map           generate an instance, run a heuristic, print the mapping
+     experiments   regenerate the paper's Tables 2-3, correlation, Figure 1
+     figure1       only the Figure 1 sweep
+     dot           emit the generated cluster or virtual topology as DOT *)
+
+open Cmdliner
+
+(* ---- shared options ---- *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc:"Random seed.")
+
+let cluster_t =
+  let kind_conv =
+    Arg.enum [ ("torus", Hmn_experiments.Scenario.Torus);
+               ("switched", Hmn_experiments.Scenario.Switched) ]
+  in
+  Arg.(
+    value
+    & opt kind_conv Hmn_experiments.Scenario.Torus
+    & info [ "cluster" ] ~docv:"torus|switched" ~doc:"Physical topology.")
+
+let guests_t =
+  Arg.(value & opt int 200 & info [ "guests"; "n" ] ~docv:"INT" ~doc:"Number of guests.")
+
+let density_t =
+  Arg.(
+    value & opt float 0.02
+    & info [ "density" ] ~docv:"FLOAT" ~doc:"Virtual graph edge density.")
+
+let workload_t =
+  let wl_conv =
+    Arg.enum [ ("high", Hmn_experiments.Scenario.High_level);
+               ("low", Hmn_experiments.Scenario.Low_level) ]
+  in
+  Arg.(
+    value
+    & opt wl_conv Hmn_experiments.Scenario.High_level
+    & info [ "workload" ] ~docv:"high|low" ~doc:"Workload profile (Table 1).")
+
+let build_problem ~seed ~cluster_kind ~guests ~density ~workload =
+  let rng = Hmn_rng.Rng.create seed in
+  let cluster = Hmn_experiments.Scenario.build_cluster cluster_kind ~rng in
+  let profile =
+    match workload with
+    | Hmn_experiments.Scenario.High_level -> Hmn_vnet.Workload.high_level
+    | Hmn_experiments.Scenario.Low_level -> Hmn_vnet.Workload.low_level
+  in
+  let venv =
+    Hmn_vnet.Venv_gen.generate
+      ~scale_to_fit:(cluster, Hmn_experiments.Setup.fit_fraction)
+      ~profile ~n:guests ~density ~rng ()
+  in
+  Hmn_mapping.Problem.make ~cluster ~venv
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun m ->
+        Printf.printf "%-5s %s\n" m.Hmn_core.Mapper.name m.Hmn_core.Mapper.description)
+      (Hmn_core.Registry.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available mapping heuristics.")
+    Term.(const run $ const ())
+
+(* ---- map ---- *)
+
+let map_cmd =
+  let heuristic_t =
+    Arg.(
+      value & opt string "HMN"
+      & info [ "heuristic" ] ~docv:"NAME" ~doc:"Heuristic to run (see $(b,list)).")
+  in
+  let verbose_t =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print placement and link tables.")
+  in
+  let simulate_t =
+    Arg.(value & flag & info [ "simulate" ] ~doc:"Run the emulated experiment too.")
+  in
+  let save_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Write the problem and mapping as a JSON bundle.")
+  in
+  let run seed cluster_kind guests density workload heuristic verbose simulate save =
+    match Hmn_core.Registry.find heuristic with
+    | None ->
+      Printf.eprintf "unknown heuristic %s; try `hmn_cli list'\n" heuristic;
+      exit 2
+    | Some mapper ->
+      let problem = build_problem ~seed ~cluster_kind ~guests ~density ~workload in
+      Format.printf "%a@.@." Hmn_mapping.Problem.pp_summary problem;
+      let outcome = mapper.Hmn_core.Mapper.run ~rng:(Hmn_rng.Rng.create (seed + 1)) problem in
+      Format.printf "%s: %a@." mapper.Hmn_core.Mapper.name Hmn_core.Mapper.pp_outcome
+        outcome;
+      (match outcome.Hmn_core.Mapper.result with
+      | Error _ -> exit 1
+      | Ok mapping ->
+        (match Hmn_mapping.Constraints.check mapping with
+        | [] -> print_endline "constraints: all of Eqs. (1)-(9) hold"
+        | vs ->
+          Printf.printf "constraints: %d VIOLATIONS\n" (List.length vs);
+          List.iter
+            (fun v ->
+              Format.printf "  %a@." Hmn_mapping.Constraints.pp_violation v)
+            vs);
+        print_endline (Hmn_mapping.Report.summary mapping);
+        if verbose then begin
+          print_newline ();
+          print_string (Hmn_mapping.Report.placement_table mapping);
+          print_newline ();
+          print_string (Hmn_mapping.Report.link_table mapping);
+          print_newline ();
+          print_endline "Hottest physical links:";
+          print_string (Hmn_mapping.Report.hot_links mapping)
+        end;
+        if simulate then begin
+          let sim = Hmn_emulation.Exec_sim.run mapping in
+          Printf.printf "emulated experiment: %.3f s (%d events)\n"
+            sim.Hmn_emulation.Exec_sim.makespan_s sim.Hmn_emulation.Exec_sim.events
+        end;
+        match save with
+        | None -> ()
+        | Some path ->
+          Hmn_io.Codec.save_bundle ~path mapping;
+          Printf.printf "wrote %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Generate an instance and map it with one heuristic.")
+    Term.(
+      const run $ seed_t $ cluster_t $ guests_t $ density_t $ workload_t
+      $ heuristic_t $ verbose_t $ simulate_t $ save_t)
+
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let file_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"JSON bundle.")
+  in
+  let run file =
+    match Hmn_io.Codec.load_bundle ~path:file with
+    | Error msg ->
+      Printf.eprintf "cannot load %s: %s\n" file msg;
+      exit 2
+    | Ok mapping -> (
+      match Hmn_mapping.Constraints.check mapping with
+      | [] ->
+        print_endline "valid: all of Eqs. (1)-(9) hold";
+        print_endline (Hmn_mapping.Report.summary mapping)
+      | vs ->
+        Printf.printf "INVALID: %d violations\n" (List.length vs);
+        List.iter
+          (fun v -> Format.printf "  %a@." Hmn_mapping.Constraints.pp_violation v)
+          vs;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Load a saved mapping bundle and re-check every constraint.")
+    Term.(const run $ file_t)
+
+(* ---- experiments ---- *)
+
+let experiments_cmd =
+  let reps_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "reps" ] ~docv:"INT"
+          ~doc:"Repetitions per scenario (default: $(b,HMN_REPS) or 5; paper: 30).")
+  in
+  let csv_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write per-cell results as CSV.")
+  in
+  let run reps csv =
+    let config =
+      let c = Hmn_experiments.Runner.default_config () in
+      match reps with
+      | None -> c
+      | Some reps -> { c with Hmn_experiments.Runner.reps }
+    in
+    let results = Hmn_experiments.Runner.run ~config () in
+    print_string (Hmn_experiments.Setup.render ());
+    print_newline ();
+    print_string (Hmn_experiments.Tables.table2 results);
+    print_newline ();
+    print_string (Hmn_experiments.Tables.table3 results);
+    print_newline ();
+    print_string (Hmn_experiments.Tables.mapping_time results);
+    print_newline ();
+    print_string (Hmn_experiments.Tables.correlation_report results);
+    print_newline ();
+    print_string
+      (Hmn_experiments.Paper_check.render
+         (Hmn_experiments.Paper_check.check_all results));
+    match csv with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Hmn_experiments.Csv.cells results);
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's Tables 2-3 and the correlation result.")
+    Term.(const run $ reps_t $ csv_t)
+
+(* ---- figure1 ---- *)
+
+let figure1_cmd =
+  let reps_t =
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"INT" ~doc:"Repetitions per point.")
+  in
+  let run reps seed =
+    let points = Hmn_experiments.Figure1.run ~reps ~seed () in
+    print_string (Hmn_experiments.Figure1.render points)
+  in
+  Cmd.v
+    (Cmd.info "figure1" ~doc:"Regenerate Figure 1 (HMN mapping time vs links).")
+    Term.(const run $ reps_t $ seed_t)
+
+(* ---- ablation ---- *)
+
+let ablation_cmd =
+  let reps_t =
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"INT" ~doc:"Repetitions per point.")
+  in
+  let which_t =
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [ ("all", `All); ("migration", `Migration); ("routing", `Routing);
+               ("topology", `Topology) ])
+          `All
+      & info [ "which" ] ~docv:"all|migration|routing|topology"
+          ~doc:"Which ablation study to run.")
+  in
+  let run reps which =
+    let text =
+      match which with
+      | `All -> Hmn_experiments.Ablation.all ~reps ()
+      | `Migration -> Hmn_experiments.Ablation.migration ~reps ()
+      | `Routing -> Hmn_experiments.Ablation.routing_metric ~reps ()
+      | `Topology -> Hmn_experiments.Ablation.topology_sweep ~reps ()
+    in
+    print_string text
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Run the Migration / routing-metric / topology ablation studies.")
+    Term.(const run $ reps_t $ which_t)
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let what_t =
+    Arg.(
+      value & opt (Arg.enum [ ("cluster", `Cluster); ("venv", `Venv) ]) `Cluster
+      & info [ "what" ] ~docv:"cluster|venv" ~doc:"Which graph to emit.")
+  in
+  let run seed cluster_kind guests density workload what =
+    let problem = build_problem ~seed ~cluster_kind ~guests ~density ~workload in
+    match what with
+    | `Cluster ->
+      let cluster = problem.Hmn_mapping.Problem.cluster in
+      print_string
+        (Hmn_graph.Dot.to_dot
+           ~node_name:(fun i ->
+             (Hmn_testbed.Cluster.node cluster i).Hmn_testbed.Node.name)
+           ~edge_attr:(fun _ link ->
+             Format.asprintf "label=\"%a\"" Hmn_testbed.Link.pp link)
+           (Hmn_testbed.Cluster.graph cluster))
+    | `Venv ->
+      let venv = problem.Hmn_mapping.Problem.venv in
+      print_string
+        (Hmn_graph.Dot.to_dot
+           ~node_name:(fun i ->
+             (Hmn_vnet.Virtual_env.guest venv i).Hmn_vnet.Guest.name)
+           (Hmn_vnet.Virtual_env.graph venv))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the generated physical or virtual topology as DOT.")
+    Term.(
+      const run $ seed_t $ cluster_t $ guests_t $ density_t $ workload_t $ what_t)
+
+let () =
+  let doc = "virtual machine and link mapping for emulation testbeds (HMN)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "hmn_cli" ~doc)
+          [
+            list_cmd; map_cmd; validate_cmd; experiments_cmd; figure1_cmd;
+            ablation_cmd; dot_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/consolidation.ml: Format Hmn_core Hmn_experiments Hmn_mapping Hmn_rng Hmn_routing Hmn_testbed Hmn_vnet

@@ -1,0 +1,1 @@
+examples/grid_testbed.ml: Array Format Hmn_core Hmn_emulation Hmn_experiments Hmn_mapping Hmn_prelude Hmn_rng Hmn_vnet List Printf Sys

@@ -1,0 +1,1 @@
+examples/hetero_cluster.ml: Array Float Format Hmn_core Hmn_mapping Hmn_rng Hmn_testbed Hmn_vnet Printf

@@ -1,0 +1,1 @@
+examples/live_operations.ml: Filename Format Hmn_core Hmn_emulation Hmn_experiments Hmn_io Hmn_mapping Hmn_prelude Hmn_rng Hmn_testbed Hmn_vnet List Sys

@@ -1,0 +1,1 @@
+examples/p2p_overlay.ml: Format Hmn_core Hmn_emulation Hmn_experiments Hmn_mapping Hmn_rng Hmn_testbed Hmn_vnet

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Hmn_core Hmn_graph Hmn_mapping Hmn_testbed Hmn_vnet

@@ -1,0 +1,42 @@
+(* The paper's future-work objective (§6): "one could be interested in
+   a mapping whose goal is to minimize the amount of hosts used in each
+   emulation". This example contrasts the load-balancing HMN mapping
+   with the consolidating CONS mapper on the same instance: HMN spreads
+   guests across every host (low LBF), CONS packs them onto as few
+   hosts as it can (few active hosts, poor LBF) — two valid answers to
+   two different goals.
+
+   Run with: dune exec examples/consolidation.exe *)
+
+let () =
+  let rng = Hmn_rng.Rng.create 3 in
+  let cluster =
+    Hmn_experiments.Scenario.build_cluster Hmn_experiments.Scenario.Switched ~rng
+  in
+  let venv =
+    Hmn_vnet.Venv_gen.generate
+      ~scale_to_fit:(cluster, 0.5)
+      ~profile:Hmn_vnet.Workload.high_level ~n:120 ~density:0.02 ~rng ()
+  in
+  let problem = Hmn_mapping.Problem.make ~cluster ~venv in
+  Format.printf "%a@.@." Hmn_mapping.Problem.pp_summary problem;
+
+  let report name mapper =
+    match (mapper.Hmn_core.Mapper.run ~rng problem).Hmn_core.Mapper.result with
+    | Error f -> Format.printf "%-20s failed: %s@." name f.reason
+    | Ok mapping ->
+      Format.printf
+        "%-20s active hosts: %2d / %2d   LBF: %7.1f MIPS   intra-host links: %d@."
+        name
+        (Hmn_mapping.Objective.active_hosts mapping.Hmn_mapping.Mapping.placement)
+        (Hmn_testbed.Cluster.n_hosts cluster)
+        (Hmn_mapping.Mapping.objective mapping)
+        (let n = ref 0 in
+         Hmn_mapping.Link_map.iter_mapped mapping.Hmn_mapping.Mapping.link_map
+           (fun ~vlink:_ p -> if Hmn_routing.Path.is_intra_host p then incr n);
+         !n)
+  in
+  report "HMN (balance)" Hmn_core.Hmn.mapper;
+  report "CONS (consolidate)" (Hmn_core.Packing.to_mapper Hmn_core.Packing.Consolidate);
+  report "BFD (tight packing)" (Hmn_core.Packing.to_mapper Hmn_core.Packing.Best_fit);
+  report "WFD (spreading)" (Hmn_core.Packing.to_mapper Hmn_core.Packing.Worst_fit)

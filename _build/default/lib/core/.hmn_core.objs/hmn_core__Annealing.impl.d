@@ -1,0 +1,1 @@
+lib/core/annealing.ml: Array Hmn_mapping Hmn_rng Hmn_testbed Hmn_vnet Hosting Mapper Networking

@@ -1,0 +1,1 @@
+lib/core/annealing.mli: Hmn_mapping Hmn_rng Mapper

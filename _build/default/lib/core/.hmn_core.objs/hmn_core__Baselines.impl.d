@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Hmn_mapping Hmn_routing Hmn_vnet Hosting Mapper Networking Option Printf Random_place Unix

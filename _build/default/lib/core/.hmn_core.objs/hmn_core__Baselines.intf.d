@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Hmn_mapping Hmn_rng Mapper

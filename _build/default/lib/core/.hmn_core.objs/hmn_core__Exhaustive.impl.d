@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Hmn_mapping Hmn_testbed Hmn_vnet Mapper Networking Printf

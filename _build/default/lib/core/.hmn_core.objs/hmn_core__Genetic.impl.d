@@ -1,0 +1,1 @@
+lib/core/genetic.ml: Array Hmn_mapping Hmn_rng Hmn_stats Hmn_testbed Hmn_vnet Hosting Mapper Networking

@@ -1,0 +1,1 @@
+lib/core/genetic.mli: Hmn_mapping Hmn_rng Mapper

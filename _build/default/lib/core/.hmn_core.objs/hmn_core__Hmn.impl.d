@@ -1,0 +1,1 @@
+lib/core/hmn.ml: Hmn_mapping Hosting Mapper Migration Networking

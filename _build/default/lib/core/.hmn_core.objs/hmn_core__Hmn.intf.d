@@ -1,0 +1,1 @@
+lib/core/hmn.mli: Hmn_mapping Mapper Migration Networking

@@ -1,0 +1,1 @@
+lib/core/hosting.ml: Array Fun Hmn_mapping Hmn_prelude Hmn_testbed Hmn_vnet Int Mapper Printf

@@ -1,0 +1,1 @@
+lib/core/hosting.mli: Hmn_mapping Mapper

@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Array Float Format Hmn_graph Hmn_mapping Hmn_prelude Hmn_routing Hmn_testbed Hmn_vnet List Migration Option Printf

@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Format Hmn_mapping Hmn_rng Unix

@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Format Hmn_mapping Hmn_rng

@@ -1,0 +1,1 @@
+lib/core/migration.ml: Array Hmn_graph Hmn_mapping Hmn_prelude Hmn_testbed Hmn_vnet List Option

@@ -1,0 +1,1 @@
+lib/core/migration.mli: Hmn_mapping

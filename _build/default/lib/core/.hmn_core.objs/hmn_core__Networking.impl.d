@@ -1,0 +1,1 @@
+lib/core/networking.ml: Array Hmn_mapping Hmn_routing Hmn_vnet Hosting Mapper Option Printf

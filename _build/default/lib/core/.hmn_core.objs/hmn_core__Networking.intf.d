@@ -1,0 +1,1 @@
+lib/core/networking.mli: Hmn_mapping Hmn_routing Mapper

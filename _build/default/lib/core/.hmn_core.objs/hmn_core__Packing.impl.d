@@ -1,0 +1,1 @@
+lib/core/packing.ml: Array Fun Hmn_mapping Hmn_prelude Hmn_testbed Hmn_vnet List Mapper Networking Printf

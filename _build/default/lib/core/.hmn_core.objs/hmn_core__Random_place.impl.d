@@ -1,0 +1,1 @@
+lib/core/random_place.ml: Array Fun Hmn_mapping Hmn_rng Hmn_testbed Hmn_vnet List Mapper Printf

@@ -1,0 +1,1 @@
+lib/core/random_place.mli: Hmn_mapping Hmn_rng Mapper

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Annealing Baselines Genetic Hmn List Mapper Packing String

@@ -1,0 +1,88 @@
+module Cluster = Hmn_testbed.Cluster
+module Placement = Hmn_mapping.Placement
+module Problem = Hmn_mapping.Problem
+module Objective = Hmn_mapping.Objective
+module Mapping = Hmn_mapping.Mapping
+
+type params = {
+  iterations : int;
+  initial_temperature : float;
+  cooling : float;
+}
+
+let default_params = { iterations = 2000; initial_temperature = 200.; cooling = 0.998 }
+
+let validate_params p =
+  if p.iterations < 0 then invalid_arg "Annealing: negative iterations";
+  if p.initial_temperature <= 0. then invalid_arg "Annealing: non-positive temperature";
+  if p.cooling <= 0. || p.cooling >= 1. then
+    invalid_arg "Annealing: cooling must be in (0, 1)"
+
+let anneal ?(params = default_params) ~rng placement =
+  validate_params params;
+  if not (Placement.all_assigned placement) then
+    invalid_arg "Annealing.anneal: placement is incomplete";
+  let problem = Placement.problem placement in
+  let hosts = Cluster.host_ids problem.Problem.cluster in
+  let n_guests = Hmn_vnet.Virtual_env.n_guests problem.Problem.venv in
+  let current = ref (Objective.load_balance_factor placement) in
+  let best_energy = ref !current in
+  let best_state = ref (Placement.copy placement) in
+  let temperature = ref params.initial_temperature in
+  let accepted = ref 0 in
+  for _ = 1 to params.iterations do
+    let guest = Hmn_rng.Rng.int rng ~bound:n_guests in
+    let host = hosts.(Hmn_rng.Rng.int rng ~bound:(Array.length hosts)) in
+    (match Objective.load_balance_after_migration placement ~guest ~host with
+    | None -> ()
+    | Some candidate ->
+      let delta = candidate -. !current in
+      let accept =
+        delta <= 0. || Hmn_rng.Rng.float rng < exp (-.delta /. !temperature)
+      in
+      if accept then begin
+        match Placement.migrate placement ~guest ~host with
+        | Ok () ->
+          incr accepted;
+          current := candidate;
+          if candidate < !best_energy then begin
+            best_energy := candidate;
+            best_state := Placement.copy placement
+          end
+        | Error _ -> ()
+      end);
+    temperature := !temperature *. params.cooling
+  done;
+  (* Restore the best state seen: move every guest to its recorded
+     host. Going via unassign-all avoids transient capacity conflicts. *)
+  if !best_energy < !current -. 1e-12 then begin
+    for guest = 0 to n_guests - 1 do
+      ignore (Placement.unassign placement ~guest)
+    done;
+    for guest = 0 to n_guests - 1 do
+      let host = Placement.host_of_exn !best_state ~guest in
+      match Placement.assign placement ~guest ~host with
+      | Ok () -> ()
+      | Error msg -> failwith ("Annealing.anneal: restore failed: " ^ msg)
+    done
+  end;
+  !accepted
+
+let mapper ?(params = default_params) () =
+  {
+    Mapper.name = "SA";
+    description = "simulated-annealing placement + A*Prune networking";
+    run =
+      (fun ~rng problem ->
+        let run_once () =
+          match Hosting.run problem with
+          | Error f -> Error f
+          | Ok placement -> (
+            ignore (anneal ~params ~rng placement);
+            match Networking.run placement with
+            | Error f -> Error f
+            | Ok (link_map, _) -> Ok (Mapping.make ~placement ~link_map))
+        in
+        let result, elapsed_s = Mapper.time run_once in
+        { Mapper.result; elapsed_s; stage_seconds = []; tries = 1 });
+  }

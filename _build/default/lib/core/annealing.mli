@@ -1,0 +1,31 @@
+(** Simulated-annealing placement — one of the "pool of heuristics" the
+    paper's conclusion proposes for scenarios where HMN's greedy
+    migration stalls in a local optimum.
+
+    The state is a complete placement; a move re-assigns one random
+    guest to a random feasible host; the energy is the load-balance
+    factor (Eq. 10). Moves are accepted by the Metropolis criterion
+    under a geometric cooling schedule. Routing is the standard
+    A\*Prune Networking stage on the final placement. *)
+
+type params = {
+  iterations : int;  (** total proposed moves *)
+  initial_temperature : float;  (** in LBF (MIPS) units *)
+  cooling : float;  (** multiplicative factor per iteration, in (0, 1) *)
+}
+
+val default_params : params
+(** 2000 iterations, T0 = 200 MIPS, cooling 0.998. *)
+
+val anneal :
+  ?params:params ->
+  rng:Hmn_rng.Rng.t ->
+  Hmn_mapping.Placement.t ->
+  int
+(** Anneals the given (complete) placement in place; returns the number
+    of accepted moves. The placement can only end at an equal or better
+    LBF than the best state seen — the best state is restored at the
+    end. *)
+
+val mapper : ?params:params -> unit -> Mapper.t
+(** ["SA"]: Hosting for the initial state, annealing, then Networking. *)

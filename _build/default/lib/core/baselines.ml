@@ -1,0 +1,133 @@
+module Virtual_env = Hmn_vnet.Virtual_env
+module Placement = Hmn_mapping.Placement
+module Problem = Hmn_mapping.Problem
+module Link_map = Hmn_mapping.Link_map
+module Mapping = Hmn_mapping.Mapping
+module Path = Hmn_routing.Path
+
+let default_dfs_steps = 20_000
+let default_max_tries = 100_000
+
+let dfs_route_all ?rng ?(max_steps = default_dfs_steps) placement =
+  if not (Placement.all_assigned placement) then
+    invalid_arg "Baselines.dfs_route_all: placement is incomplete";
+  let problem = Placement.problem placement in
+  let venv = problem.Problem.venv in
+  let link_map = Link_map.create problem in
+  let exception Routing_failed of string in
+  try
+    for vlink = 0 to Virtual_env.n_vlinks venv - 1 do
+      let vs, vd = Virtual_env.endpoints venv vlink in
+      let hs = Placement.host_of_exn placement ~guest:vs in
+      let hd = Placement.host_of_exn placement ~guest:vd in
+      let path =
+        if hs = hd then Some (Path.trivial hs)
+        else begin
+          let spec = Virtual_env.vlink venv vlink in
+          Hmn_routing.Dfs_route.route ?rng ~max_steps
+            ~residual:(Link_map.residual link_map)
+            ~src:hs ~dst:hd
+            ~bandwidth_mbps:spec.Hmn_vnet.Vlink.bandwidth_mbps
+            ~latency_ms:spec.Hmn_vnet.Vlink.latency_ms ()
+        end
+      in
+      match path with
+      | None ->
+        raise
+          (Routing_failed (Printf.sprintf "DFS found no path for virtual link %d" vlink))
+      | Some path -> (
+        match Link_map.assign link_map ~vlink path with
+        | Ok () -> ()
+        | Error msg -> raise (Routing_failed msg))
+    done;
+    Ok link_map
+  with Routing_failed reason -> Error (Mapper.fail ~stage:"dfs-routing" ~reason)
+
+(* Retry loop shared by the three baselines: [attempt] produces a
+   mapping or a failure; the last failure is reported when the try
+   budget runs out. *)
+let with_retries ~max_tries ~attempt =
+  let start = Unix.gettimeofday () in
+  let rec go tries last_failure =
+    if tries >= max_tries then
+      {
+        Mapper.result =
+          Error
+            (Option.value last_failure
+               ~default:
+                 (Mapper.fail ~stage:"retry" ~reason:"try budget exhausted"));
+        elapsed_s = Unix.gettimeofday () -. start;
+        stage_seconds = [];
+        tries;
+      }
+    else begin
+      match attempt () with
+      | Ok mapping ->
+        {
+          Mapper.result = Ok mapping;
+          elapsed_s = Unix.gettimeofday () -. start;
+          stage_seconds = [];
+          tries = tries + 1;
+        }
+      | Error failure -> go (tries + 1) (Some failure)
+    end
+  in
+  go 0 None
+
+let random ?(max_tries = default_max_tries) () =
+  {
+    Mapper.name = "R";
+    description = "random placement + DFS routing, whole mapping retried";
+    run =
+      (fun ~rng problem ->
+        with_retries ~max_tries ~attempt:(fun () ->
+            match Random_place.run ~rng problem with
+            | Error _ as e -> e
+            | Ok placement -> (
+              match dfs_route_all ~rng placement with
+              | Error _ as e -> e
+              | Ok link_map -> Ok (Mapping.make ~placement ~link_map))));
+  }
+
+let random_aprune ?(max_tries = default_max_tries) () =
+  {
+    Mapper.name = "RA";
+    description = "random placement + A*Prune networking, whole mapping retried";
+    run =
+      (fun ~rng problem ->
+        with_retries ~max_tries ~attempt:(fun () ->
+            match Random_place.run ~rng problem with
+            | Error _ as e -> e
+            | Ok placement -> (
+              match Networking.run placement with
+              | Error _ as e -> e
+              | Ok (link_map, _) -> Ok (Mapping.make ~placement ~link_map))));
+  }
+
+let hosting_search ?(max_tries = default_max_tries) () =
+  {
+    Mapper.name = "HS";
+    description = "Hosting placement (kept fixed) + DFS routing, routing retried";
+    run =
+      (fun ~rng problem ->
+        match Mapper.time (fun () -> Hosting.run problem) with
+        | Error failure, elapsed_s ->
+          {
+            Mapper.result = Error failure;
+            elapsed_s;
+            stage_seconds = [ ("hosting", elapsed_s) ];
+            tries = 1;
+          }
+        | Ok placement, hosting_s ->
+          let outcome =
+            with_retries ~max_tries ~attempt:(fun () ->
+                match dfs_route_all ~rng placement with
+                | Error _ as e -> e
+                | Ok link_map -> Ok (Mapping.make ~placement ~link_map))
+          in
+          {
+            outcome with
+            Mapper.elapsed_s = outcome.Mapper.elapsed_s +. hosting_s;
+            stage_seconds = [ ("hosting", hosting_s) ];
+          });
+  }

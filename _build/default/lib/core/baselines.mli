@@ -1,0 +1,37 @@
+(** The three comparison heuristics of the paper's evaluation (§5):
+
+    - {b R} — random placement + depth-first path search; the whole
+      mapping (placement and routing) is retried on failure;
+    - {b RA} — random placement + the modified A\*Prune Networking
+      stage; retried like R;
+    - {b HS} — the Hosting stage + depth-first path search; only the
+      routing is retried (the paper explains HS's failure count by
+      exactly this: a bad initial placement is never revisited).
+
+    The paper caps retries at 100 000; that is the default here, and
+    the experiment harness passes a smaller cap (documented in
+    EXPERIMENTS.md) to keep the 960-run sweeps tractable. DFS node
+    expansions per link are budgeted ({!default_dfs_steps}) because
+    proving a link unroutable by exhaustive DFS is exponential; an
+    exhausted budget counts as a failed try, which only makes the
+    baselines retry — semantics the paper's cap already has. *)
+
+val default_dfs_steps : int
+
+val random : ?max_tries:int -> unit -> Mapper.t
+(** ["R"]. *)
+
+val random_aprune : ?max_tries:int -> unit -> Mapper.t
+(** ["RA"]. *)
+
+val hosting_search : ?max_tries:int -> unit -> Mapper.t
+(** ["HS"]. *)
+
+val dfs_route_all :
+  ?rng:Hmn_rng.Rng.t ->
+  ?max_steps:int ->
+  Hmn_mapping.Placement.t ->
+  (Hmn_mapping.Link_map.t, Mapper.failure) result
+(** Routes every virtual link of a complete placement with
+    (randomized) DFS, in input order, reserving bandwidth as it goes —
+    the routing half of R and HS, exposed for tests. *)

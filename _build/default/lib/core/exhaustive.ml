@@ -1,0 +1,79 @@
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Virtual_env = Hmn_vnet.Virtual_env
+module Placement = Hmn_mapping.Placement
+module Problem = Hmn_mapping.Problem
+module Objective = Hmn_mapping.Objective
+module Mapping = Hmn_mapping.Mapping
+
+let max_states = 1_000_000
+
+let state_count ~hosts ~guests =
+  (* hosts^guests with overflow saturation. *)
+  let rec go acc i =
+    if i = guests then acc
+    else if acc > max_states then acc
+    else go (acc * hosts) (i + 1)
+  in
+  go 1 0
+
+let optimal_placement (problem : Problem.t) =
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let hosts = Cluster.host_ids cluster in
+  let n_hosts = Array.length hosts in
+  let n_guests = Virtual_env.n_guests venv in
+  if state_count ~hosts:n_hosts ~guests:n_guests > max_states then
+    Error
+      (Mapper.fail ~stage:"exhaustive"
+         ~reason:
+           (Printf.sprintf "instance too large: %d^%d states exceed the %d budget"
+              n_hosts n_guests max_states))
+  else begin
+    let placement = Placement.create problem in
+    let best = ref None in
+    (* Depth-first over guests; the placement object carries the
+       residual bookkeeping and prunes infeasible branches. *)
+    let rec go guest =
+      if guest = n_guests then begin
+        let lbf = Objective.load_balance_factor placement in
+        match !best with
+        | Some (b, _) when b <= lbf -> ()
+        | _ -> best := Some (lbf, Placement.copy placement)
+      end
+      else
+        Array.iter
+          (fun host ->
+            match Placement.assign placement ~guest ~host with
+            | Error _ -> ()
+            | Ok () ->
+              go (guest + 1);
+              (match Placement.unassign placement ~guest with
+              | Ok () -> ()
+              | Error msg -> failwith ("Exhaustive: unassign failed: " ^ msg)))
+          hosts
+    in
+    go 0;
+    match !best with
+    | None ->
+      Error (Mapper.fail ~stage:"exhaustive" ~reason:"no feasible placement exists")
+    | Some (lbf, placement) -> Ok (placement, lbf)
+  end
+
+let mapper =
+  {
+    Mapper.name = "OPT";
+    description = "exhaustive optimal placement (tiny instances only) + A*Prune";
+    run =
+      (fun ~rng:_ problem ->
+        let run_once () =
+          match optimal_placement problem with
+          | Error f -> Error f
+          | Ok (placement, _) -> (
+            match Networking.run placement with
+            | Error f -> Error f
+            | Ok (link_map, _) -> Ok (Mapping.make ~placement ~link_map))
+        in
+        let result, elapsed_s = Mapper.time run_once in
+        { Mapper.result; elapsed_s; stage_seconds = []; tries = 1 });
+  }

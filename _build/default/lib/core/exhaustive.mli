@@ -1,0 +1,24 @@
+(** Exhaustive optimal placement — a reference "OPT" for tiny
+    instances.
+
+    Enumerates every assignment of guests to hosts, keeps the feasible
+    ones (Eqs. 1–3), and returns one minimizing the load-balance
+    factor; links are then routed with the A\*Prune Networking stage
+    in the usual order. Exponential ([hosts^guests] states, with
+    memory/storage pruning), so it is gated on instance size — its
+    purpose is to ground the heuristics in tests and benches, not to
+    map real environments. *)
+
+val max_states : int
+(** Enumeration budget: [hosts^guests] must not exceed this
+    (1_000_000). *)
+
+val optimal_placement :
+  Hmn_mapping.Problem.t -> (Hmn_mapping.Placement.t * float, Mapper.failure) result
+(** Best placement and its LBF. Fails when the instance is too large
+    for the budget or no feasible placement exists. Deterministic:
+    ties resolve to the lexicographically first assignment. *)
+
+val mapper : Mapper.t
+(** ["OPT"]. Not registered in {!Registry.all} (it only works on toy
+    instances); exposed for tests, examples and ablations. *)

@@ -1,0 +1,167 @@
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Virtual_env = Hmn_vnet.Virtual_env
+module Placement = Hmn_mapping.Placement
+module Problem = Hmn_mapping.Problem
+module Mapping = Hmn_mapping.Mapping
+
+type params = {
+  population : int;
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  tournament : int;
+}
+
+let default_params =
+  { population = 40; generations = 60; crossover_rate = 0.9; mutation_rate = 0.02;
+    tournament = 3 }
+
+let validate_params p =
+  if p.population < 2 then invalid_arg "Genetic: population >= 2 required";
+  if p.generations < 1 then invalid_arg "Genetic: generations >= 1 required";
+  if p.crossover_rate < 0. || p.crossover_rate > 1. then
+    invalid_arg "Genetic: crossover_rate in [0,1] required";
+  if p.mutation_rate < 0. || p.mutation_rate > 1. then
+    invalid_arg "Genetic: mutation_rate in [0,1] required";
+  if p.tournament < 1 then invalid_arg "Genetic: tournament >= 1 required"
+
+(* Chromosome: host id per guest. Fitness (to MINIMIZE): LBF plus a
+   large penalty per unit of memory/storage overflow, so feasibility
+   dominates balance. *)
+let penalty_weight = 1e4
+
+let evaluate problem chromosome =
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let hosts = Cluster.host_ids cluster in
+  let n_nodes = Cluster.n_nodes cluster in
+  let mem = Array.make n_nodes 0. and stor = Array.make n_nodes 0. in
+  let cpu = Array.make n_nodes 0. in
+  Array.iteri
+    (fun guest host ->
+      let d = Virtual_env.demand venv guest in
+      mem.(host) <- mem.(host) +. d.Resources.mem_mb;
+      stor.(host) <- stor.(host) +. d.Resources.stor_gb;
+      cpu.(host) <- cpu.(host) +. d.Resources.mips)
+    chromosome;
+  let overflow = ref 0. in
+  let residuals =
+    Array.map
+      (fun h ->
+        let cap = Cluster.capacity cluster h in
+        if mem.(h) > cap.Resources.mem_mb then
+          overflow := !overflow +. ((mem.(h) -. cap.Resources.mem_mb) /. cap.Resources.mem_mb);
+        if stor.(h) > cap.Resources.stor_gb then
+          overflow := !overflow +. ((stor.(h) -. cap.Resources.stor_gb) /. cap.Resources.stor_gb);
+        cap.Resources.mips -. cpu.(h))
+      hosts
+  in
+  let lbf = Hmn_stats.Descriptive.stddev residuals in
+  (lbf +. (penalty_weight *. !overflow), !overflow = 0.)
+
+let evolve ?(params = default_params) ~rng (problem : Problem.t) =
+  validate_params params;
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let hosts = Cluster.host_ids cluster in
+  let n_guests = Virtual_env.n_guests venv in
+  let random_host () = hosts.(Hmn_rng.Rng.int rng ~bound:(Array.length hosts)) in
+  let random_chromosome () = Array.init n_guests (fun _ -> random_host ()) in
+  (* Seed one individual with the Hosting stage's answer when it
+     exists: GA literature calls this a warm start, and Liu et al. seed
+     with their greedy heuristic likewise. *)
+  let seeded =
+    match Hosting.run problem with
+    | Ok placement ->
+      Some (Array.init n_guests (fun g -> Placement.host_of_exn placement ~guest:g))
+    | Error _ -> None
+  in
+  let population =
+    Array.init params.population (fun i ->
+        match (i, seeded) with 0, Some s -> Array.copy s | _ -> random_chromosome ())
+  in
+  let scores = Array.map (evaluate problem) population in
+  let best = ref None in
+  let note_best () =
+    Array.iteri
+      (fun i (score, feasible) ->
+        if feasible then begin
+          match !best with
+          | Some (b, _) when b <= score -> ()
+          | _ -> best := Some (score, Array.copy population.(i))
+        end)
+      scores
+  in
+  note_best ();
+  let tournament () =
+    let w = ref (Hmn_rng.Rng.int rng ~bound:params.population) in
+    for _ = 2 to params.tournament do
+      let c = Hmn_rng.Rng.int rng ~bound:params.population in
+      if fst scores.(c) < fst scores.(!w) then w := c
+    done;
+    population.(!w)
+  in
+  for _ = 1 to params.generations do
+    let elite_idx = ref 0 in
+    Array.iteri (fun i (s, _) -> if s < fst scores.(!elite_idx) then elite_idx := i) scores;
+    let next =
+      Array.init params.population (fun slot ->
+          if slot = 0 then Array.copy population.(!elite_idx)
+          else begin
+            let a = tournament () and b = tournament () in
+            let child =
+              if Hmn_rng.Rng.float rng < params.crossover_rate then
+                Array.init n_guests (fun g ->
+                    if Hmn_rng.Rng.bool rng then a.(g) else b.(g))
+              else Array.copy a
+            in
+            Array.iteri
+              (fun g _ ->
+                if Hmn_rng.Rng.float rng < params.mutation_rate then
+                  child.(g) <- random_host ())
+              child;
+            child
+          end)
+    in
+    Array.blit next 0 population 0 params.population;
+    Array.iteri (fun i c -> scores.(i) <- evaluate problem c) population;
+    note_best ()
+  done;
+  match !best with
+  | None ->
+    Error
+      (Mapper.fail ~stage:"genetic"
+         ~reason:"no feasible individual after the final generation")
+  | Some (_, chromosome) ->
+    let placement = Placement.create problem in
+    let exception Decode_failed of string in
+    (try
+       Array.iteri
+         (fun guest host ->
+           match Placement.assign placement ~guest ~host with
+           | Ok () -> ()
+           | Error msg -> raise (Decode_failed msg))
+         chromosome;
+       Ok placement
+     with Decode_failed msg ->
+       Error (Mapper.fail ~stage:"genetic" ~reason:("decode failed: " ^ msg)))
+
+let mapper ?(params = default_params) () =
+  {
+    Mapper.name = "GA";
+    description =
+      "genetic-algorithm placement (Liu et al. 2005 style) + A*Prune networking";
+    run =
+      (fun ~rng problem ->
+        let run_once () =
+          match evolve ~params ~rng problem with
+          | Error f -> Error f
+          | Ok placement -> (
+            match Networking.run placement with
+            | Error f -> Error f
+            | Ok (link_map, _) -> Ok (Mapping.make ~placement ~link_map))
+        in
+        let result, elapsed_s = Mapper.time run_once in
+        { Mapper.result; elapsed_s; stage_seconds = []; tries = 1 });
+  }

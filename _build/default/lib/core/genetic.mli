@@ -1,0 +1,35 @@
+(** Genetic-algorithm placement, after the related-work baseline of
+    Liu et al., "Mapping resources for network emulation with heuristic
+    and genetic algorithms" (PDCAT 2005), which the paper cites as the
+    closest prior mapping approach.
+
+    A chromosome assigns a host to every guest. Fitness is the negated
+    load-balance factor with a large penalty per capacity violation, so
+    infeasible individuals are dominated by feasible ones but still
+    provide gradient. Tournament selection, uniform crossover,
+    random-reassignment mutation, elitism of one. The best feasible
+    individual is decoded into a placement and routed with the A\*Prune
+    Networking stage. *)
+
+type params = {
+  population : int;
+  generations : int;
+  crossover_rate : float;  (** probability a child is recombined, else cloned *)
+  mutation_rate : float;  (** per-gene reassignment probability *)
+  tournament : int;  (** tournament size, >= 1 *)
+}
+
+val default_params : params
+(** population 40, 60 generations, crossover 0.9, mutation 0.02,
+    tournament 3. *)
+
+val evolve :
+  ?params:params ->
+  rng:Hmn_rng.Rng.t ->
+  Hmn_mapping.Problem.t ->
+  (Hmn_mapping.Placement.t, Mapper.failure) result
+(** Runs the GA and decodes the best feasible chromosome; fails when no
+    feasible individual was ever produced. *)
+
+val mapper : ?params:params -> unit -> Mapper.t
+(** ["GA"]. *)

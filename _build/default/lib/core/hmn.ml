@@ -1,0 +1,69 @@
+module Mapping = Hmn_mapping.Mapping
+
+type stage_report = {
+  hosting_s : float;
+  migration_s : float;
+  networking_s : float;
+  migration_stats : Migration.stats option;
+  networking_stats : Networking.stats option;
+}
+
+let run_stages ~migrate problem =
+  let hosting_result, hosting_s = Mapper.time (fun () -> Hosting.run problem) in
+  match hosting_result with
+  | Error f ->
+    ( {
+        Mapper.result = Error f;
+        elapsed_s = hosting_s;
+        stage_seconds = [ ("hosting", hosting_s) ];
+        tries = 1;
+      },
+      {
+        hosting_s;
+        migration_s = 0.;
+        networking_s = 0.;
+        migration_stats = None;
+        networking_stats = None;
+      } )
+  | Ok placement ->
+    let migration_stats, migration_s =
+      if migrate then
+        let s, t = Mapper.time (fun () -> Migration.run placement) in
+        (Some s, t)
+      else (None, 0.)
+    in
+    let networking_result, networking_s =
+      Mapper.time (fun () -> Networking.run placement)
+    in
+    let stage_seconds =
+      ("hosting", hosting_s)
+      :: (if migrate then [ ("migration", migration_s) ] else [])
+      @ [ ("networking", networking_s) ]
+    in
+    let elapsed_s = hosting_s +. migration_s +. networking_s in
+    let result, networking_stats =
+      match networking_result with
+      | Error f -> (Error f, None)
+      | Ok (link_map, stats) ->
+        (Ok (Mapping.make ~placement ~link_map), Some stats)
+    in
+    ( { Mapper.result; elapsed_s; stage_seconds; tries = 1 },
+      { hosting_s; migration_s; networking_s; migration_stats; networking_stats } )
+
+let run_detailed problem = run_stages ~migrate:true problem
+let run problem = fst (run_detailed problem)
+let without_migration problem = fst (run_stages ~migrate:false problem)
+
+let mapper =
+  {
+    Mapper.name = "HMN";
+    description = "Hosting-Migration-Networking heuristic (the paper's contribution)";
+    run = (fun ~rng:_ problem -> run problem);
+  }
+
+let mapper_without_migration =
+  {
+    Mapper.name = "HN";
+    description = "HMN ablation: Hosting + Networking, no Migration stage";
+    run = (fun ~rng:_ problem -> without_migration problem);
+  }

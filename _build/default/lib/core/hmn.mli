@@ -1,0 +1,25 @@
+(** The Hosting–Migration–Networking heuristic (paper §4): the three
+    stages run in sequence.
+
+    Deterministic: the supplied random source is ignored. *)
+
+type stage_report = {
+  hosting_s : float;
+  migration_s : float;
+  networking_s : float;
+  migration_stats : Migration.stats option;  (** [None] when Hosting failed *)
+  networking_stats : Networking.stats option;
+}
+
+val run : Hmn_mapping.Problem.t -> Mapper.outcome
+val run_detailed : Hmn_mapping.Problem.t -> Mapper.outcome * stage_report
+
+val without_migration : Hmn_mapping.Problem.t -> Mapper.outcome
+(** Ablation: Hosting directly followed by Networking. Used by the
+    benches to quantify what the Migration stage buys. *)
+
+val mapper : Mapper.t
+(** ["HMN"]. *)
+
+val mapper_without_migration : Mapper.t
+(** ["HN"] — the ablated variant. *)

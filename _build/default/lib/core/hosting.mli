@@ -1,0 +1,33 @@
+(** HMN stage 1 — Hosting (paper §4.1).
+
+    Produces a first assignment of guests to hosts driven by network
+    affinity: virtual links are processed in descending bandwidth
+    order, and both endpoints of a link are put on the same host
+    whenever they fit, so the highest-bandwidth virtual links tend to
+    become intra-host (free) links. The host list is kept sorted by
+    descending available CPU and re-sorted after every assignment, as
+    in the paper.
+
+    Per the paper's rules, for each link [(vs, vd)]:
+    - both endpoints already placed: skip;
+    - neither placed: if both fit together on the first (most
+      CPU-available) host, place both there; otherwise place the more
+      CPU-demanding guest on the first host that fits it and the other
+      guest on the next host down the list that fits (wrapping around
+      the list end — a robustness extension over the paper's
+      formulation, which leaves "next" unspecified at the list end);
+    - exactly one placed: co-locate the other on the same host if it
+      fits, else on the first host in the list that fits.
+
+    Guests untouched by any link (possible only in non-generated
+    environments; the paper's generator guarantees connectivity) are
+    placed last, each on the first host that fits.
+
+    The stage fails — and HMN with it — when some guest fits on no
+    host. *)
+
+val run : Hmn_mapping.Problem.t -> (Hmn_mapping.Placement.t, Mapper.failure) result
+
+val sorted_vlinks : Hmn_mapping.Problem.t -> int array
+(** Virtual-link ids in descending [vbw] order (ties by id) — exposed
+    because the Networking stage and tests use the same ordering. *)

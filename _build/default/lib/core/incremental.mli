@@ -1,0 +1,40 @@
+(** Incremental operations on a live mapping.
+
+    The paper's context is a fully-automated emulation testbed: once an
+    environment is deployed, testers reconfigure it — a host is drained
+    for maintenance, a hot spot is rebalanced — without tearing down
+    every guest. These operations mutate a complete, valid mapping
+    while preserving validity: every move re-routes the affected
+    virtual links and rolls the whole operation back if any of them
+    cannot be re-routed.
+
+    A handle caches the Dijkstra latency tables across operations. *)
+
+type t
+
+val create : Hmn_mapping.Mapping.t -> t
+(** Wraps a mapping. The mapping must be complete and valid
+    ({!Hmn_mapping.Constraints.check} returns []); raises
+    [Invalid_argument] otherwise. The handle owns the mapping: mutating
+    it elsewhere voids the guarantees. *)
+
+val mapping : t -> Hmn_mapping.Mapping.t
+
+val move_guest : t -> guest:int -> host:int -> (unit, string) result
+(** Migrates one guest and re-routes its inter-host virtual links with
+    A\*Prune. On any failure (target does not fit, or some link cannot
+    be re-routed) the mapping is restored exactly and an explanation
+    returned. *)
+
+val evacuate_host : t -> host:int -> (int, string) result
+(** Drains a host for maintenance: moves every resident guest to the
+    feasible host currently yielding the best (lowest)
+    post-move load-balance factor. Returns the number of guests moved;
+    on failure the guests moved so far remain moved (the error names
+    the stuck guest). *)
+
+val rebalance : ?max_moves:int -> t -> int
+(** The Migration stage on a live mapping: repeatedly moves the
+    cheapest-to-move guest off the most loaded host while the
+    load-balance factor improves {e and} the move's links can be
+    re-routed. Returns the number of moves (default cap: 4 × guests). *)

@@ -1,0 +1,31 @@
+type failure = {
+  stage : string;
+  reason : string;
+}
+
+type outcome = {
+  result : (Hmn_mapping.Mapping.t, failure) result;
+  elapsed_s : float;
+  stage_seconds : (string * float) list;
+  tries : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  run : rng:Hmn_rng.Rng.t -> Hmn_mapping.Problem.t -> outcome;
+}
+
+let fail ~stage ~reason = { stage; reason }
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. start)
+
+let pp_outcome ppf o =
+  (match o.result with
+  | Ok m ->
+    Format.fprintf ppf "mapped: objective %.2f MIPS" (Hmn_mapping.Mapping.objective m)
+  | Error f -> Format.fprintf ppf "failed in %s: %s" f.stage f.reason);
+  Format.fprintf ppf " (%.3f s, %d tries)" o.elapsed_s o.tries

@@ -1,0 +1,32 @@
+(** The common interface every mapping heuristic implements: the four
+    algorithms of the paper's evaluation (HMN, R, RA, HS) and the
+    extension heuristics, uniformly runnable by the experiment
+    harness. *)
+
+type failure = {
+  stage : string;  (** which stage gave up, e.g. ["hosting"] *)
+  reason : string;
+}
+
+type outcome = {
+  result : (Hmn_mapping.Mapping.t, failure) result;
+  elapsed_s : float;  (** wall-clock of the whole mapping attempt *)
+  stage_seconds : (string * float) list;
+      (** per-stage wall time, in execution order *)
+  tries : int;  (** attempts consumed by retrying mappers; 1 otherwise *)
+}
+
+type t = {
+  name : string;  (** short id used in tables, e.g. ["HMN"] *)
+  description : string;
+  run : rng:Hmn_rng.Rng.t -> Hmn_mapping.Problem.t -> outcome;
+      (** deterministic mappers ignore [rng] *)
+}
+
+val fail : stage:string -> reason:string -> failure
+
+val time : (unit -> 'a) -> 'a * float
+(** Runs the thunk and returns its result with the wall-clock seconds
+    it took. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

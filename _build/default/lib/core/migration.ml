@@ -1,0 +1,89 @@
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Virtual_env = Hmn_vnet.Virtual_env
+module Placement = Hmn_mapping.Placement
+module Problem = Hmn_mapping.Problem
+module Objective = Hmn_mapping.Objective
+
+type stats = {
+  moves : int;
+  lbf_before : float;
+  lbf_after : float;
+}
+
+(* Strict-improvement threshold: protects termination against
+   floating-point noise in the stddev computation. *)
+let improvement_eps = 1e-9
+
+let colocated_bandwidth placement ~guest =
+  let problem = Placement.problem placement in
+  let venv = problem.Problem.venv in
+  match Placement.host_of placement ~guest with
+  | None -> 0.
+  | Some host ->
+    Graph.fold_adj (Virtual_env.graph venv) guest ~init:0.
+      ~f:(fun acc ~neighbor ~eid ->
+        if Placement.host_of placement ~guest:neighbor = Some host then
+          acc +. (Virtual_env.vlink venv eid).Hmn_vnet.Vlink.bandwidth_mbps
+        else acc)
+
+let most_loaded_host_with_guests placement hosts =
+  let best = ref None in
+  Array.iter
+    (fun h ->
+      if Placement.n_guests_on placement ~host:h > 0 then begin
+        let cpu = Placement.residual_cpu placement ~host:h in
+        match !best with
+        | Some (_, best_cpu) when best_cpu <= cpu -> ()
+        | _ -> best := Some (h, cpu)
+      end)
+    hosts;
+  Option.map fst !best
+
+let pick_victim placement ~host =
+  match Placement.guests_on placement ~host with
+  | [] -> None
+  | guests -> Some (Hmn_prelude.List_ext.min_by (fun g -> colocated_bandwidth placement ~guest:g) guests)
+
+let run ?max_moves placement =
+  let problem = Placement.problem placement in
+  let cluster = problem.Problem.cluster in
+  let hosts = Cluster.host_ids cluster in
+  let n_guests = Virtual_env.n_guests problem.Problem.venv in
+  let max_moves = Option.value max_moves ~default:(16 * n_guests) in
+  let lbf_before = Objective.load_balance_factor placement in
+  let moves = ref 0 in
+  let try_round () =
+    let current = Objective.load_balance_factor placement in
+    match most_loaded_host_with_guests placement hosts with
+    | None -> false
+    | Some origin -> (
+      match pick_victim placement ~host:origin with
+      | None -> false
+      | Some guest ->
+        (* Targets from least loaded (largest residual CPU) upward. *)
+        let targets =
+          Array.of_list
+            (List.filter (fun h -> h <> origin) (Array.to_list hosts))
+        in
+        Hmn_prelude.Array_ext.sort_by_desc
+          (fun h -> Placement.residual_cpu placement ~host:h)
+          targets;
+        let moved = ref false and i = ref 0 in
+        while (not !moved) && !i < Array.length targets do
+          let target = targets.(!i) in
+          incr i;
+          match Objective.load_balance_after_migration placement ~guest ~host:target with
+          | Some lbf' when lbf' < current -. improvement_eps -> (
+            match Placement.migrate placement ~guest ~host:target with
+            | Ok () ->
+              moved := true;
+              incr moves
+            | Error _ -> ())
+          | Some _ | None -> ()
+        done;
+        !moved)
+  in
+  let rec loop () = if !moves < max_moves && try_round () then loop () in
+  loop ();
+  { moves = !moves; lbf_before; lbf_after = Objective.load_balance_factor placement }

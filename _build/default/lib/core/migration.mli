@@ -1,0 +1,32 @@
+(** HMN stage 2 — Migration (paper §4.2).
+
+    Greedy load-balancing on top of the Hosting assignment. Each round:
+
+    + pick the most loaded host (smallest residual CPU) that still has
+      guests;
+    + on it, pick the guest with the smallest total bandwidth to
+      co-located guests (moving it off-host strains the network
+      least);
+    + scan target hosts from least loaded upward and perform the first
+      move that strictly improves the load-balance factor (Eq. 10) and
+      fits.
+
+    Rounds repeat while a move happened; when no move from the most
+    loaded host improves the objective, the stage ends. The LBF is
+    strictly decreasing across moves, which bounds the loop; an
+    explicit [max_moves] cap (default [16 * guests]) guards against
+    floating-point pathologies. *)
+
+type stats = {
+  moves : int;  (** migrations performed *)
+  lbf_before : float;
+  lbf_after : float;
+}
+
+val run : ?max_moves:int -> Hmn_mapping.Placement.t -> stats
+(** Mutates the placement in place. Never fails: zero moves is a valid
+    outcome. *)
+
+val colocated_bandwidth : Hmn_mapping.Placement.t -> guest:int -> float
+(** Sum of virtual-link bandwidth from [guest] to guests on the same
+    host — the stage's victim-selection key (exposed for tests). *)

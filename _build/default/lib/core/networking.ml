@@ -1,0 +1,78 @@
+module Virtual_env = Hmn_vnet.Virtual_env
+module Placement = Hmn_mapping.Placement
+module Problem = Hmn_mapping.Problem
+module Link_map = Hmn_mapping.Link_map
+module Path = Hmn_routing.Path
+module Astar_prune = Hmn_routing.Astar_prune
+
+type stats = {
+  routed : int;
+  intra_host : int;
+  expanded : int;
+  generated : int;
+}
+
+let run ?router placement =
+  if not (Placement.all_assigned placement) then
+    invalid_arg "Networking.run: placement is incomplete";
+  let problem = Placement.problem placement in
+  let venv = problem.Problem.venv in
+  let link_map = Link_map.create problem in
+  let latency_tables = Hmn_routing.Latency_table.create problem.Problem.cluster in
+  let stats = ref { routed = 0; intra_host = 0; expanded = 0; generated = 0 } in
+  let default_router ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms ()
+      =
+    match
+      Astar_prune.route ~residual ~latency_tables ~src ~dst ~bandwidth_mbps
+        ~latency_ms ()
+    with
+    | None -> None
+    | Some (path, s) ->
+      stats :=
+        {
+          !stats with
+          expanded = !stats.expanded + s.Astar_prune.expanded;
+          generated = !stats.generated + s.Astar_prune.generated;
+        };
+      Some path
+  in
+  let router = Option.value router ~default:default_router in
+  let exception Networking_failed of string in
+  try
+    Array.iter
+      (fun vlink ->
+        let vs, vd = Virtual_env.endpoints venv vlink in
+        let hs = Placement.host_of_exn placement ~guest:vs in
+        let hd = Placement.host_of_exn placement ~guest:vd in
+        if hs = hd then begin
+          (* Intra-host: trivial path, no bandwidth reserved. *)
+          (match Link_map.assign link_map ~vlink (Path.trivial hs) with
+          | Ok () -> ()
+          | Error msg -> raise (Networking_failed msg));
+          stats := { !stats with intra_host = !stats.intra_host + 1 }
+        end
+        else begin
+          let spec = Virtual_env.vlink venv vlink in
+          match
+            router
+              ~residual:(Link_map.residual link_map)
+              ~latency_tables ~src:hs ~dst:hd
+              ~bandwidth_mbps:spec.Hmn_vnet.Vlink.bandwidth_mbps
+              ~latency_ms:spec.Hmn_vnet.Vlink.latency_ms ()
+          with
+          | None ->
+            raise
+              (Networking_failed
+                 (Printf.sprintf
+                    "no feasible path for virtual link %d (hosts %d -> %d, %.3f \
+                     Mbps, <= %.1f ms)"
+                    vlink hs hd spec.Hmn_vnet.Vlink.bandwidth_mbps
+                    spec.Hmn_vnet.Vlink.latency_ms))
+          | Some path -> (
+            match Link_map.assign link_map ~vlink path with
+            | Ok () -> stats := { !stats with routed = !stats.routed + 1 }
+            | Error msg -> raise (Networking_failed msg))
+        end)
+      (Hosting.sorted_vlinks problem);
+    Ok (link_map, !stats)
+  with Networking_failed reason -> Error (Mapper.fail ~stage:"networking" ~reason)

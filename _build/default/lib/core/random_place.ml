@@ -1,0 +1,32 @@
+module Cluster = Hmn_testbed.Cluster
+module Virtual_env = Hmn_vnet.Virtual_env
+module Placement = Hmn_mapping.Placement
+module Problem = Hmn_mapping.Problem
+
+let run ~rng (problem : Problem.t) =
+  let placement = Placement.create problem in
+  let hosts = Cluster.host_ids problem.Problem.cluster in
+  let n_guests = Virtual_env.n_guests problem.Problem.venv in
+  let order = Array.init n_guests Fun.id in
+  Hmn_rng.Sample.shuffle rng order;
+  let exception Stuck of int in
+  try
+    Array.iter
+      (fun guest ->
+        let candidates =
+          Array.of_list
+            (List.filter
+               (fun h -> Placement.fits placement ~guest ~host:h)
+               (Array.to_list hosts))
+        in
+        if Array.length candidates = 0 then raise (Stuck guest);
+        let host = Hmn_rng.Sample.choice rng candidates in
+        match Placement.assign placement ~guest ~host with
+        | Ok () -> ()
+        | Error msg -> failwith ("Random_place.run: " ^ msg))
+      order;
+    Ok placement
+  with Stuck guest ->
+    Error
+      (Mapper.fail ~stage:"random-placement"
+         ~reason:(Printf.sprintf "no host fits guest %d" guest))

@@ -1,0 +1,15 @@
+(** Random guest placement — the placement half of the R and RA
+    baselines.
+
+    Guests are visited in a shuffled order; each is assigned to a host
+    drawn uniformly among the hosts it currently fits on. One call is
+    one "try" in the paper's sense; the caller retries with fresh
+    randomness. *)
+
+val run :
+  rng:Hmn_rng.Rng.t ->
+  Hmn_mapping.Problem.t ->
+  (Hmn_mapping.Placement.t, Mapper.failure) result
+(** Fails when some guest fits on no host at the moment it is drawn
+    (fragmentation can make this happen even when smarter orders would
+    succeed — that weakness is the point of the baseline). *)

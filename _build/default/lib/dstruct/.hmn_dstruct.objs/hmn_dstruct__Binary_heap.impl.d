@@ -1,0 +1,1 @@
+lib/dstruct/binary_heap.ml: Array Hmn_prelude List

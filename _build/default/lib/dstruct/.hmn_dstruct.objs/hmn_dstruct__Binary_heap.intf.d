@@ -1,0 +1,1 @@
+lib/dstruct/binary_heap.mli:

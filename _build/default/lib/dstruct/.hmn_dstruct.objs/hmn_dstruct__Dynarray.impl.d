@@ -1,0 +1,1 @@
+lib/dstruct/dynarray.ml: Array

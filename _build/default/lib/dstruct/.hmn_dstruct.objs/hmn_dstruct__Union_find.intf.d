@@ -1,0 +1,1 @@
+lib/dstruct/union_find.mli:

@@ -1,0 +1,76 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  initial_capacity : int;
+  mutable data : 'a array;  (* empty until the first push; slots >= size hold a filler *)
+  mutable size : int;
+}
+
+let create ?(capacity = 16) ~cmp () =
+  { cmp; initial_capacity = max capacity 1; data = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let ensure_room t filler =
+  if Array.length t.data = 0 then t.data <- Array.make t.initial_capacity filler
+  else if t.size = Array.length t.data then begin
+    let data = Array.make (2 * Array.length t.data) filler in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      Hmn_prelude.Array_ext.swap t.data i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    Hmn_prelude.Array_ext.swap t.data i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  ensure_room t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    (* Overwrite the vacated slot with a live value so no stale element
+       is retained by the GC. *)
+    t.data.(t.size) <- (if t.size > 0 then t.data.(0) else top);
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Binary_heap.pop_exn: empty heap"
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
+
+let to_sorted_list t =
+  let copy = { t with data = Array.copy t.data } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

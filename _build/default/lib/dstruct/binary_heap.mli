@@ -1,0 +1,30 @@
+(** Array-backed binary min-heap over an arbitrary ordering.
+
+    Used as the frontier of Dijkstra / A\*Prune and as the event queue of
+    the simulation kernel. All operations are the classic O(log n) /
+    O(1). *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] builds an empty heap; the minimum is the element
+    smallest under [cmp]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: elements in ascending order. O(n log n). *)

@@ -1,0 +1,52 @@
+type t = { words : Bytes.t; n : int; mutable card : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make ((n + 7) / 8) '\000'; n; card = 0 }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: element out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = i lsr 3 and bit = 1 lsl (i land 7) in
+  let v = Char.code (Bytes.get t.words byte) in
+  if v land bit = 0 then begin
+    Bytes.set t.words byte (Char.chr (v lor bit));
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  check t i;
+  let byte = i lsr 3 and bit = 1 lsl (i land 7) in
+  let v = Char.code (Bytes.get t.words byte) in
+  if v land bit <> 0 then begin
+    Bytes.set t.words byte (Char.chr (v land lnot bit));
+    t.card <- t.card - 1
+  end
+
+let cardinal t = t.card
+
+let copy t = { words = Bytes.copy t.words; n = t.n; card = t.card }
+
+let clear t =
+  Bytes.fill t.words 0 (Bytes.length t.words) '\000';
+  t.card <- 0
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

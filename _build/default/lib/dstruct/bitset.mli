@@ -1,0 +1,24 @@
+(** Fixed-capacity bitset over [0 .. n-1].
+
+    Used for visited-sets in traversals and for the "host already on this
+    path" membership test in A\*Prune, where it beats hashing. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+
+val copy : t -> t
+(** Independent copy (paths branching in A\*Prune clone their member
+    set). *)
+
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list

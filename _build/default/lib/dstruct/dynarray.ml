@@ -1,0 +1,59 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let ensure_room t filler =
+  if Array.length t.data = 0 then t.data <- Array.make 8 filler
+  else if t.size = Array.length t.data then begin
+    let data = Array.make (2 * Array.length t.data) filler in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let push t x =
+  ensure_room t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let check t i name =
+  if i < 0 || i >= t.size then invalid_arg ("Dynarray." ^ name ^ ": index out of bounds")
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i x =
+  check t i "set";
+  t.data.(i) <- x
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    t.size <- t.size - 1;
+    let x = t.data.(t.size) in
+    (* Keep a live value in the slot so nothing is retained spuriously. *)
+    if t.size > 0 then t.data.(t.size) <- t.data.(0);
+    Some x
+  end
+
+let to_array t = Array.sub t.data 0 t.size
+
+let of_array xs = { data = Array.copy xs; size = Array.length xs }
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0

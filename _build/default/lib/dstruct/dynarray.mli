@@ -1,0 +1,30 @@
+(** Growable array (OCaml 5.1 predates [Stdlib.Dynarray]).
+
+    Amortized O(1) push; O(1) random access. Used by graph builders that
+    accumulate edges before freezing them into flat arrays. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Raises [Invalid_argument] out of bounds. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the last element. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the current contents. *)
+
+val of_array : 'a array -> 'a t
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val clear : 'a t -> unit

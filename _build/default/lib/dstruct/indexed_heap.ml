@@ -1,0 +1,80 @@
+type t = {
+  keys : int array;        (* heap array of keys *)
+  pos : int array;         (* pos.(key) = index in [keys], or -1 *)
+  prio : float array;      (* prio.(key) = current priority *)
+  mutable size : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Indexed_heap.create: negative capacity";
+  { keys = Array.make (max n 1) 0; pos = Array.make (max n 1) (-1); prio = Array.make (max n 1) 0.; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let in_range t k = k >= 0 && k < Array.length t.pos
+let mem t k = in_range t k && t.pos.(k) >= 0
+
+let priority t k = if mem t k then Some t.prio.(k) else None
+
+let swap t i j =
+  let ki = t.keys.(i) and kj = t.keys.(j) in
+  t.keys.(i) <- kj;
+  t.keys.(j) <- ki;
+  t.pos.(kj) <- i;
+  t.pos.(ki) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(t.keys.(i)) < t.prio.(t.keys.(parent)) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.prio.(t.keys.(l)) < t.prio.(t.keys.(!smallest)) then smallest := l;
+  if r < t.size && t.prio.(t.keys.(r)) < t.prio.(t.keys.(!smallest)) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let insert t k p =
+  if not (in_range t k) then invalid_arg "Indexed_heap.insert: key out of range";
+  if t.pos.(k) >= 0 then invalid_arg "Indexed_heap.insert: key already present";
+  t.keys.(t.size) <- k;
+  t.pos.(k) <- t.size;
+  t.prio.(k) <- p;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let decrease t k p =
+  if not (mem t k) then invalid_arg "Indexed_heap.decrease: key absent";
+  if p > t.prio.(k) then invalid_arg "Indexed_heap.decrease: priority increase";
+  t.prio.(k) <- p;
+  sift_up t t.pos.(k)
+
+let insert_or_decrease t k p =
+  if mem t k then begin
+    if p < t.prio.(k) then decrease t k p
+  end
+  else insert t k p
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let k = t.keys.(0) in
+    let p = t.prio.(k) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.keys.(0) <- t.keys.(t.size);
+      t.pos.(t.keys.(0)) <- 0
+    end;
+    t.pos.(k) <- -1;
+    if t.size > 0 then sift_down t 0;
+    Some (k, p)
+  end

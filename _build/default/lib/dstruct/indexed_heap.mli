@@ -1,0 +1,38 @@
+(** Indexed binary min-heap over the keys [0 .. n-1] with float
+    priorities and decrease-key.
+
+    This is the priority queue that backs Dijkstra: each node id appears
+    at most once, its priority can be lowered in O(log n), and membership
+    is O(1). *)
+
+type t
+
+val create : int -> t
+(** [create n] supports keys [0 .. n-1]; initially empty. Raises
+    [Invalid_argument] if [n < 0]. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** Is the key currently queued? *)
+
+val priority : t -> int -> float option
+(** Current priority of a queued key. *)
+
+val insert : t -> int -> float -> unit
+(** Adds a key. Raises [Invalid_argument] if the key is out of range or
+    already present. *)
+
+val decrease : t -> int -> float -> unit
+(** Lowers a queued key's priority. Raises [Invalid_argument] if the key
+    is absent or the new priority is higher than the current one. *)
+
+val insert_or_decrease : t -> int -> float -> unit
+(** Inserts the key, or lowers its priority if the new one is smaller;
+    a no-op when the key is queued with a priority that is already as
+    low. *)
+
+val pop_min : t -> (int * float) option
+(** Removes and returns the (key, priority) pair with the smallest
+    priority. *)

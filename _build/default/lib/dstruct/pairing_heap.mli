@@ -1,0 +1,25 @@
+(** Persistent pairing heap (min-heap).
+
+    A purely functional alternative to {!Binary_heap}; A\*Prune keeps its
+    open set in one of these in the reference implementation style, and
+    having a persistent variant makes property-testing the imperative
+    heaps easy (they are cross-checked against this one). *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+(** O(1): the size is cached. *)
+
+val insert : 'a t -> 'a -> 'a t
+val find_min : 'a t -> 'a option
+
+val delete_min : 'a t -> ('a * 'a t) option
+(** Removes the minimum; amortized O(log n). *)
+
+val merge : 'a t -> 'a t -> 'a t
+(** Melds two heaps built with the same comparison function. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,23 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by the random-graph generators to track connectivity while
+    sprinkling extra edges, and by connectivity checks. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds [n] singleton sets over elements [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative; compresses paths. Raises
+    [Invalid_argument] on out-of-range elements. *)
+
+val union : t -> int -> int -> bool
+(** Merges the sets of the two elements. Returns [true] when they were
+    previously in different sets. *)
+
+val same : t -> int -> int -> bool
+(** Do the two elements share a set? *)
+
+val count : t -> int
+(** Number of disjoint sets currently represented. *)

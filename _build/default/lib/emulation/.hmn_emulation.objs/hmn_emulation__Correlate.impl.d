@@ -1,0 +1,1 @@
+lib/emulation/correlate.ml: Array Hmn_prelude Hmn_stats List

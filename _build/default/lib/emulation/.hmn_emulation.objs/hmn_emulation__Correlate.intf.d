@@ -1,0 +1,1 @@
+lib/emulation/correlate.mli:

@@ -1,0 +1,1 @@
+lib/emulation/exec_sim.mli: App Hmn_mapping

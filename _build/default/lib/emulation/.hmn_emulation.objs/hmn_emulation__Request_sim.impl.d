@@ -1,0 +1,1 @@
+lib/emulation/request_sim.ml: App Array Float Hashtbl Hmn_graph Hmn_mapping Hmn_prelude Hmn_routing Hmn_simcore Hmn_testbed Hmn_vnet Printf Queue

@@ -1,0 +1,1 @@
+lib/emulation/request_sim.mli: App Hmn_mapping

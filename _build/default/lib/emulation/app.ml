@@ -1,0 +1,22 @@
+type cpu_model = Proportional_share | Capped_fair_share
+
+type t = {
+  supersteps : int;
+  chunk_seconds : float;
+  msg_seconds : float;
+  cpu_model : cpu_model;
+}
+
+let default =
+  {
+    supersteps = 4;
+    chunk_seconds = 0.3;
+    msg_seconds = 0.01;
+    cpu_model = Proportional_share;
+  }
+
+let make ?(cpu_model = Proportional_share) ~supersteps ~chunk_seconds ~msg_seconds () =
+  if supersteps <= 0 then invalid_arg "App.make: supersteps must be positive";
+  if chunk_seconds < 0. || msg_seconds < 0. then
+    invalid_arg "App.make: negative duration";
+  { supersteps; chunk_seconds; msg_seconds; cpu_model }

@@ -1,0 +1,48 @@
+type t = {
+  mutable rows : (string * float * float) list;  (* reversed *)
+  mutable n : int;
+}
+
+let create () = { rows = []; n = 0 }
+
+let observe t ~group ~objective ~makespan_s =
+  t.rows <- (group, objective, makespan_s) :: t.rows;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let arrays rows =
+  ( Array.of_list (List.map (fun (_, o, _) -> o) rows),
+    Array.of_list (List.map (fun (_, _, m) -> m) rows) )
+
+let ordered t = List.rev t.rows
+
+let pearson t =
+  let xs, ys = arrays (ordered t) in
+  Hmn_stats.Correlation.pearson xs ys
+
+let spearman t =
+  let xs, ys = arrays (ordered t) in
+  Hmn_stats.Correlation.spearman xs ys
+
+let within_group t =
+  let groups = Hmn_prelude.List_ext.group_by (fun (g, _, _) -> g) (ordered t) in
+  List.filter_map
+    (fun (label, rows) ->
+      if List.length rows < 3 then None
+      else begin
+        let xs, ys = arrays rows in
+        match Hmn_stats.Correlation.pearson xs ys with
+        | r -> Some (label, List.length rows, r)
+        | exception Invalid_argument _ -> None
+      end)
+    groups
+
+let median_within_group t =
+  match within_group t with
+  | [] -> None
+  | groups ->
+    let rs = Array.of_list (List.map (fun (_, _, r) -> r) groups) in
+    Some (Hmn_stats.Descriptive.median rs)
+
+let observations t = Array.of_list (ordered t)

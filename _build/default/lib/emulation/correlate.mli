@@ -1,0 +1,34 @@
+(** Objective-function ↔ experiment-runtime correlation (paper §5.2).
+
+    The paper reports r ≈ 0.7 between the load-balance factor of a
+    mapping and the execution time of the emulated experiment, which it
+    uses to justify Eq. (10) as the objective. Observations carry a
+    group label (the scenario) because the objective's scale depends on
+    the workload family: pooling heterogeneous scenarios understates
+    the relationship, so the harness reports both the pooled
+    coefficient and the median within-group coefficient. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> group:string -> objective:float -> makespan_s:float -> unit
+
+val count : t -> int
+
+val pearson : t -> float
+(** Pooled over all observations. Raises [Invalid_argument] with fewer
+    than two observations or degenerate variance. *)
+
+val spearman : t -> float
+
+val within_group : t -> (string * int * float) list
+(** Per-group (label, n, Pearson r), for groups with at least three
+    observations and non-degenerate variance. *)
+
+val median_within_group : t -> float option
+(** Median of the within-group coefficients; [None] when no group
+    qualifies. *)
+
+val observations : t -> (string * float * float) array
+(** Insertion-ordered (group, objective, makespan) triples. *)

@@ -1,0 +1,181 @@
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Virtual_env = Hmn_vnet.Virtual_env
+module Placement = Hmn_mapping.Placement
+module Problem = Hmn_mapping.Problem
+module Link_map = Hmn_mapping.Link_map
+module Mapping = Hmn_mapping.Mapping
+module Path = Hmn_routing.Path
+module Engine = Hmn_simcore.Engine
+
+type result = {
+  makespan_s : float;
+  events : int;
+  max_host_slowdown : float;
+  intra_host_messages : int;
+  inter_host_messages : int;
+}
+
+type guest_state = {
+  mutable superstep : int;
+  mutable remaining_mi : float;
+  mutable rate : float;  (* MIPS currently delivered *)
+  mutable last_update : float;
+  mutable epoch : int;  (* invalidates stale compute-finish events *)
+  mutable compute_done : bool;
+  mutable nic_free_at : float;
+  mutable finished : bool;
+  recv : (int, int) Hashtbl.t;  (* superstep tag -> messages received *)
+}
+
+let run ?(app = App.default) (mapping : Mapping.t) =
+  let problem = Mapping.problem mapping in
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let placement = mapping.Mapping.placement in
+  let n_guests = Virtual_env.n_guests venv in
+  let host_of = Array.init n_guests (fun g -> Placement.host_of_exn placement ~guest:g) in
+  (* Path latency (seconds) per virtual link; None = intra-host. *)
+  let link_latency_s =
+    Array.init (Virtual_env.n_vlinks venv) (fun vlink ->
+        let vs, vd = Virtual_env.endpoints venv vlink in
+        if host_of.(vs) = host_of.(vd) then None
+        else begin
+          match Link_map.path_of mapping.Mapping.link_map ~vlink with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Exec_sim.run: inter-host virtual link %d unrouted" vlink)
+          | Some path ->
+            Some (Hmn_prelude.Units.seconds_of_ms (Path.total_latency cluster path))
+        end)
+  in
+  let vproc g = (Virtual_env.demand venv g).Resources.mips in
+  let work_mi g = vproc g *. app.App.chunk_seconds in
+  let degree g = Graph.degree (Virtual_env.graph venv) g in
+  let states =
+    Array.init n_guests (fun _ ->
+        {
+          superstep = 0;
+          remaining_mi = 0.;
+          rate = 0.;
+          last_update = 0.;
+          epoch = 0;
+          compute_done = false;
+          nic_free_at = 0.;
+          finished = false;
+          recv = Hashtbl.create 8;
+        })
+  in
+  let active : (int, unit) Hashtbl.t array =
+    Array.make (Cluster.n_nodes cluster) (Hashtbl.create 0)
+  in
+  Array.iteri (fun i _ -> active.(i) <- Hashtbl.create 8) active;
+  let engine = Engine.create () in
+  let finished_count = ref 0 in
+  let makespan = ref 0. in
+  let max_slowdown = ref 1. in
+  let intra_msgs = ref 0 and inter_msgs = ref 0 in
+  (* --- CPU model: fair share capped at each guest's vproc. --- *)
+  let rec recompute_host host =
+    let now = Engine.now engine in
+    let demand = ref 0. in
+    Hashtbl.iter (fun g () -> demand := !demand +. vproc g) active.(host);
+    let capacity = (Cluster.capacity cluster host).Resources.mips in
+    let factor =
+      if !demand = 0. then 1.
+      else begin
+        match app.App.cpu_model with
+        | App.Proportional_share -> capacity /. !demand
+        | App.Capped_fair_share ->
+          if !demand <= capacity then 1. else capacity /. !demand
+      end
+    in
+    if factor < 1. && 1. /. factor > !max_slowdown then max_slowdown := 1. /. factor;
+    Hashtbl.iter
+      (fun g () ->
+        let s = states.(g) in
+        s.remaining_mi <- Float.max 0. (s.remaining_mi -. (s.rate *. (now -. s.last_update)));
+        s.last_update <- now;
+        s.rate <- vproc g *. factor;
+        s.epoch <- s.epoch + 1;
+        let eta =
+          if s.remaining_mi <= 0. then 0.
+          else if s.rate <= 0. then infinity
+          else s.remaining_mi /. s.rate
+        in
+        if eta < infinity then begin
+          let epoch = s.epoch in
+          Engine.schedule engine ~delay:eta (fun _ ->
+              if s.epoch = epoch && not s.compute_done then finish_compute g)
+        end)
+      active.(host)
+  and finish_compute g =
+    let s = states.(g) in
+    s.compute_done <- true;
+    s.epoch <- s.epoch + 1;
+    Hashtbl.remove active.(host_of.(g)) g;
+    recompute_host host_of.(g);
+    send_messages g s.superstep;
+    check_advance g
+  and send_messages g tag =
+    let now = Engine.now engine in
+    let s = states.(g) in
+    Graph.iter_adj (Virtual_env.graph venv) g (fun ~neighbor ~eid ->
+        match link_latency_s.(eid) with
+        | None ->
+          (* Co-located: instantaneous, no NIC occupancy. *)
+          incr intra_msgs;
+          Engine.schedule engine ~delay:0. (fun _ -> deliver neighbor tag)
+        | Some latency_s ->
+          incr inter_msgs;
+          let start = Float.max now s.nic_free_at in
+          s.nic_free_at <- start +. app.App.msg_seconds;
+          Engine.schedule_at engine
+            ~time:(s.nic_free_at +. latency_s)
+            (fun _ -> deliver neighbor tag))
+  and deliver g tag =
+    let s = states.(g) in
+    Hashtbl.replace s.recv tag (1 + Option.value (Hashtbl.find_opt s.recv tag) ~default:0);
+    check_advance g
+  and check_advance g =
+    let s = states.(g) in
+    if (not s.finished) && s.compute_done then begin
+      let got = Option.value (Hashtbl.find_opt s.recv s.superstep) ~default:0 in
+      if got >= degree g then begin
+        Hashtbl.remove s.recv s.superstep;
+        if s.superstep = app.App.supersteps - 1 then begin
+          s.finished <- true;
+          incr finished_count;
+          if Engine.now engine > !makespan then makespan := Engine.now engine
+        end
+        else begin
+          s.superstep <- s.superstep + 1;
+          s.compute_done <- false;
+          start_compute g
+        end
+      end
+    end
+  and start_compute g =
+    let s = states.(g) in
+    s.remaining_mi <- work_mi g;
+    s.last_update <- Engine.now engine;
+    s.rate <- 0.;
+    Hashtbl.replace active.(host_of.(g)) g ();
+    recompute_host host_of.(g)
+  in
+  for g = 0 to n_guests - 1 do
+    start_compute g
+  done;
+  Engine.run engine;
+  if !finished_count <> n_guests then
+    invalid_arg
+      (Printf.sprintf "Exec_sim.run: deadlock — only %d/%d guests finished"
+         !finished_count n_guests);
+  {
+    makespan_s = !makespan;
+    events = Engine.processed engine;
+    max_host_slowdown = !max_slowdown;
+    intra_host_messages = !intra_msgs;
+    inter_host_messages = !inter_msgs;
+  }

@@ -1,0 +1,181 @@
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Virtual_env = Hmn_vnet.Virtual_env
+module Placement = Hmn_mapping.Placement
+module Problem = Hmn_mapping.Problem
+module Link_map = Hmn_mapping.Link_map
+module Mapping = Hmn_mapping.Mapping
+module Path = Hmn_routing.Path
+module Engine = Hmn_simcore.Engine
+
+type params = {
+  rounds : int;
+  service_seconds : float;
+  cpu_model : App.cpu_model;
+}
+
+let default_params =
+  { rounds = 3; service_seconds = 0.02; cpu_model = App.Proportional_share }
+
+type result = {
+  makespan_s : float;
+  events : int;
+  requests_completed : int;
+  mean_response_s : float;
+  max_response_s : float;
+}
+
+(* Per-guest server state: a FIFO of pending jobs. A guest computes
+   whenever its queue is non-empty; the host's shares are recomputed on
+   every activation/deactivation, exactly as in Exec_sim. *)
+type server = {
+  jobs : (float * (unit -> unit)) Queue.t;
+      (* (remaining work of the HEAD is tracked separately; queued
+         entries hold (total_mi, completion callback)) *)
+  mutable head_remaining_mi : float;
+  mutable head_done : (unit -> unit) option;
+  mutable rate : float;
+  mutable last_update : float;
+  mutable epoch : int;
+}
+
+let run ?(params = default_params) (mapping : Mapping.t) =
+  if params.rounds <= 0 then invalid_arg "Request_sim.run: rounds must be positive";
+  if params.service_seconds < 0. then
+    invalid_arg "Request_sim.run: negative service time";
+  let problem = Mapping.problem mapping in
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let placement = mapping.Mapping.placement in
+  let n_guests = Virtual_env.n_guests venv in
+  let host_of = Array.init n_guests (fun g -> Placement.host_of_exn placement ~guest:g) in
+  let link_latency_s =
+    Array.init (Virtual_env.n_vlinks venv) (fun vlink ->
+        let vs, vd = Virtual_env.endpoints venv vlink in
+        if host_of.(vs) = host_of.(vd) then 0.
+        else begin
+          match Link_map.path_of mapping.Mapping.link_map ~vlink with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Request_sim.run: inter-host virtual link %d unrouted"
+                 vlink)
+          | Some path ->
+            Hmn_prelude.Units.seconds_of_ms (Path.total_latency cluster path)
+        end)
+  in
+  let vproc g = (Virtual_env.demand venv g).Resources.mips in
+  let engine = Engine.create () in
+  let servers =
+    Array.init n_guests (fun _ ->
+        {
+          jobs = Queue.create ();
+          head_remaining_mi = 0.;
+          head_done = None;
+          rate = 0.;
+          last_update = 0.;
+          epoch = 0;
+        })
+  in
+  let active : (int, unit) Hashtbl.t array =
+    Array.init (Cluster.n_nodes cluster) (fun _ -> Hashtbl.create 8)
+  in
+  let completed = ref 0 in
+  let response_total = ref 0. and response_max = ref 0. and responses = ref 0 in
+  let rec recompute_host host =
+    let now = Engine.now engine in
+    let demand = ref 0. in
+    Hashtbl.iter (fun g () -> demand := !demand +. vproc g) active.(host);
+    let capacity = (Cluster.capacity cluster host).Resources.mips in
+    let factor =
+      if !demand = 0. then 1.
+      else begin
+        match params.cpu_model with
+        | App.Proportional_share -> capacity /. !demand
+        | App.Capped_fair_share ->
+          if !demand <= capacity then 1. else capacity /. !demand
+      end
+    in
+    Hashtbl.iter
+      (fun g () ->
+        let s = servers.(g) in
+        s.head_remaining_mi <-
+          Float.max 0. (s.head_remaining_mi -. (s.rate *. (now -. s.last_update)));
+        s.last_update <- now;
+        s.rate <- vproc g *. factor;
+        s.epoch <- s.epoch + 1;
+        let eta =
+          if s.head_remaining_mi <= 0. then 0.
+          else if s.rate <= 0. then infinity
+          else s.head_remaining_mi /. s.rate
+        in
+        if eta < infinity then begin
+          let epoch = s.epoch in
+          Engine.schedule engine ~delay:eta (fun _ ->
+              if s.epoch = epoch then finish_head g)
+        end)
+      active.(host)
+  and start_head g =
+    let s = servers.(g) in
+    match Queue.peek_opt s.jobs with
+    | None ->
+      Hashtbl.remove active.(host_of.(g)) g;
+      recompute_host host_of.(g)
+    | Some (mi, on_done) ->
+      s.head_remaining_mi <- mi;
+      s.head_done <- Some on_done;
+      s.last_update <- Engine.now engine;
+      s.rate <- 0.;
+      Hashtbl.replace active.(host_of.(g)) g ();
+      recompute_host host_of.(g)
+  and finish_head g =
+    let s = servers.(g) in
+    s.epoch <- s.epoch + 1;
+    (match s.head_done with Some f -> f () | None -> ());
+    s.head_done <- None;
+    ignore (Queue.pop s.jobs);
+    start_head g
+  and enqueue_job g mi on_done =
+    let s = servers.(g) in
+    let was_idle = Queue.is_empty s.jobs in
+    Queue.add (mi, on_done) s.jobs;
+    if was_idle then start_head g
+  in
+  (* Client loops: one outstanding request per (guest, incident link). *)
+  let rec issue_request ~client ~server ~vlink ~remaining =
+    if remaining > 0 then begin
+      let sent_at = Engine.now engine in
+      let lat = link_latency_s.(vlink) in
+      Engine.schedule engine ~delay:lat (fun _ ->
+          (* Request arrives at the server; queue the service job. *)
+          enqueue_job server
+            (vproc server *. params.service_seconds)
+            (fun () ->
+              Engine.schedule engine ~delay:lat (fun _ ->
+                  (* Response back at the client. *)
+                  let rtt = Engine.now engine -. sent_at in
+                  incr responses;
+                  response_total := !response_total +. rtt;
+                  if rtt > !response_max then response_max := rtt;
+                  incr completed;
+                  issue_request ~client ~server ~vlink ~remaining:(remaining - 1))))
+    end
+  in
+  let expected = ref 0 in
+  Graph.iter_edges (Virtual_env.graph venv) (fun ~eid ~u ~v _ ->
+      (* Both directions act as client/server pairs. *)
+      expected := !expected + (2 * params.rounds);
+      issue_request ~client:u ~server:v ~vlink:eid ~remaining:params.rounds;
+      issue_request ~client:v ~server:u ~vlink:eid ~remaining:params.rounds);
+  Engine.run engine;
+  if !completed <> !expected then
+    invalid_arg
+      (Printf.sprintf "Request_sim.run: stalled — %d/%d requests completed" !completed
+         !expected);
+  {
+    makespan_s = Engine.now engine;
+    events = Engine.processed engine;
+    requests_completed = !completed;
+    mean_response_s = (if !responses = 0 then 0. else !response_total /. float_of_int !responses);
+    max_response_s = !response_max;
+  }

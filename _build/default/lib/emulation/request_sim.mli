@@ -1,0 +1,39 @@
+(** Closed-loop request/response experiment model — the second workload
+    family of the emulated applications (client/server protocols, RPC
+    middleware), complementing the BSP model of {!Exec_sim}.
+
+    Every guest acts as a client toward each of its virtual-link
+    neighbours: it keeps one outstanding request per incident link
+    (closed loop). A request crosses the mapped path (accumulated
+    latency; co-located pairs communicate instantaneously), is served
+    by the neighbour — a CPU job of [vproc(server) * service_seconds]
+    instructions queued FIFO at the server and executed at the server's
+    fair CPU share — and the response returns over the same path. The
+    experiment ends when every guest has received [rounds] responses on
+    every incident link.
+
+    Server CPU contention couples the model to placement balance the
+    same way {!Exec_sim} does, while the request queues make it
+    sensitive to {e hot} guests (high degree), which the BSP model is
+    not. *)
+
+type params = {
+  rounds : int;  (** responses required per link direction *)
+  service_seconds : float;  (** nominal CPU time to serve one request *)
+  cpu_model : App.cpu_model;
+}
+
+val default_params : params
+(** 3 rounds, 20 ms service time, proportional share. *)
+
+type result = {
+  makespan_s : float;
+  events : int;
+  requests_completed : int;
+  mean_response_s : float;  (** mean request round-trip *)
+  max_response_s : float;
+}
+
+val run : ?params:params -> Hmn_mapping.Mapping.t -> result
+(** Same input contract as {!Exec_sim.run}: a complete, valid
+    mapping. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Fun Hashtbl Hmn_core Hmn_emulation Hmn_graph Hmn_mapping Hmn_prelude Hmn_rng Hmn_routing Hmn_stats Hmn_testbed Hmn_vnet List Printf Scenario Setup String

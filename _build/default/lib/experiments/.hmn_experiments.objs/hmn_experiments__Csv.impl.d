@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Array Buffer Figure1 Hmn_stats List Printf Runner Scenario

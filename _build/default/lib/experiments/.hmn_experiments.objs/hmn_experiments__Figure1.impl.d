@@ -1,0 +1,1 @@
+lib/experiments/figure1.ml: Buffer Float Hmn_core Hmn_mapping Hmn_rng Hmn_stats Hmn_vnet List Printf Scenario Setup String Sys

@@ -1,0 +1,1 @@
+lib/experiments/figure1.mli: Scenario

@@ -1,0 +1,1 @@
+lib/experiments/paper_check.ml: Array Buffer Float Hmn_emulation Hmn_stats List Printf Runner Scenario String

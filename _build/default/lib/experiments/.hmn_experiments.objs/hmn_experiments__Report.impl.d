@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Figure1 Printf Runner Setup Tables

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Hashtbl Hmn_core Hmn_emulation Hmn_mapping Hmn_rng Hmn_stats List Printf Scenario Sys

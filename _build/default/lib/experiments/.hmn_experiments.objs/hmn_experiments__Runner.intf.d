@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Hashtbl Hmn_core Hmn_emulation Hmn_stats Scenario

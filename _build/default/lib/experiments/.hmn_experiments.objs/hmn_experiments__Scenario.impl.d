@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Float Hmn_mapping Hmn_rng Hmn_testbed Hmn_vnet List Printf Setup

@@ -1,0 +1,1 @@
+lib/experiments/setup.ml: Hmn_prelude Hmn_testbed

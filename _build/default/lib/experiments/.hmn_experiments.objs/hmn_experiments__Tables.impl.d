@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Hmn_emulation Hmn_prelude Hmn_stats List Printf Runner Scenario

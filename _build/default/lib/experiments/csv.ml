@@ -1,0 +1,45 @@
+module Running = Hmn_stats.Running
+
+let stat_fields r =
+  if Running.count r = 0 then ","
+  else Printf.sprintf "%.6f,%.6f" (Running.mean r) (Running.stddev r)
+
+let cells results =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "scenario,cluster,heuristic,successes,failures,obj_mean,obj_sd,maptime_mean,maptime_sd,makespan_mean,makespan_sd,tries_mean\n";
+  Array.iteri
+    (fun idx scenario ->
+      List.iter
+        (fun cluster ->
+          List.iter
+            (fun mapper ->
+              match Runner.cell results ~scenario:idx ~cluster ~mapper with
+              | None -> ()
+              | Some c ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s,%s,%s,%d,%d,%s,%s,%s,%.2f\n"
+                     (Scenario.label scenario)
+                     (Scenario.cluster_label cluster)
+                     mapper c.Runner.successes c.Runner.failures
+                     (stat_fields c.Runner.objective)
+                     (stat_fields c.Runner.map_time)
+                     (stat_fields c.Runner.makespan)
+                     (if Running.count c.Runner.tries = 0 then 0.
+                      else Running.mean c.Runner.tries)))
+            (Runner.mapper_names results))
+        [ Scenario.Torus; Scenario.Switched ])
+    results.Runner.scenarios;
+  Buffer.contents buf
+
+let figure1 points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "n_guests,n_vlinks,inter_host_links,mean_s,stddev_s,reps\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%.6f,%.6f,%d\n" p.Figure1.n_guests
+           p.Figure1.n_vlinks p.Figure1.inter_host_links p.Figure1.mean_s
+           p.Figure1.stddev_s p.Figure1.reps))
+    points;
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** CSV export of experiment results, for external plotting. *)
+
+val cells : Runner.results -> string
+(** One line per (scenario, cluster, heuristic) cell:
+    [scenario,cluster,heuristic,successes,failures,obj_mean,obj_sd,
+    maptime_mean,maptime_sd,makespan_mean,makespan_sd,tries_mean]. Empty
+    fields where a statistic has no samples. *)
+
+val figure1 : Figure1.point list -> string
+(** [n_guests,n_vlinks,inter_host_links,mean_s,stddev_s,reps] lines. *)

@@ -1,0 +1,30 @@
+(** Figure 1: HMN mapping wall-clock time (mean ± standard deviation)
+    as a function of the number of virtual links being mapped, on the
+    torus cluster. *)
+
+type point = {
+  n_guests : int;
+  n_vlinks : int;  (** of the generated instance (x-axis) *)
+  inter_host_links : int;  (** links that actually reached A\*Prune *)
+  mean_s : float;
+  stddev_s : float;
+  reps : int;
+}
+
+val default_sweep : (int * float * Scenario.workload_kind) list
+(** (guests, density, workload) steps spanning the paper's range of
+    link counts, from ~100 links up to the 2000-guest / ~20 000-link
+    extreme discussed in §5.2. *)
+
+val run :
+  ?sweep:(int * float * Scenario.workload_kind) list ->
+  ?reps:int ->
+  ?seed:int ->
+  unit ->
+  point list
+(** Runs HMN on each sweep step on the torus cluster; [reps] defaults
+    to the [HMN_REPS] environment variable or 3. Failed mappings are
+    skipped (they do not contribute a time). *)
+
+val render : point list -> string
+(** Text rendering of the series, with an ASCII bar per point. *)

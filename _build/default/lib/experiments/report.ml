@@ -1,0 +1,21 @@
+let full ?config ?figure1_reps () =
+  let results = Runner.run ?config () in
+  let fig_points = Figure1.run ?reps:figure1_reps () in
+  let buf = Buffer.create 8192 in
+  let section title body =
+    Buffer.add_string buf ("== " ^ title ^ " ==\n");
+    Buffer.add_string buf body;
+    Buffer.add_char buf '\n'
+  in
+  section "Table 1: simulation setup" (Setup.render ());
+  Buffer.add_string buf
+    (Printf.sprintf "(reps=%d, max_tries=%d, seed=%d)\n\n"
+       results.Runner.config.Runner.reps results.Runner.config.Runner.max_tries
+       results.Runner.config.Runner.base_seed);
+  section "Table 2: objective function and failures" (Tables.table2 results);
+  section "Table 3: simulated experiment time" (Tables.table3 results);
+  section "Mapping wall-clock time" (Tables.mapping_time results);
+  section "Objective vs experiment-time correlation"
+    (Tables.correlation_report results);
+  section "Figure 1: HMN mapping time vs virtual links" (Figure1.render fig_points);
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** One-call reproduction of the whole evaluation section. *)
+
+val full : ?config:Runner.config -> ?figure1_reps:int -> unit -> string
+(** Runs the Table 2/3 sweep and the Figure 1 sweep and renders Table
+    1 (setup), Table 2, Table 3, the mapping-time companion table, the
+    correlation report, and Figure 1, as one text document. *)

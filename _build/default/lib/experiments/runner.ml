@@ -1,0 +1,128 @@
+module Mapper = Hmn_core.Mapper
+module Running = Hmn_stats.Running
+
+type config = {
+  reps : int;
+  max_tries : int;
+  base_seed : int;
+  app : Hmn_emulation.App.t;
+  simulate : bool;
+  mappers : Mapper.t list;
+  verbose : bool;
+}
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+
+let default_config () =
+  let max_tries = env_int "HMN_MAX_TRIES" 200 in
+  {
+    reps = env_int "HMN_REPS" 5;
+    max_tries;
+    base_seed = env_int "HMN_SEED" 20090922;
+    app = Hmn_emulation.App.default;
+    simulate = true;
+    mappers = Hmn_core.Registry.paper ~max_tries ();
+    verbose = Sys.getenv_opt "HMN_VERBOSE" <> None;
+  }
+
+type cell = {
+  successes : int;
+  failures : int;
+  objective : Running.t;
+  map_time : Running.t;
+  makespan : Running.t;
+  tries : Running.t;
+}
+
+let fresh_cell () =
+  {
+    successes = 0;
+    failures = 0;
+    objective = Running.create ();
+    map_time = Running.create ();
+    makespan = Running.create ();
+    tries = Running.create ();
+  }
+
+type results = {
+  config : config;
+  scenarios : Scenario.t array;
+  cells : (int * Scenario.cluster_kind * string, cell) Hashtbl.t;
+  correlation : Hmn_emulation.Correlate.t;
+}
+
+let instance_seed config ~scenario_idx ~cluster ~rep =
+  let cluster_tag = match cluster with Scenario.Torus -> 0 | Scenario.Switched -> 1 in
+  config.base_seed + (1_000_000 * scenario_idx) + (100_000 * cluster_tag) + rep
+
+(* A distinct, deterministic stream per (instance, mapper): baselines
+   must not share randomness or their retries would be correlated. *)
+let mapper_rng ~seed ~mapper_name =
+  Hmn_rng.Rng.create (seed + (17 * Hashtbl.hash mapper_name))
+
+let run ?config () =
+  let config = match config with Some c -> c | None -> default_config () in
+  let scenarios = Array.of_list Scenario.paper_scenarios in
+  let cells = Hashtbl.create 256 in
+  let correlation = Hmn_emulation.Correlate.create () in
+  let get_cell key =
+    match Hashtbl.find_opt cells key with
+    | Some c -> c
+    | None ->
+      let c = fresh_cell () in
+      Hashtbl.add cells key c;
+      c
+  in
+  let clusters = [ Scenario.Torus; Scenario.Switched ] in
+  Array.iteri
+    (fun scenario_idx scenario ->
+      List.iter
+        (fun cluster ->
+          for rep = 0 to config.reps - 1 do
+            let seed = instance_seed config ~scenario_idx ~cluster ~rep in
+            let problem = Scenario.build scenario cluster ~seed in
+            List.iter
+              (fun mapper ->
+                let rng = mapper_rng ~seed ~mapper_name:mapper.Mapper.name in
+                let outcome = mapper.Mapper.run ~rng problem in
+                let key = (scenario_idx, cluster, mapper.Mapper.name) in
+                let c = get_cell key in
+                Running.add c.tries (float_of_int outcome.Mapper.tries);
+                let c =
+                  match outcome.Mapper.result with
+                  | Error _ -> { c with failures = c.failures + 1 }
+                  | Ok mapping ->
+                    Running.add c.objective (Hmn_mapping.Mapping.objective mapping);
+                    Running.add c.map_time outcome.Mapper.elapsed_s;
+                    if config.simulate then begin
+                      let sim = Hmn_emulation.Exec_sim.run ~app:config.app mapping in
+                      Running.add c.makespan sim.Hmn_emulation.Exec_sim.makespan_s;
+                      Hmn_emulation.Correlate.observe correlation
+                        ~group:
+                          (Scenario.label scenario ^ " "
+                          ^ Scenario.cluster_label cluster)
+                        ~objective:(Hmn_mapping.Mapping.objective mapping)
+                        ~makespan_s:sim.Hmn_emulation.Exec_sim.makespan_s
+                    end;
+                    { c with successes = c.successes + 1 }
+                in
+                Hashtbl.replace cells key c;
+                if config.verbose then
+                  Printf.eprintf "[%s %s rep %d] %s: %s\n%!" (Scenario.label scenario)
+                    (Scenario.cluster_label cluster) rep mapper.Mapper.name
+                    (match outcome.Mapper.result with
+                    | Ok _ -> "ok"
+                    | Error f -> "FAIL " ^ f.Mapper.stage))
+              config.mappers
+          done)
+        clusters)
+    scenarios;
+  { config; scenarios; cells; correlation }
+
+let cell results ~scenario ~cluster ~mapper =
+  Hashtbl.find_opt results.cells (scenario, cluster, mapper)
+
+let mapper_names results = List.map (fun m -> m.Mapper.name) results.config.mappers

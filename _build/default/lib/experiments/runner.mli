@@ -1,0 +1,52 @@
+(** The experiment driver: runs every heuristic on every scenario ×
+    cluster, [reps] repetitions each, aggregating exactly what Tables
+    2–3 report — mean objective value, failure counts, and the
+    simulated experiment execution time — plus the pooled
+    objective↔runtime correlation of §5.2.
+
+    Each (scenario, cluster, repetition) triple deterministically
+    derives one problem instance that all heuristics share, as in the
+    paper ("each workload has been tested in both clusters"). *)
+
+type config = {
+  reps : int;  (** repetitions per scenario (paper: 30) *)
+  max_tries : int;  (** retry cap for R/RA/HS (paper: 100 000) *)
+  base_seed : int;
+  app : Hmn_emulation.App.t;
+  simulate : bool;  (** run the emulated experiment on each success *)
+  mappers : Hmn_core.Mapper.t list;
+  verbose : bool;  (** progress lines on stderr *)
+}
+
+val default_config : unit -> config
+(** Paper heuristics; [reps] from the [HMN_REPS] environment variable
+    (default 5), [max_tries] from [HMN_MAX_TRIES] (default 200) — the
+    defaults keep the full 16×2-cell sweep tractable on a laptop while
+    [HMN_REPS=30 HMN_MAX_TRIES=100000] reproduces the paper's scale.
+    See EXPERIMENTS.md. *)
+
+type cell = {
+  successes : int;
+  failures : int;
+  objective : Hmn_stats.Running.t;  (** over successful runs *)
+  map_time : Hmn_stats.Running.t;  (** mapping wall-clock, seconds *)
+  makespan : Hmn_stats.Running.t;  (** simulated experiment time, seconds *)
+  tries : Hmn_stats.Running.t;
+}
+
+type results = {
+  config : config;
+  scenarios : Scenario.t array;
+  cells : (int * Scenario.cluster_kind * string, cell) Hashtbl.t;
+      (** keyed by (scenario index, cluster, mapper name) *)
+  correlation : Hmn_emulation.Correlate.t;
+}
+
+val run : ?config:config -> unit -> results
+
+val cell :
+  results -> scenario:int -> cluster:Scenario.cluster_kind -> mapper:string ->
+  cell option
+
+val mapper_names : results -> string list
+(** In configuration order. *)

@@ -1,0 +1,27 @@
+let n_hosts = 40
+let torus_rows = 5
+let torus_cols = 8
+let switch_ports = 64
+let physical_link = Hmn_testbed.Link.gigabit
+let paper_repetitions = 30
+let fit_fraction = 0.85
+let vmm = Hmn_testbed.Vmm.none
+let host_profile = Hmn_testbed.Cluster_gen.table1_profile
+
+let render () =
+  let t =
+    Hmn_prelude.Pretty_table.create
+      ~aligns:Hmn_prelude.Pretty_table.[ Left; Left; Left; Left ]
+      ~header:[ ""; "Physical env"; "Low-level workload"; "High-level workload" ]
+      ()
+  in
+  let row = Hmn_prelude.Pretty_table.add_row t in
+  row [ "topology"; "2-D torus (5x8), switched (64-port)"; "graph, density 0.01";
+        "graph, density 0.015-0.025" ];
+  row [ "bandwidth"; "1Gbps"; "87kbps-175kbps"; "0.5Mbps-1Mbps" ];
+  row [ "latency"; "5ms"; "30ms-60ms"; "30ms-60ms" ];
+  row [ "nodes"; "40"; "800-2000"; "100-400" ];
+  row [ "memory"; "1GB-3GB"; "19MB-38MB"; "128MB-256MB" ];
+  row [ "storage"; "1TB-3TB"; "19GB-38GB"; "100GB-200GB" ];
+  row [ "CPU"; "1000-3000 MIPS"; "19-38 MIPS"; "50-100 MIPS" ];
+  Hmn_prelude.Pretty_table.render t

@@ -1,0 +1,34 @@
+(** Single source of truth for the paper's Table 1 simulation setup. *)
+
+val n_hosts : int
+(** 40 *)
+
+val torus_rows : int
+(** 5 — a 5×8 2-D torus holds the 40 hosts *)
+
+val torus_cols : int
+(** 8 *)
+
+val switch_ports : int
+(** 64 — the paper's cascaded switches *)
+
+val physical_link : Hmn_testbed.Link.t
+(** 1 Gbps / 5 ms *)
+
+val paper_repetitions : int
+(** 30 — each scenario is repeated this many times in the paper *)
+
+val fit_fraction : float
+(** 0.85 — feasibility calibration applied to aggregate guest
+    memory/storage (see {!Hmn_vnet.Venv_gen.generate} and DESIGN.md
+    §3). *)
+
+val vmm : Hmn_testbed.Vmm.t
+(** Zero: Table 1 host capacities are taken as already net of the VMM
+    share. *)
+
+val host_profile : Hmn_testbed.Cluster_gen.host_profile
+(** Memory U[1,3] GB, storage U[1,3] TB, CPU U[1000,3000] MIPS. *)
+
+val render : unit -> string
+(** The Table 1 summary as text. *)

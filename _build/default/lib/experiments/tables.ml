@@ -1,0 +1,101 @@
+module Running = Hmn_stats.Running
+module Table = Hmn_prelude.Pretty_table
+
+let clusters = [ Scenario.Torus; Scenario.Switched ]
+
+let header results =
+  let names = Runner.mapper_names results in
+  ""
+  :: List.concat_map
+       (fun cluster ->
+         List.map
+           (fun name -> Printf.sprintf "%s %s" (Scenario.cluster_label cluster) name)
+           names)
+       clusters
+
+let render_metric results ~metric =
+  let names = Runner.mapper_names results in
+  let t =
+    Table.create
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) (List.tl (header results)))
+      ~header:(header results) ()
+  in
+  Array.iteri
+    (fun idx scenario ->
+      let row =
+        Scenario.label scenario
+        :: List.concat_map
+             (fun cluster ->
+               List.map
+                 (fun mapper ->
+                   match Runner.cell results ~scenario:idx ~cluster ~mapper with
+                   | None -> "?"
+                   | Some c -> metric c)
+                 names)
+             clusters
+      in
+      Table.add_row t row)
+    results.Runner.scenarios;
+  t
+
+let mean_or_dash running fmt =
+  if Running.count running = 0 then "-" else Printf.sprintf fmt (Running.mean running)
+
+let table2 results =
+  let t =
+    render_metric results ~metric:(fun c -> mean_or_dash c.Runner.objective "%.1f")
+  in
+  (* Failure-count row, as in the paper's Table 2. *)
+  let names = Runner.mapper_names results in
+  let failures =
+    List.concat_map
+      (fun cluster ->
+        List.map
+          (fun mapper ->
+            let total = ref 0 in
+            Array.iteri
+              (fun idx _ ->
+                match Runner.cell results ~scenario:idx ~cluster ~mapper with
+                | Some c -> total := !total + c.Runner.failures
+                | None -> ())
+              results.Runner.scenarios;
+            string_of_int !total)
+          names)
+      clusters
+  in
+  Table.add_row t ("Failures" :: failures);
+  "Table 2. Objective function (mean LBF over successful runs, MIPS) and failures.\n"
+  ^ Table.render t
+
+let table3 results =
+  "Table 3. Simulated experiment execution time (mean seconds over successful \
+   runs).\n"
+  ^ Table.render
+      (render_metric results ~metric:(fun c -> mean_or_dash c.Runner.makespan "%.2f"))
+
+let mapping_time results =
+  "Mapping wall-clock time (mean seconds over successful runs).\n"
+  ^ Table.render
+      (render_metric results ~metric:(fun c -> mean_or_dash c.Runner.map_time "%.4f"))
+
+let correlation_report results =
+  let c = results.Runner.correlation in
+  if Hmn_emulation.Correlate.count c < 2 then
+    "Correlation: not enough successful simulated runs.\n"
+  else begin
+    let within =
+      match Hmn_emulation.Correlate.median_within_group c with
+      | None -> "n/a"
+      | Some r -> Printf.sprintf "%.2f" r
+    in
+    Printf.sprintf
+      "Correlation between objective function and simulated experiment time over %d \
+       runs:\n\
+      \  pooled: Pearson r = %.2f, Spearman rho = %.2f\n\
+      \  median within-scenario Pearson r = %s (paper reports r = 0.7; \
+       within-scenario is the comparable figure, see EXPERIMENTS.md)\n"
+      (Hmn_emulation.Correlate.count c)
+      (Hmn_emulation.Correlate.pearson c)
+      (Hmn_emulation.Correlate.spearman c)
+      within
+  end

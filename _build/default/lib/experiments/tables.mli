@@ -1,0 +1,22 @@
+(** Renderers that regenerate the paper's Table 2 and Table 3 from a
+    {!Runner.results}. Layout mirrors the paper: one row per scenario,
+    heuristic columns grouped by cluster, ["-"] where a heuristic never
+    produced a valid mapping, and (for Table 2) a final failure-count
+    row. *)
+
+val table2 : Runner.results -> string
+(** Mean objective function (load-balance factor, MIPS) + failures. *)
+
+val table3 : Runner.results -> string
+(** Mean simulated experiment execution time (seconds). *)
+
+val mapping_time : Runner.results -> string
+(** Companion table: mean wall-clock of the mapping itself (seconds) —
+    the quantity behind the paper's "mapping took 30 minutes for 2000
+    guests on the torus / under a second on the switched cluster"
+    discussion. *)
+
+val correlation_report : Runner.results -> string
+(** The §5.2 claim: Pearson (and Spearman) correlation between
+    objective value and simulated experiment time over all successful
+    runs. *)

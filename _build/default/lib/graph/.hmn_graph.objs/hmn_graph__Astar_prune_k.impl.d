@@ -1,0 +1,1 @@
+lib/graph/astar_prune_k.ml: Array Dijkstra Float Graph Hmn_dstruct List

@@ -1,0 +1,1 @@
+lib/graph/astar_prune_k.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/betweenness.ml: Array Float Graph Hmn_dstruct List

@@ -1,0 +1,1 @@
+lib/graph/betweenness.mli: Graph

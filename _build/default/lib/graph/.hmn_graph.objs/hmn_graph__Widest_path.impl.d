@@ -1,0 +1,1 @@
+lib/graph/widest_path.ml: Array Float Graph Hmn_dstruct

@@ -1,0 +1,1 @@
+lib/graph/widest_path.mli: Graph

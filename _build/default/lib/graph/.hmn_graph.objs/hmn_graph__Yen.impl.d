@@ -1,0 +1,1 @@
+lib/graph/yen.ml: Array Float Graph Hashtbl Hmn_dstruct List

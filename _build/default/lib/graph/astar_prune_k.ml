@@ -1,0 +1,119 @@
+type constraint_spec = {
+  metric : int -> float;
+  bound : float;
+}
+
+type path = {
+  nodes : int list;
+  edges : int list;
+  cost : float;
+  constraint_totals : float array;
+}
+
+(* Internal partial path; node/edge lists are kept reversed while
+   growing. *)
+type partial = {
+  rev_nodes : int list;
+  rev_edges : int list;
+  last : int;
+  cost_so_far : float;
+  cons_so_far : float array;
+  members : Hmn_dstruct.Bitset.t;
+  projected : float;
+}
+
+let nonneg name x =
+  if x < 0. then invalid_arg ("Astar_prune_k." ^ name ^ ": negative metric value");
+  x
+
+let k_shortest g ~k ~cost ~constraints ~src ~dst =
+  let n = Graph.n_nodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Astar_prune_k.k_shortest: endpoint out of range";
+  if k <= 0 then invalid_arg "Astar_prune_k.k_shortest: k <= 0";
+  let cost_to_go = Dijkstra.distances_to g ~weight:(fun e -> nonneg "cost" (cost e)) ~dst in
+  let cons = Array.of_list constraints in
+  let cons_to_go =
+    Array.map
+      (fun c -> Dijkstra.distances_to g ~weight:(fun e -> nonneg "constraint" (c.metric e)) ~dst)
+      cons
+  in
+  let admissible last cons_so_far =
+    (* Prune when any constraint cannot be met even via its own
+       cheapest completion. *)
+    let ok = ref true in
+    Array.iteri
+      (fun i c ->
+        if cons_so_far.(i) +. cons_to_go.(i).(last) > c.bound then ok := false)
+      cons;
+    !ok
+  in
+  let heap =
+    Hmn_dstruct.Binary_heap.create
+      ~cmp:(fun a b -> Float.compare a.projected b.projected)
+      ()
+  in
+  let start_members = Hmn_dstruct.Bitset.create n in
+  Hmn_dstruct.Bitset.add start_members src;
+  let start =
+    {
+      rev_nodes = [ src ];
+      rev_edges = [];
+      last = src;
+      cost_so_far = 0.;
+      cons_so_far = Array.map (fun _ -> 0.) cons;
+      members = start_members;
+      projected = cost_to_go.(src);
+    }
+  in
+  if admissible src start.cons_so_far && cost_to_go.(src) < infinity then
+    Hmn_dstruct.Binary_heap.push heap start;
+  let results = ref [] and found = ref 0 in
+  let finish p =
+    {
+      nodes = List.rev p.rev_nodes;
+      edges = List.rev p.rev_edges;
+      cost = p.cost_so_far;
+      constraint_totals = Array.copy p.cons_so_far;
+    }
+  in
+  let expand p =
+    Graph.iter_adj g p.last (fun ~neighbor ~eid ->
+        if not (Hmn_dstruct.Bitset.mem p.members neighbor) then begin
+          let cons_so_far =
+            Array.mapi (fun i c -> p.cons_so_far.(i) +. nonneg "constraint" (c.metric eid)) cons
+          in
+          if admissible neighbor cons_so_far && cost_to_go.(neighbor) < infinity then begin
+            let members = Hmn_dstruct.Bitset.copy p.members in
+            Hmn_dstruct.Bitset.add members neighbor;
+            let cost_so_far = p.cost_so_far +. nonneg "cost" (cost eid) in
+            Hmn_dstruct.Binary_heap.push heap
+              {
+                rev_nodes = neighbor :: p.rev_nodes;
+                rev_edges = eid :: p.rev_edges;
+                last = neighbor;
+                cost_so_far;
+                cons_so_far;
+                members;
+                projected = cost_so_far +. cost_to_go.(neighbor);
+              }
+          end
+        end)
+  in
+  let rec loop () =
+    if !found < k then
+      match Hmn_dstruct.Binary_heap.pop heap with
+      | None -> ()
+      | Some p ->
+        if p.last = dst then begin
+          results := finish p :: !results;
+          incr found;
+          loop ()
+        end
+        else begin
+          expand p;
+          loop ()
+        end
+  in
+  loop ();
+  List.rev !results

@@ -1,0 +1,36 @@
+(** A\*Prune: K shortest loopless paths subject to multiple additive
+    constraints (Liu & Ramakrishnan, INFOCOM 2001).
+
+    This is the general algorithm the paper's Networking stage is a
+    modification of. Partial paths are kept in a priority queue ordered
+    by {e projected} cost — cost so far plus an admissible lower bound
+    (Dijkstra distance-to-go) — and a partial path is pruned as soon as
+    any constraint's accumulated value plus its own lower bound exceeds
+    the bound, so every expansion is provably extensible w.r.t. the
+    lower bounds. *)
+
+type constraint_spec = {
+  metric : int -> float;  (** additive per-edge metric (by edge id), >= 0 *)
+  bound : float;  (** inclusive upper bound on the path total *)
+}
+
+type path = {
+  nodes : int list;  (** [src ... dst] *)
+  edges : int list;  (** edge ids along the path, length = |nodes| - 1 *)
+  cost : float;  (** total of the optimization metric *)
+  constraint_totals : float array;  (** per-constraint accumulated totals *)
+}
+
+val k_shortest :
+  'e Graph.t ->
+  k:int ->
+  cost:(int -> float) ->
+  constraints:constraint_spec list ->
+  src:int ->
+  dst:int ->
+  path list
+(** Up to [k] loopless paths in non-decreasing [cost] order, each
+    satisfying every constraint. [src = dst] yields the single empty
+    path when it satisfies the (necessarily zero-total) constraints.
+    Raises [Invalid_argument] on out-of-range endpoints, [k <= 0], or a
+    negative metric value. *)

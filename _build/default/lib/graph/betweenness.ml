@@ -1,0 +1,82 @@
+(* Brandes' algorithm: for every source s, a shortest-path DAG is built
+   (BFS for unit weights, Dijkstra otherwise), then dependencies are
+   accumulated in reverse finishing order:
+     delta(v) = sum over successors w of (sigma(v)/sigma(w)) * (1 + delta(w))
+   and each DAG edge (v, w) contributes (sigma(v)/sigma(w)) * (1 + delta(w)). *)
+
+let eps = 1e-12
+
+let run ?weight g ~on_edge ~on_node =
+  let n = Graph.n_nodes g in
+  let weight_fn =
+    match weight with
+    | None -> fun _ -> 1.
+    | Some w ->
+      fun e ->
+        let x = w e in
+        if x <= 0. then invalid_arg "Betweenness: non-positive weight";
+        x
+  in
+  let dist = Array.make n infinity in
+  let sigma = Array.make n 0. in
+  let delta = Array.make n 0. in
+  (* preds.(v): (predecessor, edge id) pairs on shortest paths. *)
+  let preds = Array.make n [] in
+  for s = 0 to n - 1 do
+    Array.fill dist 0 n infinity;
+    Array.fill sigma 0 n 0.;
+    Array.fill delta 0 n 0.;
+    Array.iteri (fun i _ -> preds.(i) <- []) preds;
+    dist.(s) <- 0.;
+    sigma.(s) <- 1.;
+    (* Dijkstra with shortest-path counting; pop order gives the
+       non-decreasing-distance order needed for accumulation. *)
+    let order = ref [] in
+    let heap = Hmn_dstruct.Indexed_heap.create n in
+    Hmn_dstruct.Indexed_heap.insert heap s 0.;
+    let rec settle () =
+      match Hmn_dstruct.Indexed_heap.pop_min heap with
+      | None -> ()
+      | Some (u, du) ->
+        order := u :: !order;
+        Graph.iter_adj g u (fun ~neighbor ~eid ->
+            let alt = du +. weight_fn eid in
+            if alt < dist.(neighbor) -. eps then begin
+              dist.(neighbor) <- alt;
+              sigma.(neighbor) <- sigma.(u);
+              preds.(neighbor) <- [ (u, eid) ];
+              Hmn_dstruct.Indexed_heap.insert_or_decrease heap neighbor alt
+            end
+            else if Float.abs (alt -. dist.(neighbor)) <= eps then begin
+              sigma.(neighbor) <- sigma.(neighbor) +. sigma.(u);
+              preds.(neighbor) <- (u, eid) :: preds.(neighbor)
+            end);
+        settle ()
+    in
+    settle ();
+    (* Reverse order: farthest node first. *)
+    List.iter
+      (fun w ->
+        List.iter
+          (fun (v, eid) ->
+            let share = sigma.(v) /. sigma.(w) *. (1. +. delta.(w)) in
+            on_edge eid share;
+            delta.(v) <- delta.(v) +. share)
+          preds.(w);
+        if w <> s then on_node w delta.(w))
+      !order
+  done
+
+let edges ?weight g =
+  let acc = Array.make (Graph.n_edges g) 0. in
+  run ?weight g
+    ~on_edge:(fun eid share -> acc.(eid) <- acc.(eid) +. share)
+    ~on_node:(fun _ _ -> ());
+  acc
+
+let nodes ?weight g =
+  let acc = Array.make (Graph.n_nodes g) 0. in
+  run ?weight g
+    ~on_edge:(fun _ _ -> ())
+    ~on_node:(fun v d -> acc.(v) <- acc.(v) +. d);
+  acc

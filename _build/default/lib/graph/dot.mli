@@ -1,0 +1,11 @@
+(** Graphviz DOT export, for debugging and the examples. *)
+
+val to_dot :
+  ?name:string ->
+  ?node_name:(int -> string) ->
+  ?edge_attr:(int -> 'e -> string) ->
+  'e Graph.t ->
+  string
+(** [to_dot g] renders the graph in DOT syntax. [node_name] defaults to
+    the node id; [edge_attr] (given the edge id and label) may return
+    e.g. ["label=\"1Gbps\""] and defaults to no attributes. *)

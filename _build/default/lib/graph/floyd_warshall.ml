@@ -1,0 +1,19 @@
+let run g ~weight =
+  let n = Graph.n_nodes g in
+  let dist = Array.init n (fun i -> Array.init n (fun j -> if i = j then 0. else infinity)) in
+  Graph.iter_edges g (fun ~eid ~u ~v _ ->
+      let w = weight eid in
+      if w < 0. then invalid_arg "Floyd_warshall.run: negative weight";
+      if w < dist.(u).(v) then dist.(u).(v) <- w;
+      if Graph.kind g = Graph.Undirected && w < dist.(v).(u) then dist.(v).(u) <- w);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let dik = dist.(i).(k) in
+      if dik < infinity then
+        for j = 0 to n - 1 do
+          let alt = dik +. dist.(k).(j) in
+          if alt < dist.(i).(j) then dist.(i).(j) <- alt
+        done
+    done
+  done;
+  dist

@@ -1,0 +1,12 @@
+(** All-pairs shortest paths (Floyd–Warshall).
+
+    O(n³); intended for moderate graphs and as an oracle in tests
+    cross-checking {!Dijkstra}. *)
+
+val run : 'e Graph.t -> weight:(int -> float) -> float array array
+(** [run g ~weight] is the matrix of shortest-path costs;
+    [infinity] marks unreachable pairs, and the diagonal is [0.].
+    Parallel edges contribute their cheapest member. Raises on negative
+    weights (the algorithm would support them, but nothing in this
+    project produces them and rejecting keeps the oracle comparable to
+    Dijkstra). *)

@@ -1,0 +1,162 @@
+module Rng = Hmn_rng.Rng
+
+let require cond msg = if not cond then invalid_arg ("Generators." ^ msg)
+
+let line n =
+  require (n >= 1) "line: n >= 1 required";
+  let g = Graph.create ~n () in
+  for i = 0 to n - 2 do
+    ignore (Graph.add_edge g i (i + 1) ())
+  done;
+  g
+
+let ring n =
+  require (n >= 3) "ring: n >= 3 required";
+  let g = line n in
+  ignore (Graph.add_edge g (n - 1) 0 ());
+  g
+
+let star n =
+  require (n >= 1) "star: n >= 1 required";
+  let g = Graph.create ~n () in
+  for i = 1 to n - 1 do
+    ignore (Graph.add_edge g 0 i ())
+  done;
+  g
+
+let complete n =
+  require (n >= 1) "complete: n >= 1 required";
+  let g = Graph.create ~n () in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      ignore (Graph.add_edge g i j ())
+    done
+  done;
+  g
+
+let torus2d ~rows ~cols =
+  require (rows >= 1 && cols >= 1) "torus2d: rows, cols >= 1 required";
+  let id r c = (r * cols) + c in
+  let g = Graph.create ~n:(rows * cols) () in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      (* Right neighbour: plain grid edge, plus wrap when the row is
+         long enough for the wrap not to duplicate a grid edge. *)
+      if c + 1 < cols then ignore (Graph.add_edge g (id r c) (id r (c + 1)) ());
+      if c = cols - 1 && cols > 2 then ignore (Graph.add_edge g (id r c) (id r 0) ());
+      if r + 1 < rows then ignore (Graph.add_edge g (id r c) (id (r + 1) c) ());
+      if r = rows - 1 && rows > 2 then ignore (Graph.add_edge g (id r c) (id 0 c) ())
+    done
+  done;
+  g
+
+let random_tree ~n ~rng =
+  require (n >= 1) "random_tree: n >= 1 required";
+  let g = Graph.create ~n () in
+  for i = 1 to n - 1 do
+    ignore (Graph.add_edge g i (Rng.int rng ~bound:i) ())
+  done;
+  g
+
+let expected_edges ~n ~density =
+  let max_edges = n * (n - 1) / 2 in
+  let target = int_of_float (Float.round (density *. float_of_int max_edges)) in
+  min max_edges (max (n - 1) target)
+
+let random_connected ~n ~density ~rng =
+  require (n >= 1) "random_connected: n >= 1 required";
+  require (density >= 0. && density <= 1.) "random_connected: density in [0,1] required";
+  let g = Graph.create ~n () in
+  let seen = Hashtbl.create (4 * n) in
+  let key u v = if u < v then (u, v) else (v, u) in
+  let add u v =
+    let k = key u v in
+    if u <> v && not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      ignore (Graph.add_edge g u v ());
+      true
+    end
+    else false
+  in
+  (* Spanning tree over a shuffled order so the tree shape is not biased
+     toward low node ids. *)
+  let order = Array.init n (fun i -> i) in
+  Hmn_rng.Sample.shuffle rng order;
+  for i = 1 to n - 1 do
+    ignore (add order.(i) order.(Rng.int rng ~bound:i))
+  done;
+  let target = expected_edges ~n ~density in
+  while Graph.n_edges g < target do
+    ignore (add (Rng.int rng ~bound:n) (Rng.int rng ~bound:n))
+  done;
+  g
+
+let barabasi_albert ~n ~m ~rng =
+  require (m >= 1 && m < n) "barabasi_albert: 1 <= m < n required";
+  let g = Graph.create ~n () in
+  (* Repeated-node trick: the attachment pool holds each node once per
+     incident edge end, so sampling from it is degree-proportional;
+     one smoothing copy per node avoids zero-degree sinks. *)
+  let pool = Hmn_dstruct.Dynarray.create () in
+  for v = 0 to m - 1 do
+    Hmn_dstruct.Dynarray.push pool v
+  done;
+  for v = m to n - 1 do
+    let chosen = Hashtbl.create m in
+    while Hashtbl.length chosen < m do
+      let t =
+        Hmn_dstruct.Dynarray.get pool
+          (Rng.int rng ~bound:(Hmn_dstruct.Dynarray.length pool))
+      in
+      if t <> v then Hashtbl.replace chosen t ()
+    done;
+    Hashtbl.iter
+      (fun t () ->
+        ignore (Graph.add_edge g v t ());
+        Hmn_dstruct.Dynarray.push pool t;
+        Hmn_dstruct.Dynarray.push pool v)
+      chosen
+  done;
+  g
+
+let waxman ~n ~alpha ~beta ~rng =
+  require (n >= 1) "waxman: n >= 1 required";
+  require (alpha > 0. && alpha <= 1.) "waxman: alpha in (0,1] required";
+  require (beta > 0. && beta <= 1.) "waxman: beta in (0,1] required";
+  let xs = Array.init n (fun _ -> Rng.float rng) in
+  let ys = Array.init n (fun _ -> Rng.float rng) in
+  let g = Graph.create ~n () in
+  let seen = Hashtbl.create (4 * n) in
+  let key u v = if u < v then (u, v) else (v, u) in
+  let add u v =
+    let k = key u v in
+    if u <> v && not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      ignore (Graph.add_edge g u v ())
+    end
+  in
+  (* Connectivity backbone first. *)
+  let order = Array.init n (fun i -> i) in
+  Hmn_rng.Sample.shuffle rng order;
+  for i = 1 to n - 1 do
+    add order.(i) order.(Rng.int rng ~bound:i)
+  done;
+  let max_dist = sqrt 2. in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = sqrt (((xs.(u) -. xs.(v)) ** 2.) +. ((ys.(u) -. ys.(v)) ** 2.)) in
+      if Rng.float rng < alpha *. exp (-.d /. (beta *. max_dist)) then add u v
+    done
+  done;
+  g
+
+let gnp ~n ~p ~rng =
+  require (n >= 1) "gnp: n >= 1 required";
+  require (p >= 0. && p <= 1.) "gnp: p in [0,1] required";
+  let g = Graph.create ~n () in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.float rng < p then ignore (Graph.add_edge g i j ())
+    done
+  done;
+  g

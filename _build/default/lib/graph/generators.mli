@@ -1,0 +1,58 @@
+(** Graph topology generators.
+
+    All generators return unlabelled ([unit]) graphs; callers attach
+    domain labels with {!Graph.map_labels}. Deterministic generators
+    build the classic testbed topologies; randomized ones take an
+    explicit {!Hmn_rng.Rng.t}. *)
+
+val line : int -> unit Graph.t
+(** Path graph on [n] nodes ([0—1—…—n-1]). [n >= 1]. *)
+
+val ring : int -> unit Graph.t
+(** Cycle on [n] nodes. [n >= 3]. *)
+
+val star : int -> unit Graph.t
+(** Node [0] joined to each of [1 .. n-1]. [n >= 1]. *)
+
+val complete : int -> unit Graph.t
+(** Clique on [n] nodes. [n >= 1]. *)
+
+val torus2d : rows:int -> cols:int -> unit Graph.t
+(** 2-D torus: node [(r, c)] is id [r * cols + c], joined to its four
+    grid neighbours with wrap-around. Wrap edges are omitted along a
+    dimension of size <= 2 so no parallel edges arise. [rows, cols >= 1]. *)
+
+val random_tree : n:int -> rng:Hmn_rng.Rng.t -> unit Graph.t
+(** Uniform random-attachment tree: node [i > 0] connects to a uniform
+    earlier node. Always connected, [n - 1] edges. *)
+
+val random_connected : n:int -> density:float -> rng:Hmn_rng.Rng.t -> unit Graph.t
+(** Connected random graph with approximately
+    [density * n * (n-1) / 2] edges (at least the [n - 1] of a spanning
+    tree, at most the clique). This is the paper's virtual-topology
+    generator: a random spanning tree over a shuffled node order
+    guarantees connectivity, then distinct random extra edges are added
+    up to the density target. Raises [Invalid_argument] unless
+    [0. <= density <= 1.] and [n >= 1]. *)
+
+val gnp : n:int -> p:float -> rng:Hmn_rng.Rng.t -> unit Graph.t
+(** Erdős–Rényi G(n, p); connectivity not guaranteed. *)
+
+val barabasi_albert : n:int -> m:int -> rng:Hmn_rng.Rng.t -> unit Graph.t
+(** Preferential attachment (Barabási–Albert): each new node attaches
+    to [m] distinct existing nodes with probability proportional to
+    their degree (+1 smoothing). Connected by construction; models the
+    heavy-tailed overlays P2P emulation experiments use. Requires
+    [1 <= m < n]. *)
+
+val waxman :
+  n:int -> alpha:float -> beta:float -> rng:Hmn_rng.Rng.t -> unit Graph.t
+(** Waxman (1988) random network: nodes get uniform coordinates in the
+    unit square and each pair is joined with probability
+    [alpha * exp (-d / (beta * sqrt 2))] where [d] is their Euclidean
+    distance — the classic generator for internet-like emulated WANs.
+    A random spanning tree is added first so the result is always
+    connected. Requires [alpha, beta] in [(0, 1]]. *)
+
+val expected_edges : n:int -> density:float -> int
+(** The edge-count target {!random_connected} aims for. *)

@@ -1,0 +1,44 @@
+type result = {
+  width : float array;
+  prev_node : int array;
+  prev_edge : int array;
+}
+
+let run g ~capacity ~src =
+  let n = Graph.n_nodes g in
+  if src < 0 || src >= n then invalid_arg "Widest_path.run: source out of range";
+  let width = Array.make n neg_infinity in
+  let prev_node = Array.make n (-1) in
+  let prev_edge = Array.make n (-1) in
+  (* Indexed_heap is a min-heap; store negated widths. *)
+  let heap = Hmn_dstruct.Indexed_heap.create n in
+  width.(src) <- infinity;
+  Hmn_dstruct.Indexed_heap.insert heap src neg_infinity;
+  let rec loop () =
+    match Hmn_dstruct.Indexed_heap.pop_min heap with
+    | None -> ()
+    | Some (u, _) ->
+      Graph.iter_adj g u (fun ~neighbor ~eid ->
+          let c = capacity eid in
+          if c < 0. then invalid_arg "Widest_path.run: negative capacity";
+          let through = Float.min width.(u) c in
+          if through > width.(neighbor) then begin
+            width.(neighbor) <- through;
+            prev_node.(neighbor) <- u;
+            prev_edge.(neighbor) <- eid;
+            Hmn_dstruct.Indexed_heap.insert_or_decrease heap neighbor (-.through)
+          end);
+      loop ()
+  in
+  loop ();
+  { width; prev_node; prev_edge }
+
+let path_to res v =
+  if res.width.(v) = neg_infinity then None
+  else begin
+    let rec build v nodes edges =
+      if res.prev_node.(v) = -1 then (v :: nodes, edges)
+      else build res.prev_node.(v) (v :: nodes) (res.prev_edge.(v) :: edges)
+    in
+    Some (build v [] [])
+  end

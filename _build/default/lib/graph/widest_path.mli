@@ -1,0 +1,22 @@
+(** Widest (maximum-bottleneck) paths.
+
+    The width of a path is the minimum capacity of its edges; the widest
+    path maximizes that minimum. This is the metric the paper's modified
+    A\*Prune optimizes; having an independent single-criterion solver
+    lets tests cross-check the constrained search. *)
+
+type result = {
+  width : float array;
+      (** best attainable bottleneck from the source; [neg_infinity] if
+          unreachable, [infinity] at the source itself *)
+  prev_node : int array;
+  prev_edge : int array;
+}
+
+val run : 'e Graph.t -> capacity:(int -> float) -> src:int -> result
+(** Dijkstra-style maximization of the path bottleneck. Capacities must
+    be non-negative. *)
+
+val path_to : result -> int -> (int list * int list) option
+(** Reconstructs a widest path (nodes, edge ids); [None] if
+    unreachable. *)

@@ -1,0 +1,128 @@
+type path = {
+  nodes : int list;
+  edges : int list;
+  cost : float;
+}
+
+(* Dijkstra on a filtered graph: nodes in [banned_nodes] and edges in
+   [banned_edges] are invisible. Returns the best path from src to dst
+   under the filter. *)
+let filtered_shortest g ~cost ~banned_nodes ~banned_edges ~src ~dst =
+  let n = Graph.n_nodes g in
+  let dist = Array.make n infinity in
+  let prev_node = Array.make n (-1) in
+  let prev_edge = Array.make n (-1) in
+  let heap = Hmn_dstruct.Indexed_heap.create n in
+  dist.(src) <- 0.;
+  Hmn_dstruct.Indexed_heap.insert heap src 0.;
+  let rec loop () =
+    match Hmn_dstruct.Indexed_heap.pop_min heap with
+    | None -> ()
+    | Some (u, du) ->
+      if u <> dst then begin
+        Graph.iter_adj g u (fun ~neighbor ~eid ->
+            if
+              (not (Hmn_dstruct.Bitset.mem banned_nodes neighbor))
+              && not (Hashtbl.mem banned_edges eid)
+            then begin
+              let w = cost eid in
+              if w < 0. then invalid_arg "Yen.k_shortest: negative cost";
+              let alt = du +. w in
+              if alt < dist.(neighbor) then begin
+                dist.(neighbor) <- alt;
+                prev_node.(neighbor) <- u;
+                prev_edge.(neighbor) <- eid;
+                Hmn_dstruct.Indexed_heap.insert_or_decrease heap neighbor alt
+              end
+            end);
+        loop ()
+      end
+  in
+  loop ();
+  if dist.(dst) = infinity then None
+  else begin
+    let rec build v nodes edges =
+      if v = src then (src :: nodes, edges)
+      else build prev_node.(v) (v :: nodes) (prev_edge.(v) :: edges)
+    in
+    let nodes, edges = build dst [] [] in
+    Some { nodes; edges; cost = dist.(dst) }
+  end
+
+let k_shortest g ~k ~cost ~src ~dst =
+  let n = Graph.n_nodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Yen.k_shortest: endpoint out of range";
+  if k <= 0 then invalid_arg "Yen.k_shortest: k <= 0";
+  if src = dst then [ { nodes = [ src ]; edges = []; cost = 0. } ]
+  else begin
+    let accepted = ref [] in
+    (* Candidate pool ordered by (cost, node sequence) for
+       deterministic tie-breaking; deduplicated by node sequence. *)
+    let cmp a b =
+      let c = Float.compare a.cost b.cost in
+      if c <> 0 then c else compare a.nodes b.nodes
+    in
+    let candidates = ref (Hmn_dstruct.Pairing_heap.empty ~cmp) in
+    let seen_candidates = Hashtbl.create 64 in
+    let offer p =
+      if not (Hashtbl.mem seen_candidates p.nodes) then begin
+        Hashtbl.add seen_candidates p.nodes ();
+        candidates := Hmn_dstruct.Pairing_heap.insert !candidates p
+      end
+    in
+    let no_banned_edges = Hashtbl.create 1 in
+    (match
+       filtered_shortest g ~cost ~banned_nodes:(Hmn_dstruct.Bitset.create n)
+         ~banned_edges:no_banned_edges ~src ~dst
+     with
+    | Some p -> offer p
+    | None -> ());
+    let continue = ref true in
+    while !continue && List.length !accepted < k do
+      match Hmn_dstruct.Pairing_heap.delete_min !candidates with
+      | None -> continue := false
+      | Some (best, rest) ->
+        candidates := rest;
+        accepted := best :: !accepted;
+        if List.length !accepted < k then begin
+          (* Spur from every prefix of the just-accepted path. *)
+          let prev_nodes = Array.of_list best.nodes in
+          let prev_edges = Array.of_list best.edges in
+          for i = 0 to Array.length prev_edges - 1 do
+            let spur_node = prev_nodes.(i) in
+            let root_nodes = Array.sub prev_nodes 0 (i + 1) in
+            let root_edges = Array.sub prev_edges 0 i in
+            let root_cost =
+              Array.fold_left (fun acc e -> acc +. cost e) 0. root_edges
+            in
+            (* Ban the next edge of every accepted path sharing this
+               root, and every root node except the spur node. *)
+            let banned_edges = Hashtbl.create 8 in
+            List.iter
+              (fun p ->
+                let pn = Array.of_list p.nodes and pe = Array.of_list p.edges in
+                if
+                  Array.length pn > i
+                  && Array.sub pn 0 (i + 1) = root_nodes
+                  && Array.length pe > i
+                then Hashtbl.replace banned_edges pe.(i) ())
+              (best :: !accepted);
+            let banned_nodes = Hmn_dstruct.Bitset.create n in
+            Array.iteri
+              (fun j v -> if j < i then Hmn_dstruct.Bitset.add banned_nodes v)
+              root_nodes;
+            match
+              filtered_shortest g ~cost ~banned_nodes ~banned_edges ~src:spur_node
+                ~dst
+            with
+            | None -> ()
+            | Some spur ->
+              let nodes = Array.to_list root_nodes @ List.tl spur.nodes in
+              let edges = Array.to_list root_edges @ spur.edges in
+              offer { nodes; edges; cost = root_cost +. spur.cost }
+          done
+        end
+    done;
+    List.rev !accepted
+  end

@@ -1,0 +1,19 @@
+(** Yen's algorithm: K shortest loopless paths (Yen 1971).
+
+    The classical alternative to A\*Prune for K-shortest-path problems;
+    kept both as a useful general algorithm and as an independent
+    oracle for {!Astar_prune_k} in the test suite (the two must agree
+    on unconstrained instances). *)
+
+type path = {
+  nodes : int list;  (** [src ... dst] *)
+  edges : int list;
+  cost : float;
+}
+
+val k_shortest :
+  'e Graph.t -> k:int -> cost:(int -> float) -> src:int -> dst:int -> path list
+(** Up to [k] loopless paths in non-decreasing cost order. Ties are
+    broken deterministically (lexicographically by node sequence).
+    Raises [Invalid_argument] on out-of-range endpoints, [k <= 0], or
+    negative costs. [src = dst] yields the single empty path. *)

@@ -1,0 +1,1 @@
+lib/io/codec.ml: Array Fun Hmn_graph Hmn_mapping Hmn_prelude Hmn_routing Hmn_testbed Hmn_vnet List Printf Result

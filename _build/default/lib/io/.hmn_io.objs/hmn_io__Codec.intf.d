@@ -1,0 +1,1 @@
+lib/io/codec.mli: Hmn_mapping Hmn_prelude

@@ -1,0 +1,39 @@
+(** JSON persistence for problem instances and mappings.
+
+    Lets a tester save a generated environment, share it, and reload it
+    for exact reproduction — the paper's "reuse a given emulated
+    environment … reproduce tests" motivation. Decoders rebuild
+    everything through the normal constructors (placements re-assign,
+    link maps re-reserve), so a loaded mapping satisfies the same
+    invariants as a computed one; a tampered file fails decoding or the
+    {!Hmn_mapping.Constraints} check rather than producing an
+    inconsistent value.
+
+    Node, guest and edge indices in the encoding follow the in-memory
+    ids, which are stable for a given construction order. *)
+
+val problem_to_json : Hmn_mapping.Problem.t -> Hmn_prelude.Json.t
+val problem_of_json : Hmn_prelude.Json.t -> (Hmn_mapping.Problem.t, string) result
+
+val mapping_to_json : Hmn_mapping.Mapping.t -> Hmn_prelude.Json.t
+(** Encodes the placement and the link paths; the problem must be
+    stored alongside (see {!bundle_to_json}). *)
+
+val mapping_of_json :
+  problem:Hmn_mapping.Problem.t ->
+  Hmn_prelude.Json.t ->
+  (Hmn_mapping.Mapping.t, string) result
+
+val bundle_to_json : Hmn_mapping.Mapping.t -> Hmn_prelude.Json.t
+(** Problem + mapping in one document (field ["problem"] and
+    ["mapping"]). *)
+
+val bundle_of_json :
+  Hmn_prelude.Json.t -> (Hmn_mapping.Mapping.t, string) result
+
+val save_bundle : path:string -> Hmn_mapping.Mapping.t -> unit
+(** Pretty-printed {!bundle_to_json} to a file. *)
+
+val load_bundle : path:string -> (Hmn_mapping.Mapping.t, string) result
+val save_problem : path:string -> Hmn_mapping.Problem.t -> unit
+val load_problem : path:string -> (Hmn_mapping.Problem.t, string) result

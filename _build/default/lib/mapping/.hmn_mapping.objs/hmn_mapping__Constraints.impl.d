@@ -1,0 +1,1 @@
+lib/mapping/constraints.ml: Array Format Hmn_graph Hmn_routing Hmn_testbed Hmn_vnet Link_map List Mapping Placement Problem

@@ -1,0 +1,1 @@
+lib/mapping/constraints.mli: Format Mapping

@@ -1,0 +1,1 @@
+lib/mapping/diff.ml: Format Hmn_routing Hmn_vnet Link_map List Mapping Placement Printf Problem

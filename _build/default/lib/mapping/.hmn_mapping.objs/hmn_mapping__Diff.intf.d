@@ -1,0 +1,1 @@
+lib/mapping/diff.mli: Format Mapping

@@ -1,0 +1,1 @@
+lib/mapping/link_map.ml: Array Hmn_routing Hmn_vnet Printf Problem

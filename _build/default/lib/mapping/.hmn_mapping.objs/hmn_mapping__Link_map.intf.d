@@ -1,0 +1,1 @@
+lib/mapping/link_map.mli: Hmn_routing Problem

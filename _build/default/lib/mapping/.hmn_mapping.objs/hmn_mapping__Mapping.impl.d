@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Hmn_routing Link_map Objective Placement Problem

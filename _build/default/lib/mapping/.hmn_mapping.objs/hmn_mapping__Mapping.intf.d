@@ -1,0 +1,1 @@
+lib/mapping/mapping.mli: Link_map Placement Problem

@@ -1,0 +1,1 @@
+lib/mapping/objective.ml: Array Hmn_prelude Hmn_testbed Hmn_vnet Placement Problem

@@ -1,0 +1,1 @@
+lib/mapping/objective.mli: Placement

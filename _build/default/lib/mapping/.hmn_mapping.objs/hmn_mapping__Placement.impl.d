@@ -1,0 +1,1 @@
+lib/mapping/placement.ml: Array Hashtbl Hmn_testbed Hmn_vnet Int List Printf Problem

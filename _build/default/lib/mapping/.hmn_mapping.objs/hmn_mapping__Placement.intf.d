@@ -1,0 +1,1 @@
+lib/mapping/placement.mli: Hmn_testbed Problem

@@ -1,0 +1,1 @@
+lib/mapping/problem.ml: Format Hmn_testbed Hmn_vnet Printf

@@ -1,0 +1,1 @@
+lib/mapping/problem.mli: Format Hmn_testbed Hmn_vnet

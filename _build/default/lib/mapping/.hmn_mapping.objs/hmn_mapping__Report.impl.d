@@ -1,0 +1,1 @@
+lib/mapping/report.ml: Array Format Hmn_graph Hmn_prelude Hmn_routing Hmn_testbed Hmn_vnet Link_map Mapping Objective Placement Printf Problem

@@ -1,0 +1,1 @@
+lib/mapping/report.mli: Mapping

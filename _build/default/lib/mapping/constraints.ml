@@ -1,0 +1,106 @@
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Virtual_env = Hmn_vnet.Virtual_env
+module Path = Hmn_routing.Path
+
+type violation =
+  | Unassigned_guest of int
+  | Memory_exceeded of { host : int; used : float; capacity : float }
+  | Storage_exceeded of { host : int; used : float; capacity : float }
+  | Unmapped_vlink of int
+  | Bad_path of { vlink : int; reason : string }
+  | Latency_exceeded of { vlink : int; actual : float; bound : float }
+  | Bandwidth_exceeded of { edge : int; used : float; capacity : float }
+  | Guest_on_non_host of { guest : int; node : int }
+
+(* Floating-point accumulation slack for the capacity comparisons. *)
+let eps = 1e-6
+
+let check (m : Mapping.t) =
+  let problem = Mapping.problem m in
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  (* Eq. 1 and per-host loads (Eqs. 2-3), recomputed from raw demands. *)
+  let n_nodes = Cluster.n_nodes cluster in
+  let mem_used = Array.make n_nodes 0. and stor_used = Array.make n_nodes 0. in
+  for guest = 0 to Virtual_env.n_guests venv - 1 do
+    match Placement.host_of m.Mapping.placement ~guest with
+    | None -> report (Unassigned_guest guest)
+    | Some node ->
+      if not (Cluster.is_host cluster node) then
+        report (Guest_on_non_host { guest; node })
+      else begin
+        let d = Virtual_env.demand venv guest in
+        mem_used.(node) <- mem_used.(node) +. d.Resources.mem_mb;
+        stor_used.(node) <- stor_used.(node) +. d.Resources.stor_gb
+      end
+  done;
+  Array.iter
+    (fun host ->
+      let cap = Cluster.capacity cluster host in
+      if mem_used.(host) > cap.Resources.mem_mb +. eps then
+        report
+          (Memory_exceeded
+             { host; used = mem_used.(host); capacity = cap.Resources.mem_mb });
+      if stor_used.(host) > cap.Resources.stor_gb +. eps then
+        report
+          (Storage_exceeded
+             { host; used = stor_used.(host); capacity = cap.Resources.stor_gb }))
+    (Cluster.host_ids cluster);
+  (* Per-link path checks (Eqs. 4-8) and physical bandwidth loads (Eq. 9). *)
+  let bw_used = Array.make (Graph.n_edges (Cluster.graph cluster)) 0. in
+  for vlink = 0 to Virtual_env.n_vlinks venv - 1 do
+    let vs, vd = Virtual_env.endpoints venv vlink in
+    match
+      ( Placement.host_of m.Mapping.placement ~guest:vs,
+        Placement.host_of m.Mapping.placement ~guest:vd )
+    with
+    | None, _ | _, None -> ()  (* already reported as Unassigned_guest *)
+    | Some hs, Some hd -> (
+      match Link_map.path_of m.Mapping.link_map ~vlink with
+      | None ->
+        (* Intra-host links need no path; anything else does. *)
+        if hs <> hd then report (Unmapped_vlink vlink)
+      | Some path -> (
+        match Path.validate cluster ~src:hs ~dst:hd path with
+        | Error reason -> report (Bad_path { vlink; reason })
+        | Ok () ->
+          let spec = Virtual_env.vlink venv vlink in
+          let latency = Path.total_latency cluster path in
+          if latency > spec.Hmn_vnet.Vlink.latency_ms +. eps then
+            report
+              (Latency_exceeded
+                 { vlink; actual = latency; bound = spec.Hmn_vnet.Vlink.latency_ms });
+          Path.iter_edges path (fun eid ->
+              bw_used.(eid) <- bw_used.(eid) +. spec.Hmn_vnet.Vlink.bandwidth_mbps)))
+  done;
+  Array.iteri
+    (fun eid used ->
+      let cap = (Cluster.link cluster eid).Hmn_testbed.Link.bandwidth_mbps in
+      if used > cap +. eps then
+        report (Bandwidth_exceeded { edge = eid; used; capacity = cap }))
+    bw_used;
+  List.rev !violations
+
+let is_valid m = check m = []
+
+let pp_violation ppf = function
+  | Unassigned_guest g -> Format.fprintf ppf "guest %d is unassigned" g
+  | Memory_exceeded { host; used; capacity } ->
+    Format.fprintf ppf "host %d memory exceeded: %.1f/%.1f MB" host used capacity
+  | Storage_exceeded { host; used; capacity } ->
+    Format.fprintf ppf "host %d storage exceeded: %.1f/%.1f GB" host used capacity
+  | Unmapped_vlink v -> Format.fprintf ppf "virtual link %d has no path" v
+  | Bad_path { vlink; reason } ->
+    Format.fprintf ppf "virtual link %d has an invalid path: %s" vlink reason
+  | Latency_exceeded { vlink; actual; bound } ->
+    Format.fprintf ppf "virtual link %d latency %.1f ms exceeds bound %.1f ms" vlink
+      actual bound
+  | Bandwidth_exceeded { edge; used; capacity } ->
+    Format.fprintf ppf "physical link %d bandwidth exceeded: %.3f/%.3f Mbps" edge used
+      capacity
+  | Guest_on_non_host { guest; node } ->
+    Format.fprintf ppf "guest %d placed on non-host node %d" guest node

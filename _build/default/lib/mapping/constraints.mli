@@ -1,0 +1,24 @@
+(** Independent validator for the problem's constraints, Eqs. (1)–(9).
+
+    Everything is recomputed from scratch — host loads from the raw
+    guest demands, link loads from the raw paths — so the validator
+    catches bookkeeping bugs in {!Placement} / {!Link_map} as well as
+    algorithmic ones in the heuristics. Every returned mapping in the
+    test suite must pass this check. *)
+
+type violation =
+  | Unassigned_guest of int  (** Eq. 1: guest has no host *)
+  | Memory_exceeded of { host : int; used : float; capacity : float }  (** Eq. 2 *)
+  | Storage_exceeded of { host : int; used : float; capacity : float }  (** Eq. 3 *)
+  | Unmapped_vlink of int  (** no path for an inter-host virtual link *)
+  | Bad_path of { vlink : int; reason : string }  (** Eqs. 4–7 *)
+  | Latency_exceeded of { vlink : int; actual : float; bound : float }  (** Eq. 8 *)
+  | Bandwidth_exceeded of { edge : int; used : float; capacity : float }  (** Eq. 9 *)
+  | Guest_on_non_host of { guest : int; node : int }
+
+val check : Mapping.t -> violation list
+(** Empty list ⇔ the mapping is a valid solution. *)
+
+val is_valid : Mapping.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,73 @@
+module Virtual_env = Hmn_vnet.Virtual_env
+module Path = Hmn_routing.Path
+
+type t = {
+  moved_guests : (int * int * int) list;
+  rerouted_links : int list;
+  newly_mapped : int list;
+  unmapped : int list;
+  objective_before : float;
+  objective_after : float;
+}
+
+let same_path a b =
+  let edges p =
+    let acc = ref [] in
+    Path.iter_edges p (fun e -> acc := e :: !acc);
+    List.rev !acc
+  in
+  Path.src a = Path.src b && Path.dst a = Path.dst b && edges a = edges b
+
+let diff (before : Mapping.t) (after : Mapping.t) =
+  if not (Mapping.problem before == Mapping.problem after) then
+    invalid_arg "Diff.diff: mappings of different problems";
+  let venv = (Mapping.problem before).Problem.venv in
+  let moved = ref [] in
+  for guest = Virtual_env.n_guests venv - 1 downto 0 do
+    match
+      ( Placement.host_of before.Mapping.placement ~guest,
+        Placement.host_of after.Mapping.placement ~guest )
+    with
+    | Some a, Some b when a <> b -> moved := (guest, a, b) :: !moved
+    | _ -> ()
+  done;
+  let rerouted = ref [] and newly = ref [] and gone = ref [] in
+  for vlink = Virtual_env.n_vlinks venv - 1 downto 0 do
+    match
+      ( Link_map.path_of before.Mapping.link_map ~vlink,
+        Link_map.path_of after.Mapping.link_map ~vlink )
+    with
+    | Some a, Some b -> if not (same_path a b) then rerouted := vlink :: !rerouted
+    | None, Some _ -> newly := vlink :: !newly
+    | Some _, None -> gone := vlink :: !gone
+    | None, None -> ()
+  done;
+  {
+    moved_guests = !moved;
+    rerouted_links = !rerouted;
+    newly_mapped = !newly;
+    unmapped = !gone;
+    objective_before = Mapping.objective before;
+    objective_after = Mapping.objective after;
+  }
+
+let is_empty t =
+  t.moved_guests = [] && t.rerouted_links = [] && t.newly_mapped = []
+  && t.unmapped = []
+
+let summary t =
+  Printf.sprintf "%d guests moved, %d links re-routed (+%d/-%d), LBF %.1f -> %.1f"
+    (List.length t.moved_guests)
+    (List.length t.rerouted_links)
+    (List.length t.newly_mapped) (List.length t.unmapped) t.objective_before
+    t.objective_after
+
+let pp ppf t =
+  Format.fprintf ppf "%s@." (summary t);
+  List.iter
+    (fun (guest, from_host, to_host) ->
+      Format.fprintf ppf "  guest %d: host %d -> host %d@." guest from_host to_host)
+    t.moved_guests;
+  List.iter (fun v -> Format.fprintf ppf "  vlink %d re-routed@." v) t.rerouted_links;
+  List.iter (fun v -> Format.fprintf ppf "  vlink %d newly mapped@." v) t.newly_mapped;
+  List.iter (fun v -> Format.fprintf ppf "  vlink %d no longer mapped@." v) t.unmapped

@@ -1,0 +1,26 @@
+(** Structural difference between two mappings of the same problem —
+    what a testbed operator wants in the log after a live operation:
+    which guests moved, which virtual links were re-routed, and how the
+    objective changed. *)
+
+type t = {
+  moved_guests : (int * int * int) list;  (** (guest, old host, new host) *)
+  rerouted_links : int list;  (** vlink ids whose path changed *)
+  newly_mapped : int list;  (** vlinks mapped only in the second mapping *)
+  unmapped : int list;  (** vlinks mapped only in the first *)
+  objective_before : float;
+  objective_after : float;
+}
+
+val diff : Mapping.t -> Mapping.t -> t
+(** Raises [Invalid_argument] when the two mappings were built from
+    different problem instances. *)
+
+val is_empty : t -> bool
+(** No guest moved and no link changed. *)
+
+val summary : t -> string
+(** One-line human description. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line listing of every change. *)

@@ -1,0 +1,62 @@
+module Virtual_env = Hmn_vnet.Virtual_env
+module Residual = Hmn_routing.Residual
+module Path = Hmn_routing.Path
+
+type t = {
+  problem : Problem.t;
+  paths : Path.t option array;  (* indexed by vlink edge id *)
+  residual : Residual.t;
+  mutable mapped : int;
+}
+
+let create problem =
+  {
+    problem;
+    paths = Array.make (Virtual_env.n_vlinks problem.Problem.venv) None;
+    residual = Residual.create problem.Problem.cluster;
+    mapped = 0;
+  }
+
+let problem t = t.problem
+let residual t = t.residual
+
+let check_vlink t vlink =
+  if vlink < 0 || vlink >= Array.length t.paths then
+    invalid_arg "Link_map: vlink out of range"
+
+let path_of t ~vlink =
+  check_vlink t vlink;
+  t.paths.(vlink)
+
+let bandwidth t vlink =
+  (Virtual_env.vlink t.problem.Problem.venv vlink).Hmn_vnet.Vlink.bandwidth_mbps
+
+let assign t ~vlink path =
+  check_vlink t vlink;
+  match t.paths.(vlink) with
+  | Some _ -> Error (Printf.sprintf "virtual link %d already mapped" vlink)
+  | None -> (
+    match Residual.reserve_path t.residual path (bandwidth t vlink) with
+    | Error _ as e -> e
+    | Ok () ->
+      t.paths.(vlink) <- Some path;
+      t.mapped <- t.mapped + 1;
+      Ok ())
+
+let unassign t ~vlink =
+  check_vlink t vlink;
+  match t.paths.(vlink) with
+  | None -> Error (Printf.sprintf "virtual link %d is not mapped" vlink)
+  | Some path ->
+    Residual.release_path t.residual path (bandwidth t vlink);
+    t.paths.(vlink) <- None;
+    t.mapped <- t.mapped - 1;
+    Ok ()
+
+let n_mapped t = t.mapped
+let all_mapped t = t.mapped = Array.length t.paths
+
+let iter_mapped t f =
+  Array.iteri
+    (fun vlink path -> match path with Some p -> f ~vlink p | None -> ())
+    t.paths

@@ -1,0 +1,29 @@
+type t = {
+  placement : Placement.t;
+  link_map : Link_map.t;
+}
+
+let make ~placement ~link_map =
+  if not (Placement.problem placement == Link_map.problem link_map) then
+    invalid_arg "Mapping.make: placement and link map disagree on the problem";
+  { placement; link_map }
+
+let problem t = Placement.problem t.placement
+
+let objective t = Objective.load_balance_factor t.placement
+
+let total_hops t =
+  let acc = ref 0 in
+  Link_map.iter_mapped t.link_map (fun ~vlink:_ path ->
+      acc := !acc + Hmn_routing.Path.hop_count path);
+  !acc
+
+let mean_path_latency t =
+  let cluster = (problem t).Problem.cluster in
+  let total = ref 0. and count = ref 0 in
+  Link_map.iter_mapped t.link_map (fun ~vlink:_ path ->
+      if not (Hmn_routing.Path.is_intra_host path) then begin
+        total := !total +. Hmn_routing.Path.total_latency cluster path;
+        incr count
+      end);
+  if !count = 0 then 0. else !total /. float_of_int !count

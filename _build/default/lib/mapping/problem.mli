@@ -1,0 +1,22 @@
+(** A mapping-problem instance: the physical cluster plus the virtual
+    environment to be emulated on it (paper §3.2). *)
+
+type t = {
+  cluster : Hmn_testbed.Cluster.t;
+  venv : Hmn_vnet.Virtual_env.t;
+}
+
+val make : cluster:Hmn_testbed.Cluster.t -> venv:Hmn_vnet.Virtual_env.t -> t
+(** Raises [Invalid_argument] when the cluster has no hosts or the
+    virtual environment no guests. *)
+
+val guests_per_host_ratio : t -> float
+(** Guests divided by hosts — the scenario parameter of Tables 2–3. *)
+
+val obviously_infeasible : t -> string option
+(** Cheap necessary-condition screen: total guest memory or storage
+    exceeding the cluster total, or an unconnected cluster with
+    cross-component demands, can never be mapped. [None] means "may be
+    feasible". *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Virtual_env = Hmn_vnet.Virtual_env
+module Path = Hmn_routing.Path
+module Table = Hmn_prelude.Pretty_table
+
+let placement_table (m : Mapping.t) =
+  let problem = Mapping.problem m in
+  let cluster = problem.Problem.cluster in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ~header:[ "host"; "guests"; "res. CPU (MIPS)"; "res. mem (MB)"; "res. stor (GB)" ]
+      ()
+  in
+  Array.iter
+    (fun host ->
+      let r = Placement.residual m.Mapping.placement ~host in
+      Table.add_row table
+        [
+          (Cluster.node cluster host).Hmn_testbed.Node.name;
+          string_of_int (Placement.n_guests_on m.Mapping.placement ~host);
+          Printf.sprintf "%.1f" r.Resources.mips;
+          Printf.sprintf "%.0f" r.Resources.mem_mb;
+          Printf.sprintf "%.0f" r.Resources.stor_gb;
+        ])
+    (Cluster.host_ids cluster);
+  Table.render table
+
+let link_table ?(limit = 40) (m : Mapping.t) =
+  let problem = Mapping.problem m in
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      ~header:[ "vlink"; "path"; "hops"; "lat (ms)"; "bound (ms)" ]
+      ()
+  in
+  let shown = ref 0 and total = ref 0 in
+  Link_map.iter_mapped m.Mapping.link_map (fun ~vlink path ->
+      incr total;
+      if !shown < limit then begin
+        incr shown;
+        let vs, vd = Virtual_env.endpoints venv vlink in
+        let spec = Virtual_env.vlink venv vlink in
+        Table.add_row table
+          [
+            Printf.sprintf "%s-%s"
+              (Virtual_env.guest venv vs).Hmn_vnet.Guest.name
+              (Virtual_env.guest venv vd).Hmn_vnet.Guest.name;
+            Format.asprintf "%a" Path.pp path;
+            string_of_int (Path.hop_count path);
+            Printf.sprintf "%.1f" (Path.total_latency cluster path);
+            Printf.sprintf "%.1f" spec.Hmn_vnet.Vlink.latency_ms;
+          ]
+      end);
+  let body = Table.render table in
+  if !total > !shown then
+    body ^ Printf.sprintf "... and %d more mapped links\n" (!total - !shown)
+  else body
+
+let hot_links ?(top = 10) (m : Mapping.t) =
+  let problem = Mapping.problem m in
+  let cluster = problem.Problem.cluster in
+  let g = Cluster.graph cluster in
+  let residual = Link_map.residual m.Mapping.link_map in
+  let centrality = Hmn_graph.Betweenness.edges (Cluster.graph cluster) in
+  let edges =
+    Array.init (Hmn_graph.Graph.n_edges g) (fun eid ->
+        let link = Cluster.link cluster eid in
+        (eid, Hmn_routing.Residual.used residual eid /. link.Hmn_testbed.Link.bandwidth_mbps))
+  in
+  Hmn_prelude.Array_ext.sort_by_desc snd edges;
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ~header:[ "link"; "used (Mbps)"; "utilization (%)"; "betweenness" ]
+      ()
+  in
+  Array.iteri
+    (fun rank (eid, util) ->
+      if rank < top then begin
+        let u, v = Hmn_graph.Graph.endpoints g eid in
+        Table.add_row table
+          [
+            Printf.sprintf "%s - %s" (Cluster.node cluster u).Hmn_testbed.Node.name
+              (Cluster.node cluster v).Hmn_testbed.Node.name;
+            Printf.sprintf "%.3f" (Hmn_routing.Residual.used residual eid);
+            Printf.sprintf "%.2f" (100. *. util);
+            Printf.sprintf "%.0f" centrality.(eid);
+          ]
+      end)
+    edges;
+  Table.render table
+
+let summary (m : Mapping.t) =
+  let residual = Link_map.residual m.Mapping.link_map in
+  Printf.sprintf
+    "objective (LBF): %.2f MIPS | active hosts: %d | mapped links: %d | total hops: \
+     %d | mean path latency: %.1f ms | network utilization: %.1f%%"
+    (Mapping.objective m)
+    (Objective.active_hosts m.Mapping.placement)
+    (Link_map.n_mapped m.Mapping.link_map)
+    (Mapping.total_hops m) (Mapping.mean_path_latency m)
+    (100. *. Hmn_routing.Residual.utilization residual)

@@ -1,0 +1,19 @@
+(** Human-readable mapping reports, used by the CLI and the examples. *)
+
+val placement_table : Mapping.t -> string
+(** One row per host: guests placed, residual CPU/memory/storage. *)
+
+val link_table : ?limit:int -> Mapping.t -> string
+(** One row per mapped virtual link: endpoints, path, hop count,
+    latency vs bound. [limit] truncates long environments (default
+    40 rows). *)
+
+val summary : Mapping.t -> string
+(** Headline figures: objective value, active hosts, hop totals,
+    network utilization. *)
+
+val hot_links : ?top:int -> Mapping.t -> string
+(** The [top] (default 10) most-utilized physical links: endpoints,
+    reserved/total bandwidth, and the link's edge-betweenness
+    centrality — whether the load is workload luck or topology
+    destiny. *)

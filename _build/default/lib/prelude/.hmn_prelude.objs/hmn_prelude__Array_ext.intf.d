@@ -1,0 +1,1 @@
+lib/prelude/array_ext.mli:

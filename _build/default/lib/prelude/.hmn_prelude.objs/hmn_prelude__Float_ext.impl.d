@@ -1,0 +1,1 @@
+lib/prelude/float_ext.ml: Array Float

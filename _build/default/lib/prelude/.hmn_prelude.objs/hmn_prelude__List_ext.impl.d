@@ -1,0 +1,1 @@
+lib/prelude/list_ext.ml: Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/prelude/list_ext.mli:

@@ -1,0 +1,1 @@
+lib/prelude/pretty_table.ml: Buffer List String

@@ -1,0 +1,36 @@
+(** Array helpers used by the heuristics and the experiment harness. *)
+
+val sum_by : ('a -> float) -> 'a array -> float
+(** [sum_by f xs] is the sum of [f x] over all elements. *)
+
+val min_by : ('a -> float) -> 'a array -> 'a
+(** [min_by f xs] returns an element minimizing [f]. Ties resolve to the
+    earliest such element. Raises [Invalid_argument] on an empty array. *)
+
+val max_by : ('a -> float) -> 'a array -> 'a
+(** Dual of {!min_by}. *)
+
+val arg_min : ('a -> float) -> 'a array -> int
+(** Index of the first minimizing element. Raises on empty input. *)
+
+val arg_max : ('a -> float) -> 'a array -> int
+(** Index of the first maximizing element. Raises on empty input. *)
+
+val sort_by : ('a -> float) -> 'a array -> unit
+(** [sort_by key xs] sorts [xs] in place, ascending by [key]. Stable. *)
+
+val sort_by_desc : ('a -> float) -> 'a array -> unit
+(** [sort_by_desc key xs] sorts [xs] in place, descending by [key]. Stable. *)
+
+val swap : 'a array -> int -> int -> unit
+(** [swap xs i j] exchanges elements [i] and [j]. *)
+
+val find_index_opt : ('a -> bool) -> 'a array -> int option
+(** Index of the first element satisfying the predicate, if any. *)
+
+val count : ('a -> bool) -> 'a array -> int
+(** Number of elements satisfying the predicate. *)
+
+val init_matrix : int -> int -> (int -> int -> 'a) -> 'a array array
+(** [init_matrix rows cols f] builds a fresh [rows]×[cols] matrix where
+    cell [(i, j)] holds [f i j]. *)

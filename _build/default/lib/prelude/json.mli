@@ -1,0 +1,45 @@
+(** Minimal self-contained JSON: value type, printer, recursive-descent
+    parser, and lookup helpers. Used by the persistence layer
+    ([hmn_io]) so problem instances and mappings can be saved and
+    reloaded without external dependencies.
+
+    Numbers are floats (standard JSON semantics); integers round-trip
+    exactly up to 2^53. Strings support the standard escapes including
+    [\uXXXX] (encoded back as UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] (default false) adds newlines and two-space indent. *)
+
+val of_string : string -> (t, string) result
+(** Parses a complete JSON document; trailing garbage is an error. The
+    error message includes the offending position. *)
+
+(** {2 Construction helpers} *)
+
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val list : ('a -> t) -> 'a list -> t
+
+(** {2 Access helpers} — each returns [Error] with a path-aware message
+    on shape mismatch. *)
+
+val member : string -> t -> (t, string) result
+val to_float : t -> (float, string) result
+val to_int : t -> (int, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+(** Result bind, for decoder pipelines. *)
+
+val map_result : ('a -> ('b, 'e) result) -> 'a list -> ('b list, 'e) result
+(** All-or-nothing list traversal. *)

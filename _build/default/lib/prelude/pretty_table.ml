@@ -1,0 +1,57 @@
+type align = Left | Right
+
+type t = {
+  header : string list;
+  aligns : align list;
+  mutable rows_rev : string list list;
+}
+
+let create ?aligns ~header () =
+  let aligns =
+    match aligns with
+    | None -> List.map (fun _ -> Right) header
+    | Some a ->
+      if List.length a <> List.length header then
+        invalid_arg "Pretty_table.create: aligns/header arity mismatch";
+      a
+  in
+  { header; aligns; rows_rev = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Pretty_table.add_row: arity mismatch";
+  t.rows_rev <- row :: t.rows_rev
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows_rev in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w s -> max w (String.length s)) acc row)
+      (List.map String.length t.header)
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    let cells =
+      List.map2 (fun (w, a) s -> pad a w s) (List.combine widths t.aligns) row
+    in
+    Buffer.add_string buf (String.concat "  " cells);
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.header;
+  let total =
+    List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1))
+  in
+  Buffer.add_string buf (String.make (max total 0) '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

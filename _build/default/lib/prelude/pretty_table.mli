@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the experiment reports.
+
+    A table is a header row plus data rows; every row must have the same
+    number of cells. Columns are padded to the widest cell and separated
+    by two spaces; a rule of ['-'] separates the header from the body. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> header:string list -> unit -> t
+(** [create ~header ()] starts a table. [aligns] defaults to [Right] for
+    every column. Raises [Invalid_argument] if [aligns] is given with a
+    length different from [header]. *)
+
+val add_row : t -> string list -> unit
+(** Appends a data row. Raises [Invalid_argument] on arity mismatch. *)
+
+val render : t -> string
+(** Renders the table, including a trailing newline. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output. *)

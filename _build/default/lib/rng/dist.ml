@@ -1,0 +1,43 @@
+type t =
+  | Uniform of float * float
+  | Normal of float * float
+  | Truncated_normal of float * float * float * float
+  | Exponential of float
+  | Constant of float
+
+let box_muller rng mu sigma =
+  (* Avoid log 0 by shifting the first uniform away from zero. *)
+  let u1 = 1. -. Rng.float rng in
+  let u2 = Rng.float rng in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let rec draw d rng =
+  match d with
+  | Uniform (lo, hi) -> Rng.float_in rng ~lo ~hi
+  | Normal (mu, sigma) ->
+    if sigma < 0. then invalid_arg "Dist.draw: negative sigma";
+    box_muller rng mu sigma
+  | Truncated_normal (mu, sigma, lo, hi) ->
+    if lo > hi then invalid_arg "Dist.draw: lo > hi";
+    if sigma < 0. then invalid_arg "Dist.draw: negative sigma";
+    let x = box_muller rng mu sigma in
+    if x >= lo && x <= hi then x else draw d rng
+  | Exponential rate ->
+    if rate <= 0. then invalid_arg "Dist.draw: non-positive rate";
+    -.log (1. -. Rng.float rng) /. rate
+  | Constant c -> c
+
+let mean = function
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.
+  | Normal (mu, _) -> mu
+  | Truncated_normal (mu, _, lo, hi) -> Hmn_prelude.Float_ext.clamp ~lo ~hi mu
+  | Exponential rate -> 1. /. rate
+  | Constant c -> c
+
+let pp ppf = function
+  | Uniform (lo, hi) -> Format.fprintf ppf "U[%g,%g)" lo hi
+  | Normal (mu, sigma) -> Format.fprintf ppf "N(%g,%g)" mu sigma
+  | Truncated_normal (mu, sigma, lo, hi) ->
+    Format.fprintf ppf "N(%g,%g)|[%g,%g]" mu sigma lo hi
+  | Exponential rate -> Format.fprintf ppf "Exp(%g)" rate
+  | Constant c -> Format.fprintf ppf "Const(%g)" c

@@ -1,0 +1,26 @@
+(** Probability distributions over a {!Rng.t} source.
+
+    The paper's instance generator draws host and guest resources from
+    uniform ranges (Table 1) and mentions normally-distributed resource
+    counts; both are provided, plus exponential for the simulator's
+    optional arrival models. *)
+
+type t =
+  | Uniform of float * float  (** [Uniform (lo, hi)]: uniform on [[lo, hi)] *)
+  | Normal of float * float
+      (** [Normal (mu, sigma)]: Gaussian via Box–Muller; [sigma >= 0] *)
+  | Truncated_normal of float * float * float * float
+      (** [Truncated_normal (mu, sigma, lo, hi)]: Gaussian resampled until
+          it lands in [[lo, hi]] *)
+  | Exponential of float  (** [Exponential rate]: mean [1 /. rate] *)
+  | Constant of float
+
+val draw : t -> Rng.t -> float
+(** Samples one value. Raises [Invalid_argument] on malformed parameters
+    (e.g. negative sigma, non-positive rate, [lo > hi]). *)
+
+val mean : t -> float
+(** Analytic mean of the distribution (truncated normal approximated by
+    its untruncated mean clamped to the bounds). *)
+
+val pp : Format.formatter -> t -> unit

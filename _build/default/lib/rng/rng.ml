@@ -1,0 +1,22 @@
+type t = Xoshiro256ss.t
+
+let create seed = Xoshiro256ss.create (Int64.of_int seed)
+
+let split t =
+  (* Seed the child from the parent's output, then decorrelate the child
+     with a 2^128 jump so parent and child never share a window. *)
+  let child = Xoshiro256ss.create (Xoshiro256ss.next t) in
+  Xoshiro256ss.jump child;
+  child
+
+let int t ~bound = Xoshiro256ss.next_int t ~bound
+let float t = Xoshiro256ss.next_float t
+let bool t = Int64.logand (Xoshiro256ss.next t) 1L = 1L
+
+let int_in t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  lo + int t ~bound:(hi - lo + 1)
+
+let float_in t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.float_in: lo > hi";
+  lo +. (float t *. (hi -. lo))

@@ -1,0 +1,19 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_in t ~bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_in: bound <= 0";
+  (* Take the high bits (better distributed) modulo bound; bias is
+     negligible for the bounds used in this project (< 2^31). *)
+  let x = Int64.shift_right_logical (next t) 1 in
+  Int64.to_int (Int64.rem x (Int64.of_int bound))

@@ -1,0 +1,17 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+
+    A tiny, fast, well-distributed 64-bit generator. We use it for two
+    purposes: seeding {!Xoshiro256ss} state from a single user seed, and
+    deriving independent child seeds for split streams. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] builds a generator from any 64-bit seed (including 0). *)
+
+val next : t -> int64
+(** Next 64-bit output; advances the state. *)
+
+val next_in : t -> bound:int -> int
+(** [next_in t ~bound] is a uniform integer in [[0, bound)]. Raises
+    [Invalid_argument] if [bound <= 0]. *)

@@ -1,0 +1,27 @@
+(** xoshiro256** 1.0 (Blackman & Vigna 2018).
+
+    The project's workhorse generator: 256-bit state, period 2^256 − 1,
+    excellent statistical quality, and cheap jumps. State is seeded from
+    SplitMix64 as the authors recommend. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] seeds the 256-bit state from [seed] via SplitMix64. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next : t -> int64
+(** Next 64-bit output. *)
+
+val next_float : t -> float
+(** Uniform float in [[0, 1)], using the top 53 bits. *)
+
+val next_int : t -> bound:int -> int
+(** Uniform integer in [[0, bound)] by rejection sampling (unbiased).
+    Raises [Invalid_argument] if [bound <= 0]. *)
+
+val jump : t -> unit
+(** Advances the state by 2^128 steps: partitions the sequence into
+    non-overlapping substreams. *)

@@ -1,0 +1,1 @@
+lib/routing/astar_prune.ml: Array Float Hmn_dstruct Hmn_graph Hmn_testbed Int Latency_table List Option Path Residual

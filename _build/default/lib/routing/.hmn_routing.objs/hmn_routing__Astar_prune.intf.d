@@ -1,0 +1,1 @@
+lib/routing/astar_prune.mli: Latency_table Path Residual

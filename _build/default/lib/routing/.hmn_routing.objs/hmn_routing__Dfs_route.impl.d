@@ -1,0 +1,1 @@
+lib/routing/dfs_route.ml: Array Hmn_dstruct Hmn_graph Hmn_rng Hmn_testbed List Path Residual

@@ -1,0 +1,1 @@
+lib/routing/dfs_route.mli: Hmn_rng Path Residual

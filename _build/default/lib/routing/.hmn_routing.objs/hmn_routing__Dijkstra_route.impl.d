@@ -1,0 +1,1 @@
+lib/routing/dijkstra_route.ml: Array Hmn_graph Hmn_testbed Path Residual

@@ -1,0 +1,1 @@
+lib/routing/dijkstra_route.mli: Path Residual

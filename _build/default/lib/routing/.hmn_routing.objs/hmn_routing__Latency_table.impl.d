@@ -1,0 +1,1 @@
+lib/routing/latency_table.ml: Hashtbl Hmn_graph Hmn_testbed

@@ -1,0 +1,1 @@
+lib/routing/latency_table.mli: Hmn_testbed

@@ -1,0 +1,1 @@
+lib/routing/path.ml: Array Float Format Hashtbl Hmn_graph Hmn_prelude Hmn_testbed Int String

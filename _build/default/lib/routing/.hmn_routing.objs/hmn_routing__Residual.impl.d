@@ -1,0 +1,1 @@
+lib/routing/residual.ml: Array Hmn_graph Hmn_testbed Path Printf

@@ -1,0 +1,1 @@
+lib/routing/residual.mli: Hmn_testbed Path

@@ -1,0 +1,131 @@
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Bitset = Hmn_dstruct.Bitset
+module Heap = Hmn_dstruct.Binary_heap
+
+type stats = {
+  expanded : int;
+  generated : int;
+}
+
+type partial = {
+  rev_nodes : int list;
+  rev_edges : int list;
+  last : int;
+  bottleneck : float;  (* min residual bandwidth so far; infinity at origin *)
+  acc_latency : float;
+  members : Bitset.t;
+}
+
+(* Open-set order: widest bottleneck first (the algorithm's selection
+   rule), then optimistic total latency, then fewer hops — the
+   tie-breakers make the search deterministic. *)
+let compare_partial ar a b =
+  let c = Float.compare b.bottleneck a.bottleneck in
+  if c <> 0 then c
+  else
+    let proj p = p.acc_latency +. ar.(p.last) in
+    let c = Float.compare (proj a) (proj b) in
+    if c <> 0 then c
+    else Int.compare (List.length a.rev_nodes) (List.length b.rev_nodes)
+
+let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
+    ~bandwidth_mbps ~latency_ms () =
+  let cluster = Residual.cluster residual in
+  let g = Cluster.graph cluster in
+  let n = Graph.n_nodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Astar_prune.route: endpoint out of range";
+  if not (bandwidth_mbps > 0.) then
+    invalid_arg "Astar_prune.route: bandwidth must be positive";
+  if latency_ms < 0. then invalid_arg "Astar_prune.route: negative latency bound";
+  if src = dst then Some (Path.trivial src, { expanded = 0; generated = 0 })
+  else begin
+    let ar = Latency_table.to_destination latency_tables ~dst in
+    let heap = Heap.create ~cmp:(compare_partial ar) () in
+    (* Pareto labels per node: (bottleneck, latency) pairs of paths
+       already queued there. *)
+    let labels = Array.make n [] in
+    let dominated v ~bottleneck ~latency =
+      List.exists (fun (b, l) -> b >= bottleneck && l <= latency) labels.(v)
+    in
+    let record v ~bottleneck ~latency =
+      labels.(v) <-
+        (bottleneck, latency)
+        :: List.filter (fun (b, l) -> not (b <= bottleneck && l >= latency)) labels.(v)
+    in
+    let generated = ref 0 and expanded = ref 0 in
+    let push p =
+      incr generated;
+      Heap.push heap p
+    in
+    let start_members = Bitset.create n in
+    Bitset.add start_members src;
+    if ar.(src) <= latency_ms then begin
+      record src ~bottleneck:infinity ~latency:0.;
+      push
+        {
+          rev_nodes = [ src ];
+          rev_edges = [];
+          last = src;
+          bottleneck = infinity;
+          acc_latency = 0.;
+          members = start_members;
+        }
+    end;
+    let result = ref None in
+    let expand p =
+      Graph.iter_adj g p.last (fun ~neighbor ~eid ->
+          if not (Bitset.mem p.members neighbor) then begin
+            let link = Cluster.link cluster eid in
+            let avail = Residual.available residual eid in
+            let acc_latency = p.acc_latency +. link.Hmn_testbed.Link.latency_ms in
+            (* Prune: not enough residual bandwidth on this hop, or the
+               latency budget cannot be met even via the cheapest
+               completion. *)
+            if avail >= bandwidth_mbps && acc_latency +. ar.(neighbor) <= latency_ms
+            then begin
+              let bottleneck = Float.min p.bottleneck avail in
+              if
+                (not prune_dominated)
+                || not (dominated neighbor ~bottleneck ~latency:acc_latency)
+              then begin
+                if prune_dominated then record neighbor ~bottleneck ~latency:acc_latency;
+                let members = Bitset.copy p.members in
+                Bitset.add members neighbor;
+                push
+                  {
+                    rev_nodes = neighbor :: p.rev_nodes;
+                    rev_edges = eid :: p.rev_edges;
+                    last = neighbor;
+                    bottleneck;
+                    acc_latency;
+                    members;
+                  }
+              end
+            end
+          end)
+    in
+    let rec loop () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some p ->
+        incr expanded;
+        if p.last = dst then
+          result :=
+            Some
+              (Path.make ~nodes:(List.rev p.rev_nodes) ~edges:(List.rev p.rev_edges))
+        else begin
+          expand p;
+          loop ()
+        end
+    in
+    loop ();
+    match !result with
+    | None -> None
+    | Some path -> Some (path, { expanded = !expanded; generated = !generated })
+  end
+
+let widest_feasible ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms () =
+  Option.map fst
+    (route ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms ())

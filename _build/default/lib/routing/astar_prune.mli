@@ -1,0 +1,52 @@
+(** The paper's modified 1-constrained A\*Prune (Algorithm 1).
+
+    Finds, among the loop-free physical paths from [src] to [dst] that
+    (a) keep accumulated latency within the virtual link's bound and
+    (b) have at least the required residual bandwidth on every hop, a
+    path with the {e greatest bottleneck bandwidth}. Inadmissible
+    partial paths are pruned with the Dijkstra latency-to-go table
+    [ar] (see {!Latency_table}).
+
+    Note on fidelity: the paper's pseudocode prunes with
+    [lat(d, h) + ar(h) <= latency], omitting the latency already
+    accumulated along the partial path; taken literally that can emit
+    paths violating Eq. (8). We include the accumulated term, so every
+    returned path is feasible by construction (the stricter test also
+    prunes earlier, never later).
+
+    A Pareto-dominance cut is applied by default: a partial path
+    reaching node [v] is dropped when another partial path already
+    reached [v] with bottleneck at least as wide {e and} accumulated
+    latency no larger. This preserves optimality of the returned
+    bottleneck width and keeps the search polynomial in practice; it
+    can be disabled for cross-checking. *)
+
+type stats = {
+  expanded : int;  (** paths popped from the open set *)
+  generated : int;  (** paths pushed to the open set *)
+}
+
+val route :
+  ?prune_dominated:bool ->
+  residual:Residual.t ->
+  latency_tables:Latency_table.t ->
+  src:int ->
+  dst:int ->
+  bandwidth_mbps:float ->
+  latency_ms:float ->
+  unit ->
+  (Path.t * stats) option
+(** [None] when no feasible path exists. [src = dst] returns the
+    intra-host trivial path. Raises [Invalid_argument] on out-of-range
+    endpoints, non-positive bandwidth, or negative latency bound. *)
+
+val widest_feasible :
+  residual:Residual.t ->
+  latency_tables:Latency_table.t ->
+  src:int ->
+  dst:int ->
+  bandwidth_mbps:float ->
+  latency_ms:float ->
+  unit ->
+  Path.t option
+(** {!route} without the statistics. *)

@@ -1,0 +1,55 @@
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Bitset = Hmn_dstruct.Bitset
+
+let route ?rng ?(max_steps = max_int) ~residual ~src ~dst ~bandwidth_mbps
+    ~latency_ms () =
+  let cluster = Residual.cluster residual in
+  let g = Cluster.graph cluster in
+  let n = Graph.n_nodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Dfs_route.route: endpoint out of range";
+  if not (bandwidth_mbps > 0.) then
+    invalid_arg "Dfs_route.route: bandwidth must be positive";
+  if latency_ms < 0. then invalid_arg "Dfs_route.route: negative latency bound";
+  if src = dst then Some (Path.trivial src)
+  else begin
+    let visited = Bitset.create n in
+    let steps = ref 0 in
+    let exception Budget_exhausted in
+    let neighbors u =
+      let adj = Array.of_list (Graph.adj_list g u) in
+      (match rng with Some rng -> Hmn_rng.Sample.shuffle rng adj | None -> ());
+      adj
+    in
+    (* DFS over loop-free prefixes; latency accumulates down the
+       recursion and edges must carry the required bandwidth. *)
+    let rec go u acc_latency rev_nodes rev_edges =
+      incr steps;
+      if !steps > max_steps then raise Budget_exhausted;
+      if u = dst then
+        Some (Path.make ~nodes:(List.rev rev_nodes) ~edges:(List.rev rev_edges))
+      else begin
+        let adj = neighbors u in
+        let found = ref None and i = ref 0 in
+        while !found = None && !i < Array.length adj do
+          let v, eid = adj.(!i) in
+          incr i;
+          if not (Bitset.mem visited v) then begin
+            let link = Cluster.link cluster eid in
+            let lat = acc_latency +. link.Hmn_testbed.Link.latency_ms in
+            if Residual.available residual eid >= bandwidth_mbps && lat <= latency_ms
+            then begin
+              Bitset.add visited v;
+              (match go v lat (v :: rev_nodes) (eid :: rev_edges) with
+              | Some _ as r -> found := r
+              | None -> Bitset.remove visited v)
+            end
+          end
+        done;
+        !found
+      end
+    in
+    Bitset.add visited src;
+    try go src 0. [ src ] [] with Budget_exhausted -> None
+  end

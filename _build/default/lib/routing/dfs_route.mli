@@ -1,0 +1,26 @@
+(** Depth-first feasible-path search — the routing half of the paper's
+    Random (R) and Hosting-with-Search (HS) baselines.
+
+    Performs a plain DFS from the source, taking the first loop-free
+    path that reaches the destination while respecting the residual
+    bandwidth on every hop and the accumulated-latency bound. Unlike
+    {!Astar_prune} it makes no attempt to preserve wide links, which is
+    exactly the weakness the paper's comparison exposes. *)
+
+val route :
+  ?rng:Hmn_rng.Rng.t ->
+  ?max_steps:int ->
+  residual:Residual.t ->
+  src:int ->
+  dst:int ->
+  bandwidth_mbps:float ->
+  latency_ms:float ->
+  unit ->
+  Path.t option
+(** Neighbors are explored in adjacency order, or in a random order
+    when [rng] is given (the Random baseline shuffles so that retries
+    explore different paths). [src = dst] yields the trivial path.
+    [max_steps] bounds the number of node expansions; an exhausted
+    budget counts as "no path" (proving infeasibility by exhaustive
+    DFS is exponential, and the baselines retry anyway). Default:
+    unbounded. Raises [Invalid_argument] like {!Astar_prune.route}. *)

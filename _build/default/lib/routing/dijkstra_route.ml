@@ -1,0 +1,28 @@
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+
+let route ~residual ~src ~dst ~bandwidth_mbps ~latency_ms () =
+  let cluster = Residual.cluster residual in
+  let g = Cluster.graph cluster in
+  let n = Graph.n_nodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Dijkstra_route.route: endpoint out of range";
+  if not (bandwidth_mbps > 0.) then
+    invalid_arg "Dijkstra_route.route: bandwidth must be positive";
+  if latency_ms < 0. then invalid_arg "Dijkstra_route.route: negative latency bound";
+  if src = dst then Some (Path.trivial src)
+  else begin
+    (* Links lacking the demanded residual bandwidth become infinitely
+       expensive, which Dijkstra treats as absent. *)
+    let weight eid =
+      if Residual.available residual eid >= bandwidth_mbps then
+        (Cluster.link cluster eid).Hmn_testbed.Link.latency_ms
+      else infinity
+    in
+    let res = Hmn_graph.Dijkstra.run g ~weight ~src in
+    if res.Hmn_graph.Dijkstra.dist.(dst) > latency_ms then None
+    else
+      match Hmn_graph.Dijkstra.path_to res dst with
+      | None -> None
+      | Some (nodes, edges) -> Some (Path.make ~nodes ~edges)
+  end

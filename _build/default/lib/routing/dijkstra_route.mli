@@ -1,0 +1,21 @@
+(** Minimum-latency routing — the ablation comparator for the paper's
+    bottleneck-bandwidth metric choice (§4.3).
+
+    Runs Dijkstra over the physical links that still have the required
+    residual bandwidth, minimizing accumulated latency, and accepts the
+    result if it meets the latency bound. Unlike {!Astar_prune} it pays
+    no attention to {e how much} bandwidth a link has left beyond the
+    demand, so it tends to pile virtual links onto the same short
+    physical paths — exactly the behaviour the paper's metric is
+    designed to avoid. *)
+
+val route :
+  residual:Residual.t ->
+  src:int ->
+  dst:int ->
+  bandwidth_mbps:float ->
+  latency_ms:float ->
+  unit ->
+  Path.t option
+(** [src = dst] yields the trivial path. Raises [Invalid_argument] like
+    {!Astar_prune.route}. *)

@@ -1,0 +1,25 @@
+module Cluster = Hmn_testbed.Cluster
+
+type t = {
+  cluster : Cluster.t;
+  tables : (int, float array) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create cluster = { cluster; tables = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let to_destination t ~dst =
+  match Hashtbl.find_opt t.tables dst with
+  | Some table ->
+    t.hits <- t.hits + 1;
+    table
+  | None ->
+    t.misses <- t.misses + 1;
+    let weight eid = (Cluster.link t.cluster eid).Hmn_testbed.Link.latency_ms in
+    let table = Hmn_graph.Dijkstra.distances_to (Cluster.graph t.cluster) ~weight ~dst in
+    Hashtbl.add t.tables dst table;
+    table
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,21 @@
+(** Cached Dijkstra latency-to-destination tables.
+
+    The paper's modified A\*Prune precomputes, for every node [c_i], the
+    latency of the Dijkstra path from [c_i] to the link destination
+    ([ar] in Algorithm 1). The Networking stage routes many virtual
+    links toward a small set of hosts, so tables are cached per
+    destination. *)
+
+type t
+
+val create : Hmn_testbed.Cluster.t -> t
+
+val to_destination : t -> dst:int -> float array
+(** [to_destination t ~dst] maps every node to the minimum accumulated
+    physical latency of reaching [dst] ([infinity] when disconnected;
+    [0.] at [dst]). The returned array is owned by the cache: do not
+    mutate. *)
+
+val hits : t -> int
+val misses : t -> int
+(** Cache statistics, for the benchmarks. *)

@@ -1,0 +1,61 @@
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+
+type t = {
+  cluster : Cluster.t;
+  avail : float array;
+}
+
+let capacity t eid = (Cluster.link t.cluster eid).Hmn_testbed.Link.bandwidth_mbps
+
+let create cluster =
+  let n = Graph.n_edges (Cluster.graph cluster) in
+  let t = { cluster; avail = Array.make n 0. } in
+  for eid = 0 to n - 1 do
+    t.avail.(eid) <- capacity t eid
+  done;
+  t
+
+let copy t = { t with avail = Array.copy t.avail }
+
+let cluster t = t.cluster
+
+let available t eid = t.avail.(eid)
+
+let reserve_path t path bw =
+  if bw < 0. then invalid_arg "Residual.reserve_path: negative bandwidth";
+  (* Check everything before touching anything, so failure is atomic.
+     A path never repeats an edge (loop-free), so per-edge single
+     deduction is correct. *)
+  let shortage = ref None in
+  Path.iter_edges path (fun eid ->
+      if !shortage = None && t.avail.(eid) < bw then shortage := Some eid);
+  match !shortage with
+  | Some eid ->
+    Error
+      (Printf.sprintf "edge %d: needs %.3f Mbps, only %.3f available" eid bw
+         t.avail.(eid))
+  | None ->
+    Path.iter_edges path (fun eid -> t.avail.(eid) <- t.avail.(eid) -. bw);
+    Ok ()
+
+let release_path t path bw =
+  if bw < 0. then invalid_arg "Residual.release_path: negative bandwidth";
+  Path.iter_edges path (fun eid ->
+      let next = t.avail.(eid) +. bw in
+      if next > capacity t eid +. 1e-6 then
+        invalid_arg "Residual.release_path: release exceeds capacity";
+      t.avail.(eid) <- next)
+
+let used t eid = capacity t eid -. t.avail.(eid)
+
+let utilization t =
+  let n = Array.length t.avail in
+  if n = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    for eid = 0 to n - 1 do
+      acc := !acc +. (used t eid /. capacity t eid)
+    done;
+    !acc /. float_of_int n
+  end

@@ -1,0 +1,33 @@
+(** Residual bandwidth bookkeeping over a cluster's physical links.
+
+    Enforces Eq. (9): the bandwidths of the virtual links routed over a
+    physical link may never exceed its capacity. Links are undirected
+    shared capacity, matching the paper's model. *)
+
+type t
+
+val create : Hmn_testbed.Cluster.t -> t
+(** All links at full capacity. *)
+
+val copy : t -> t
+
+val cluster : t -> Hmn_testbed.Cluster.t
+
+val available : t -> int -> float
+(** Remaining bandwidth (Mbps) of a physical edge id. *)
+
+val reserve_path : t -> Path.t -> float -> (unit, string) result
+(** Atomically reserves [bw] on every edge of the path; fails (leaving
+    the state untouched) when any edge lacks capacity. Reserving on the
+    intra-host path is a no-op. *)
+
+val release_path : t -> Path.t -> float -> unit
+(** Returns previously reserved bandwidth. Raises [Invalid_argument] if
+    a release would exceed an edge's full capacity. *)
+
+val used : t -> int -> float
+(** Capacity minus availability. *)
+
+val utilization : t -> float
+(** Mean used/capacity over all physical links (0 when the cluster has
+    no links). *)

@@ -1,0 +1,1 @@
+lib/simcore/engine.ml: Float Hmn_dstruct Int

@@ -1,0 +1,61 @@
+type event = {
+  time : float;
+  seq : int;  (* FIFO tie-break for simultaneous events *)
+  callback : t -> unit;
+}
+
+and t = {
+  queue : event Hmn_dstruct.Binary_heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    queue = Hmn_dstruct.Binary_heap.create ~cmp:compare_event ();
+    clock = 0.;
+    next_seq = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time callback =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  if not (Float.is_finite time) then invalid_arg "Engine.schedule_at: non-finite time";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Hmn_dstruct.Binary_heap.push t.queue { time; seq; callback }
+
+let schedule t ~delay callback =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) callback
+
+let pending t = Hmn_dstruct.Binary_heap.length t.queue
+let processed t = t.processed
+
+let step t =
+  match Hmn_dstruct.Binary_heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.processed <- t.processed + 1;
+    ev.callback t;
+    true
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue && !executed < max_events do
+    match Hmn_dstruct.Binary_heap.peek t.queue with
+    | None -> continue := false
+    | Some ev when ev.time > until -> continue := false
+    | Some _ ->
+      ignore (step t);
+      incr executed
+  done

@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    A minimal, fast kernel in the spirit of what the paper uses
+    CloudSim for: a clock and a time-ordered queue of event callbacks.
+    Events scheduled for the same instant fire in scheduling order
+    (FIFO tie-break), which keeps runs deterministic.
+
+    Cancellation is by invalidation: model code that needs to
+    supersede a scheduled event keeps its own epoch counter and has the
+    stale callback return without effect (see {!Hmn_emulation} for the
+    idiom). *)
+
+type t
+
+val create : unit -> t
+(** Fresh engine at time [0.]. *)
+
+val now : t -> float
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Raises [Invalid_argument] when [time] is in the past (before
+    [now]). *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** [schedule t ~delay f] = [schedule_at t ~time:(now t +. delay) f];
+    [delay >= 0.]. *)
+
+val pending : t -> int
+(** Events still queued. *)
+
+val processed : t -> int
+(** Events executed so far. *)
+
+val step : t -> bool
+(** Executes the next event; [false] when the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Processes events until the queue empties, the clock passes
+    [until], or [max_events] have run this call. The clock advances to
+    each event's timestamp as it fires. *)

@@ -1,0 +1,11 @@
+(** Correlation coefficients — used to reproduce the paper's claim of a
+    0.7 correlation between the objective function and the emulated
+    experiment's execution time. *)
+
+val pearson : float array -> float array -> float
+(** Pearson's r. Raises [Invalid_argument] when lengths differ, fewer
+    than two points are given, or either variable has zero variance. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (Pearson over average ranks; robust to
+    the heavy right tail of execution times). Same preconditions. *)

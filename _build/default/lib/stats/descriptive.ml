@@ -1,0 +1,47 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean xs = Hmn_prelude.Float_ext.mean xs
+
+let variance ?(sample = false) xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.variance: empty input";
+  let denom = if sample then n - 1 else n in
+  if denom = 0 then invalid_arg "Descriptive.variance: need at least two samples";
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs /. float_of_int denom
+
+let stddev ?sample xs = sqrt (variance ?sample xs)
+
+let summarize xs =
+  if Array.length xs = 0 then invalid_arg "Descriptive.summarize: empty input";
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min infinity xs;
+    max = Array.fold_left Float.max neg_infinity xs;
+  }
+
+let percentile xs ~p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.percentile: empty input";
+  if p < 0. || p > 100. then invalid_arg "Descriptive.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else Hmn_prelude.Float_ext.lerp sorted.(lo) sorted.(hi) (rank -. float_of_int lo)
+
+let median xs = percentile xs ~p:50.
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" s.n s.mean s.stddev
+    s.min s.max

@@ -1,0 +1,30 @@
+(** Descriptive statistics over float samples. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  min : float;
+  max : float;
+}
+
+val mean : float array -> float
+(** Raises [Invalid_argument] on empty input. *)
+
+val stddev : ?sample:bool -> float array -> float
+(** Population standard deviation by default; [~sample:true] uses the
+    (n-1) denominator. Raises on empty input (and on singleton input
+    with [~sample:true]). *)
+
+val variance : ?sample:bool -> float array -> float
+
+val summarize : float array -> summary
+(** Raises on empty input. *)
+
+val percentile : float array -> p:float -> float
+(** Linear-interpolation percentile, [p] in [[0, 100]]. Input need not
+    be sorted. Raises on empty input or [p] out of range. *)
+
+val median : float array -> float
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/testbed/cluster.ml: Array Format Fun Hmn_graph Link List Node Resources

@@ -1,0 +1,1 @@
+lib/testbed/cluster.mli: Format Hmn_graph Link Node Resources

@@ -1,0 +1,1 @@
+lib/testbed/cluster_gen.ml: Array Hmn_prelude Hmn_rng Link Node Printf Resources Topology Vmm

@@ -1,0 +1,1 @@
+lib/testbed/cluster_gen.mli: Cluster Hmn_rng Link Node Vmm

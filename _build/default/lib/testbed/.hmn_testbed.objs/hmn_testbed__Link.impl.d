@@ -1,0 +1,1 @@
+lib/testbed/link.ml: Format Hmn_prelude

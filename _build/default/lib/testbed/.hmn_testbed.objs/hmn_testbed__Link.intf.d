@@ -1,0 +1,1 @@
+lib/testbed/link.mli: Format

@@ -1,0 +1,1 @@
+lib/testbed/node.ml: Format Resources

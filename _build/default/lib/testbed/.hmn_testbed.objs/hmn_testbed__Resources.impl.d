@@ -1,0 +1,1 @@
+lib/testbed/resources.ml: Float Format Hmn_prelude List

@@ -1,0 +1,1 @@
+lib/testbed/resources.mli: Format

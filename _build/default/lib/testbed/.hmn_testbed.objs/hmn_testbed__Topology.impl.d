@@ -1,0 +1,1 @@
+lib/testbed/topology.ml: Array Cluster Hmn_graph Node Printf

@@ -1,0 +1,1 @@
+lib/testbed/topology.mli: Cluster Link Node

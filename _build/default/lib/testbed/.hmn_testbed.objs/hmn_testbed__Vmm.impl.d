@@ -1,0 +1,1 @@
+lib/testbed/vmm.ml: Float Resources

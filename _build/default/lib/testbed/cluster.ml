@@ -1,0 +1,48 @@
+module Graph = Hmn_graph.Graph
+
+type t = {
+  nodes : Node.t array;
+  graph : Link.t Graph.t;
+  host_ids : int array;
+}
+
+let create ~nodes ~graph =
+  if Array.length nodes <> Graph.n_nodes graph then
+    invalid_arg "Cluster.create: node array / graph size mismatch";
+  if Graph.kind graph = Graph.Directed then
+    invalid_arg "Cluster.create: cluster graphs are undirected";
+  let host_ids =
+    Array.of_list
+      (List.filter
+         (fun i -> Node.can_host nodes.(i))
+         (List.init (Array.length nodes) Fun.id))
+  in
+  { nodes; graph; host_ids }
+
+let graph t = t.graph
+let n_nodes t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then invalid_arg "Cluster.node: out of range";
+  t.nodes.(i)
+
+let host_ids t = t.host_ids
+let n_hosts t = Array.length t.host_ids
+let is_host t i = Node.can_host (node t i)
+
+let capacity t i = (node t i).Node.capacity
+
+let total_capacity t =
+  Array.fold_left
+    (fun acc i -> Resources.add acc (capacity t i))
+    Resources.zero t.host_ids
+
+let link t eid = Graph.label t.graph eid
+
+let is_connected t = Hmn_graph.Traversal.is_connected t.graph
+
+let pp_summary ppf t =
+  let switches = n_nodes t - n_hosts t in
+  Format.fprintf ppf
+    "cluster: %d hosts, %d switches, %d links; total %a" (n_hosts t) switches
+    (Graph.n_edges t.graph) Resources.pp (total_capacity t)

@@ -1,0 +1,34 @@
+(** The physical environment: a graph [c = (C, E_c)] of nodes and links
+    (paper §3.2), where some nodes are hosts (can run guests) and some
+    are switches (forwarding only). *)
+
+type t
+
+val create : nodes:Node.t array -> graph:Link.t Hmn_graph.Graph.t -> t
+(** Raises [Invalid_argument] when the node array length differs from
+    the graph's node count, or the graph is directed. *)
+
+val graph : t -> Link.t Hmn_graph.Graph.t
+val n_nodes : t -> int
+val node : t -> int -> Node.t
+
+val host_ids : t -> int array
+(** Ids of the nodes that can run guests, ascending. The array is owned
+    by the cluster: do not mutate. *)
+
+val n_hosts : t -> int
+val is_host : t -> int -> bool
+
+val capacity : t -> int -> Resources.t
+(** Usable capacity of a node (zero for switches). *)
+
+val total_capacity : t -> Resources.t
+(** Sum over hosts. *)
+
+val link : t -> int -> Link.t
+(** Label of a physical link by edge id. *)
+
+val is_connected : t -> bool
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-paragraph description: node/host/link counts, capacity totals. *)

@@ -1,0 +1,32 @@
+module Dist = Hmn_rng.Dist
+
+type host_profile = {
+  mips : Dist.t;
+  mem_mb : Dist.t;
+  stor_gb : Dist.t;
+}
+
+let table1_profile =
+  {
+    mips = Dist.Uniform (1000., 3000.);
+    mem_mb = Dist.Uniform (Hmn_prelude.Units.mb_of_gb 1., Hmn_prelude.Units.mb_of_gb 3.);
+    stor_gb = Dist.Uniform (Hmn_prelude.Units.gb_of_tb 1., Hmn_prelude.Units.gb_of_tb 3.);
+  }
+
+let gen_hosts ?(vmm = Vmm.xen_like) ?(profile = table1_profile) ~n ~rng () =
+  Array.init n (fun i ->
+      let raw =
+        Resources.make
+          ~mips:(Dist.draw profile.mips rng)
+          ~mem_mb:(Dist.draw profile.mem_mb rng)
+          ~stor_gb:(Dist.draw profile.stor_gb rng)
+      in
+      Node.host ~name:(Printf.sprintf "h%d" i) ~capacity:(Vmm.deduct raw vmm))
+
+let torus_cluster ?vmm ?profile ?(link = Link.gigabit) ~rows ~cols ~rng () =
+  let hosts = gen_hosts ?vmm ?profile ~n:(rows * cols) ~rng () in
+  Topology.torus ~hosts ~rows ~cols ~link
+
+let switched_cluster ?vmm ?profile ?(link = Link.gigabit) ?(ports = 64) ~n ~rng () =
+  let hosts = gen_hosts ?vmm ?profile ~n ~rng () in
+  Topology.switched ~hosts ~ports ~link

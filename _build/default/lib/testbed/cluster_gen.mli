@@ -1,0 +1,50 @@
+(** Random heterogeneous clusters per the paper's Table 1.
+
+    Host resources are drawn independently per host: memory uniform in
+    [1 GB, 3 GB], storage uniform in [1 TB, 3 TB], CPU uniform in
+    [1000, 3000] MIPS. Physical links are 1 Gbps / 5 ms. *)
+
+type host_profile = {
+  mips : Hmn_rng.Dist.t;
+  mem_mb : Hmn_rng.Dist.t;
+  stor_gb : Hmn_rng.Dist.t;
+}
+
+val table1_profile : host_profile
+(** The distributions above. *)
+
+val gen_hosts :
+  ?vmm:Vmm.t ->
+  ?profile:host_profile ->
+  n:int ->
+  rng:Hmn_rng.Rng.t ->
+  unit ->
+  Node.t array
+(** [n] host nodes named [h0 .. h<n-1>] with capacities drawn from
+    [profile] (default {!table1_profile}) and VMM overhead (default
+    {!Vmm.xen_like}) already deducted. *)
+
+val torus_cluster :
+  ?vmm:Vmm.t ->
+  ?profile:host_profile ->
+  ?link:Link.t ->
+  rows:int ->
+  cols:int ->
+  rng:Hmn_rng.Rng.t ->
+  unit ->
+  Cluster.t
+(** Random hosts on a [rows]×[cols] torus with [link] cables (default
+    {!Link.gigabit}). The paper's first cluster is [rows = 5],
+    [cols = 8]. *)
+
+val switched_cluster :
+  ?vmm:Vmm.t ->
+  ?profile:host_profile ->
+  ?link:Link.t ->
+  ?ports:int ->
+  n:int ->
+  rng:Hmn_rng.Rng.t ->
+  unit ->
+  Cluster.t
+(** Random hosts behind cascaded [ports]-port switches (default 64,
+    the paper's second cluster). *)

@@ -1,0 +1,17 @@
+type kind = Host | Switch
+
+type t = {
+  name : string;
+  kind : kind;
+  capacity : Resources.t;
+}
+
+let host ~name ~capacity = { name; kind = Host; capacity }
+let switch ~name = { name; kind = Switch; capacity = Resources.zero }
+
+let can_host t = t.kind = Host
+
+let pp ppf t =
+  match t.kind with
+  | Host -> Format.fprintf ppf "host %s %a" t.name Resources.pp t.capacity
+  | Switch -> Format.fprintf ppf "switch %s" t.name

@@ -1,0 +1,23 @@
+(** A node of the physical cluster: a workstation (host) that can run
+    guests, or a network switch that only forwards traffic.
+
+    Switches exist because the paper's second topology connects hosts
+    through cascaded 64-port switches; modelling them as zero-capacity
+    non-hosting nodes lets every routing algorithm work on one uniform
+    graph. *)
+
+type kind = Host | Switch
+
+type t = {
+  name : string;
+  kind : kind;
+  capacity : Resources.t;
+      (** usable capacity (already net of VMM overhead for hosts; zero
+          for switches) *)
+}
+
+val host : name:string -> capacity:Resources.t -> t
+val switch : name:string -> t
+
+val can_host : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+module Graph = Hmn_graph.Graph
+module Generators = Hmn_graph.Generators
+
+let all_hosts nodes = Array.for_all Node.can_host nodes
+
+let labelled shape link = Graph.map_labels shape ~f:(fun ~eid:_ () -> link)
+
+let torus ~hosts ~rows ~cols ~link =
+  if rows * cols <> Array.length hosts then
+    invalid_arg "Topology.torus: rows * cols <> host count";
+  if not (all_hosts hosts) then invalid_arg "Topology.torus: non-host node given";
+  Cluster.create ~nodes:(Array.copy hosts)
+    ~graph:(labelled (Generators.torus2d ~rows ~cols) link)
+
+let ring ~hosts ~link =
+  if not (all_hosts hosts) then invalid_arg "Topology.ring: non-host node given";
+  Cluster.create ~nodes:(Array.copy hosts)
+    ~graph:(labelled (Generators.ring (Array.length hosts)) link)
+
+let line ~hosts ~link =
+  if not (all_hosts hosts) then invalid_arg "Topology.line: non-host node given";
+  Cluster.create ~nodes:(Array.copy hosts)
+    ~graph:(labelled (Generators.line (Array.length hosts)) link)
+
+let switches_needed ~n_hosts ~ports =
+  if ports < 3 then invalid_arg "Topology.switches_needed: ports >= 3 required";
+  if n_hosts < 1 then invalid_arg "Topology.switches_needed: at least one host";
+  (* A chain of s switches spends 2*(s-1) ports on inter-switch cables,
+     leaving s*ports - 2*(s-1) for hosts. Find the least such s. *)
+  let rec search s =
+    if (s * ports) - (2 * (s - 1)) >= n_hosts then s else search (s + 1)
+  in
+  search 1
+
+let mesh ~hosts ~rows ~cols ~link =
+  if rows * cols <> Array.length hosts then
+    invalid_arg "Topology.mesh: rows * cols <> host count";
+  if not (all_hosts hosts) then invalid_arg "Topology.mesh: non-host node given";
+  let id r c = (r * cols) + c in
+  let graph = Graph.create ~n:(rows * cols) () in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then ignore (Graph.add_edge graph (id r c) (id r (c + 1)) link);
+      if r + 1 < rows then ignore (Graph.add_edge graph (id r c) (id (r + 1) c) link)
+    done
+  done;
+  Cluster.create ~nodes:(Array.copy hosts) ~graph
+
+let hypercube ~hosts ~link =
+  let n = Array.length hosts in
+  if n = 0 || n land (n - 1) <> 0 then
+    invalid_arg "Topology.hypercube: host count must be a power of two";
+  if not (all_hosts hosts) then invalid_arg "Topology.hypercube: non-host node given";
+  let graph = Graph.create ~n () in
+  let bit = ref 1 in
+  while !bit < n do
+    for v = 0 to n - 1 do
+      if v land !bit = 0 then ignore (Graph.add_edge graph v (v lor !bit) link)
+    done;
+    bit := !bit lsl 1
+  done;
+  Cluster.create ~nodes:(Array.copy hosts) ~graph
+
+let fat_tree ~hosts ~k ~link =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
+  let half = k / 2 in
+  let n_hosts = k * half * half in
+  if Array.length hosts <> n_hosts then
+    invalid_arg "Topology.fat_tree: host count must be k^3/4";
+  if not (all_hosts hosts) then invalid_arg "Topology.fat_tree: non-host node given";
+  let n_edge = k * half and n_agg = k * half and n_core = half * half in
+  let edge_base = n_hosts in
+  let agg_base = edge_base + n_edge in
+  let core_base = agg_base + n_agg in
+  let nodes =
+    Array.concat
+      [
+        hosts;
+        Array.init n_edge (fun i -> Node.switch ~name:(Printf.sprintf "edge%d" i));
+        Array.init n_agg (fun i -> Node.switch ~name:(Printf.sprintf "agg%d" i));
+        Array.init n_core (fun i -> Node.switch ~name:(Printf.sprintf "core%d" i));
+      ]
+  in
+  let graph = Graph.create ~n:(Array.length nodes) () in
+  for pod = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      let edge_sw = edge_base + (pod * half) + e in
+      (* Hosts under this edge switch. *)
+      for h = 0 to half - 1 do
+        let host = (pod * half * half) + (e * half) + h in
+        ignore (Graph.add_edge graph host edge_sw link)
+      done;
+      (* Full bipartite edge-agg mesh within the pod. *)
+      for a = 0 to half - 1 do
+        ignore (Graph.add_edge graph edge_sw (agg_base + (pod * half) + a) link)
+      done
+    done;
+    (* Aggregation switch a of each pod connects to core switches
+       a*half .. a*half + half - 1. *)
+    for a = 0 to half - 1 do
+      let agg_sw = agg_base + (pod * half) + a in
+      for c = 0 to half - 1 do
+        ignore (Graph.add_edge graph agg_sw (core_base + (a * half) + c) link)
+      done
+    done
+  done;
+  Cluster.create ~nodes ~graph
+
+let switched ~hosts ~ports ~link =
+  if not (all_hosts hosts) then invalid_arg "Topology.switched: non-host node given";
+  let h = Array.length hosts in
+  let s = switches_needed ~n_hosts:h ~ports in
+  let nodes =
+    Array.append hosts
+      (Array.init s (fun i -> Node.switch ~name:(Printf.sprintf "sw%d" i)))
+  in
+  let graph = Graph.create ~n:(h + s) () in
+  (* Chain the switches. *)
+  for i = 0 to s - 2 do
+    ignore (Graph.add_edge graph (h + i) (h + i + 1) link)
+  done;
+  (* Fill switches with hosts in order, respecting per-switch free
+     ports: interior switches lose two ports to the chain, end switches
+     one (or none when s = 1). *)
+  let free_ports i =
+    if s = 1 then ports
+    else if i = 0 || i = s - 1 then ports - 1
+    else ports - 2
+  in
+  let next_host = ref 0 in
+  for i = 0 to s - 1 do
+    let quota = ref (free_ports i) in
+    while !quota > 0 && !next_host < h do
+      ignore (Graph.add_edge graph !next_host (h + i) link);
+      incr next_host;
+      decr quota
+    done
+  done;
+  assert (!next_host = h);
+  Cluster.create ~nodes ~graph

@@ -1,0 +1,43 @@
+(** Builders for the physical topologies evaluated in the paper (2-D
+    torus and cascaded switches) plus the ring/line shapes its related
+    work mentions.
+
+    Every builder takes the host nodes to place and a link profile used
+    for every physical cable, and returns a connected {!Cluster.t}. *)
+
+val torus : hosts:Node.t array -> rows:int -> cols:int -> link:Link.t -> Cluster.t
+(** [rows * cols] must equal the host count. Each host gets the four
+    wrap-around grid neighbours (fewer along dimensions of size <= 2). *)
+
+val ring : hosts:Node.t array -> link:Link.t -> Cluster.t
+(** Hosts on a cycle; requires at least 3 hosts. *)
+
+val line : hosts:Node.t array -> link:Link.t -> Cluster.t
+(** Hosts on a path; requires at least 1 host. *)
+
+val switched : hosts:Node.t array -> ports:int -> link:Link.t -> Cluster.t
+(** Hosts hang off a chain of [ports]-port switches, as in the paper's
+    "cascade 64-port switches" setup. The minimal number of switches is
+    used: a chain of [s] switches offers [s * ports - 2 * (s - 1)]
+    host ports. Hosts fill switches in order. Requires [ports >= 3]
+    and at least 1 host. Switch nodes are appended after the host
+    nodes, so host ids are [0 .. n_hosts - 1]. *)
+
+val switches_needed : n_hosts:int -> ports:int -> int
+(** Number of switches {!switched} will chain. *)
+
+val mesh : hosts:Node.t array -> rows:int -> cols:int -> link:Link.t -> Cluster.t
+(** Plain [rows]×[cols] grid (no wrap-around) — the torus's
+    little sibling, with higher diameter. *)
+
+val hypercube : hosts:Node.t array -> link:Link.t -> Cluster.t
+(** d-dimensional hypercube: requires a power-of-two host count; hosts
+    whose ids differ in exactly one bit are adjacent. *)
+
+val fat_tree : hosts:Node.t array -> k:int -> link:Link.t -> Cluster.t
+(** k-ary fat-tree (Al-Fahoum/Leiserson-style data-center fabric): [k]
+    even, [k >= 2], exactly [k^3 / 4] hosts. Each of the [k] pods has
+    [k/2] edge and [k/2] aggregation switches; [(k/2)^2] core switches
+    join the pods. Hosts are nodes [0 .. k^3/4 - 1]; switches are
+    appended after them. The fabric provides many equal-cost paths, a
+    good stress test for the Networking stage's bottleneck routing. *)

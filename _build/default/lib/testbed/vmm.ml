@@ -1,0 +1,20 @@
+type t = {
+  mips : float;
+  mem_mb : float;
+  stor_gb : float;
+}
+
+let none = { mips = 0.; mem_mb = 0.; stor_gb = 0. }
+
+let xen_like = { mips = 50.; mem_mb = 64.; stor_gb = 4. }
+
+let make ~mips ~mem_mb ~stor_gb =
+  if mips < 0. || mem_mb < 0. || stor_gb < 0. then
+    invalid_arg "Vmm.make: negative overhead";
+  { mips; mem_mb; stor_gb }
+
+let deduct (cap : Resources.t) t =
+  Resources.make
+    ~mips:(Float.max 0. (cap.Resources.mips -. t.mips))
+    ~mem_mb:(Float.max 0. (cap.Resources.mem_mb -. t.mem_mb))
+    ~stor_gb:(Float.max 0. (cap.Resources.stor_gb -. t.stor_gb))

@@ -1,0 +1,27 @@
+(** Virtual machine monitor overhead.
+
+    The paper (§3.1) requires that the resources consumed by the VMM on
+    each host be deducted from that host's availability before mapping.
+    This module is that deduction. *)
+
+type t = {
+  mips : float;
+  mem_mb : float;
+  stor_gb : float;
+}
+
+val none : t
+(** Zero overhead. *)
+
+val xen_like : t
+(** A representative paravirtualized-VMM footprint (64 MB dom0 memory,
+    4 GB system storage, 50 MIPS of background CPU). Default for the
+    generated clusters. *)
+
+val make : mips:float -> mem_mb:float -> stor_gb:float -> t
+(** Raises [Invalid_argument] on negative components. *)
+
+val deduct : Resources.t -> t -> Resources.t
+(** Host capacity after the VMM takes its share; components clamp at
+    zero (an overhead larger than the host leaves nothing, not a
+    negative capacity). *)

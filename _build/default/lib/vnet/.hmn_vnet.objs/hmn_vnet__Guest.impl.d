@@ -1,0 +1,1 @@
+lib/vnet/guest.ml: Format Hmn_testbed

@@ -1,0 +1,1 @@
+lib/vnet/guest.mli: Format Hmn_testbed

@@ -1,0 +1,1 @@
+lib/vnet/venv_gen.ml: Array Guest Hmn_graph Hmn_testbed Printf Virtual_env Workload

@@ -1,0 +1,1 @@
+lib/vnet/venv_gen.mli: Hmn_rng Hmn_testbed Virtual_env Workload

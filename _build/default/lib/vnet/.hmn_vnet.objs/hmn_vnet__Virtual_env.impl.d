@@ -1,0 +1,1 @@
+lib/vnet/virtual_env.ml: Array Format Guest Hmn_graph Hmn_testbed Vlink

@@ -1,0 +1,1 @@
+lib/vnet/vlink.ml: Format Hmn_prelude

@@ -1,0 +1,1 @@
+lib/vnet/vlink.mli: Format

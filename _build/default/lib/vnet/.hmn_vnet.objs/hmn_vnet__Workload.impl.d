@@ -1,0 +1,1 @@
+lib/vnet/workload.ml: Hmn_prelude Hmn_rng Hmn_testbed Vlink

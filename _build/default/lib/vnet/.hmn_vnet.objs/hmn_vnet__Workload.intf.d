@@ -1,0 +1,1 @@
+lib/vnet/workload.mli: Hmn_rng Hmn_testbed Vlink

@@ -1,0 +1,9 @@
+type t = {
+  name : string;
+  demand : Hmn_testbed.Resources.t;
+}
+
+let make ~name ~demand = { name; demand }
+
+let pp ppf t =
+  Format.fprintf ppf "guest %s %a" t.name Hmn_testbed.Resources.pp t.demand

@@ -1,0 +1,10 @@
+(** A guest (virtual machine) of the emulated environment: a name and a
+    resource demand vector [vproc/vmem/vstor] (paper §3.2). *)
+
+type t = {
+  name : string;
+  demand : Hmn_testbed.Resources.t;
+}
+
+val make : name:string -> demand:Hmn_testbed.Resources.t -> t
+val pp : Format.formatter -> t -> unit

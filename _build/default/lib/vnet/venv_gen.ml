@@ -1,0 +1,71 @@
+module Graph = Hmn_graph.Graph
+module Resources = Hmn_testbed.Resources
+
+let expected_vlinks ~n ~density = Hmn_graph.Generators.expected_edges ~n ~density
+
+let rescale_demands guests ~cluster ~frac =
+  let total =
+    Array.fold_left
+      (fun acc g -> Resources.add acc g.Guest.demand)
+      Resources.zero guests
+  in
+  let cap = Hmn_testbed.Cluster.total_capacity cluster in
+  let factor demand capacity =
+    let target = frac *. capacity in
+    if demand > target && demand > 0. then target /. demand else 1.
+  in
+  let mem_f = factor total.Resources.mem_mb cap.Resources.mem_mb in
+  let stor_f = factor total.Resources.stor_gb cap.Resources.stor_gb in
+  if mem_f >= 1. && stor_f >= 1. then guests
+  else
+    Array.map
+      (fun g ->
+        let d = g.Guest.demand in
+        Guest.make ~name:g.Guest.name
+          ~demand:
+            (Resources.make ~mips:d.Resources.mips
+               ~mem_mb:(d.Resources.mem_mb *. mem_f)
+               ~stor_gb:(d.Resources.stor_gb *. stor_f)))
+      guests
+
+type shape =
+  | Random_connected of float
+  | Star
+  | Random_tree
+  | Barabasi_albert of int
+  | Waxman of float * float
+
+let build_shape shape ~n ~rng =
+  match shape with
+  | Random_connected density -> Hmn_graph.Generators.random_connected ~n ~density ~rng
+  | Star -> Hmn_graph.Generators.star n
+  | Random_tree -> Hmn_graph.Generators.random_tree ~n ~rng
+  | Barabasi_albert m -> Hmn_graph.Generators.barabasi_albert ~n ~m ~rng
+  | Waxman (alpha, beta) -> Hmn_graph.Generators.waxman ~n ~alpha ~beta ~rng
+
+let from_topology ?scale_to_fit ~profile ~rng topology =
+  let n = Graph.n_nodes topology in
+  let graph =
+    Graph.map_labels topology ~f:(fun ~eid:_ () -> Workload.draw_vlink profile rng)
+  in
+  let guests =
+    Array.init n (fun i ->
+        Guest.make
+          ~name:(Printf.sprintf "vm%d" i)
+          ~demand:(Workload.draw_demand profile rng))
+  in
+  let guests =
+    match scale_to_fit with
+    | None -> guests
+    | Some (cluster, frac) ->
+      if frac <= 0. then invalid_arg "Venv_gen.generate: non-positive fit fraction";
+      rescale_demands guests ~cluster ~frac
+  in
+  Virtual_env.create ~guests ~graph
+
+let generate ?scale_to_fit ~profile ~n ~density ~rng () =
+  from_topology ?scale_to_fit ~profile ~rng
+    (Hmn_graph.Generators.random_connected ~n ~density ~rng)
+
+let generate_shaped ?scale_to_fit ~profile ~n ~shape ~rng () =
+  from_topology ?scale_to_fit ~profile ~rng (build_shape shape ~n ~rng)

@@ -1,0 +1,40 @@
+module Dist = Hmn_rng.Dist
+
+type profile = {
+  label : string;
+  mips : Dist.t;
+  mem_mb : Dist.t;
+  stor_gb : Dist.t;
+  bandwidth_mbps : Dist.t;
+  latency_ms : Dist.t;
+}
+
+let high_level =
+  {
+    label = "high-level";
+    mips = Dist.Uniform (50., 100.);
+    mem_mb = Dist.Uniform (128., 256.);
+    stor_gb = Dist.Uniform (100., 200.);
+    bandwidth_mbps = Dist.Uniform (0.5, 1.);
+    latency_ms = Dist.Uniform (30., 60.);
+  }
+
+let low_level =
+  {
+    label = "low-level";
+    mips = Dist.Uniform (19., 38.);
+    mem_mb = Dist.Uniform (19., 38.);
+    stor_gb = Dist.Uniform (19., 38.);
+    bandwidth_mbps =
+      Dist.Uniform (Hmn_prelude.Units.mbps_of_kbps 87., Hmn_prelude.Units.mbps_of_kbps 175.);
+    latency_ms = Dist.Uniform (30., 60.);
+  }
+
+let draw_demand p rng =
+  Hmn_testbed.Resources.make ~mips:(Dist.draw p.mips rng)
+    ~mem_mb:(Dist.draw p.mem_mb rng) ~stor_gb:(Dist.draw p.stor_gb rng)
+
+let draw_vlink p rng =
+  Vlink.make
+    ~bandwidth_mbps:(Dist.draw p.bandwidth_mbps rng)
+    ~latency_ms:(Dist.draw p.latency_ms rng)

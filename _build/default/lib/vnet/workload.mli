@@ -1,0 +1,27 @@
+(** Workload profiles: the resource and network-requirement
+    distributions of the two use cases in the paper's evaluation
+    (§5, Table 1). *)
+
+type profile = {
+  label : string;
+  mips : Hmn_rng.Dist.t;  (** guest CPU demand *)
+  mem_mb : Hmn_rng.Dist.t;
+  stor_gb : Hmn_rng.Dist.t;
+  bandwidth_mbps : Hmn_rng.Dist.t;  (** virtual-link bandwidth *)
+  latency_ms : Hmn_rng.Dist.t;  (** virtual-link latency bound *)
+}
+
+val high_level : profile
+(** "High-level application" testing (grid/cloud middleware): fat
+    guests — memory U[128, 256] MB, storage U[100, 200] GB, CPU
+    U[50, 100] MIPS; links U[0.5, 1] Mbps with latency bound
+    U[30, 60] ms. Used for guest:host ratios up to 10:1. *)
+
+val low_level : profile
+(** "Low-level application" testing (e.g. P2P protocols): thin guests —
+    memory U[19, 38] MB, storage U[19, 38] GB, CPU U[19, 38] MIPS;
+    links U[87, 175] kbps with latency bound U[30, 60] ms. Used for
+    ratios 20:1 and above. *)
+
+val draw_demand : profile -> Hmn_rng.Rng.t -> Hmn_testbed.Resources.t
+val draw_vlink : profile -> Hmn_rng.Rng.t -> Vlink.t

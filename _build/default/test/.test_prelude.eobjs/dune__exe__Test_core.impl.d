@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hmn_core Hmn_graph Hmn_mapping Hmn_prelude Hmn_rng Hmn_routing Hmn_testbed Hmn_vnet List Option Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Float Fun Gen Hashtbl Hmn_dstruct Hmn_rng Int List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_emulation.ml: Alcotest Array Float Hmn_core Hmn_emulation Hmn_graph Hmn_mapping Hmn_rng Hmn_routing Hmn_testbed Hmn_vnet List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Hashtbl Hmn_core Hmn_emulation Hmn_experiments Hmn_mapping Hmn_rng Hmn_testbed Hmn_vnet Lazy List String

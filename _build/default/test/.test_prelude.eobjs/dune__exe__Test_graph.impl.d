@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Hashtbl Hmn_graph Hmn_prelude Hmn_rng List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Fun Hmn_core Hmn_graph Hmn_io Hmn_mapping Hmn_prelude Hmn_rng Hmn_testbed Hmn_vnet List QCheck QCheck_alcotest Result Sys

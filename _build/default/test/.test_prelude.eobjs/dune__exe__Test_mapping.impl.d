@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Array Format Hmn_graph Hmn_mapping Hmn_rng Hmn_routing Hmn_testbed Hmn_vnet List Option Printf QCheck QCheck_alcotest Result Seq String

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Array_ext Float Float_ext Format Fun Gen Hashtbl Hmn_prelude Json List List_ext Pretty_table QCheck QCheck_alcotest Result String Units

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Fun Gen Hmn_prelude Hmn_rng List QCheck QCheck_alcotest

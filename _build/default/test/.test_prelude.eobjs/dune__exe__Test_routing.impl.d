@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Float Hmn_graph Hmn_prelude Hmn_rng Hmn_routing Hmn_testbed Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Float Gen Hmn_simcore List QCheck QCheck_alcotest

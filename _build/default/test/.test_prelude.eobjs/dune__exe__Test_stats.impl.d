@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Format Gen Hmn_prelude Hmn_stats List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_testbed.ml: Alcotest Array Float Hmn_graph Hmn_rng Hmn_testbed Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vnet.ml: Alcotest Array Hmn_graph Hmn_prelude Hmn_rng Hmn_testbed Hmn_vnet List Printf QCheck QCheck_alcotest

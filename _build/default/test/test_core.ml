@@ -1,0 +1,796 @@
+(* Tests for hmn_core: the three HMN stages, the assembled heuristic,
+   the R/RA/HS baselines and the bin-packing extensions. The overall
+   invariant — every mapping any heuristic returns satisfies
+   Eqs. (1)-(9) — is checked both on hand-built fixtures and as a
+   property over random instances. *)
+
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Node = Hmn_testbed.Node
+module Link = Hmn_testbed.Link
+module Resources = Hmn_testbed.Resources
+module Guest = Hmn_vnet.Guest
+module Vlink = Hmn_vnet.Vlink
+module Venv = Hmn_vnet.Virtual_env
+module Problem = Hmn_mapping.Problem
+module Placement = Hmn_mapping.Placement
+module Objective = Hmn_mapping.Objective
+module Constraints = Hmn_mapping.Constraints
+module Mapper = Hmn_core.Mapper
+module Hosting = Hmn_core.Hosting
+module Migration = Hmn_core.Migration
+module Networking = Hmn_core.Networking
+module Hmn = Hmn_core.Hmn
+module Baselines = Hmn_core.Baselines
+module Packing = Hmn_core.Packing
+module Registry = Hmn_core.Registry
+
+let host ?(mips = 2000.) ?(mem = 2048.) ?(stor = 1000.) i =
+  Node.host
+    ~name:(Printf.sprintf "h%d" i)
+    ~capacity:(Resources.make ~mips ~mem_mb:mem ~stor_gb:stor)
+
+let guest ?(mips = 100.) ?(mem = 200.) ?(stor = 10.) name =
+  Guest.make ~name ~demand:(Resources.make ~mips ~mem_mb:mem ~stor_gb:stor)
+
+let line_cluster n = Hmn_testbed.Topology.line ~hosts:(Array.init n (host ?mips:None ?mem:None ?stor:None)) ~link:Link.gigabit
+
+(* Random Table-1-style instance used by integration properties. *)
+let random_problem ~seed ~n_guests =
+  let rng = Hmn_rng.Rng.create seed in
+  let cluster =
+    Hmn_testbed.Cluster_gen.torus_cluster ~vmm:Hmn_testbed.Vmm.none ~rows:4 ~cols:5
+      ~rng ()
+  in
+  let venv =
+    Hmn_vnet.Venv_gen.generate
+      ~scale_to_fit:(cluster, 0.8)
+      ~profile:Hmn_vnet.Workload.high_level ~n:n_guests ~density:0.04 ~rng ()
+  in
+  Problem.make ~cluster ~venv
+
+(* ---- Hosting ---- *)
+
+let test_hosting_affinity_colocates () =
+  (* Two guests joined by a fat link and roomy hosts: both land on the
+     same host. *)
+  let cluster = line_cluster 3 in
+  let guests = [| guest "a"; guest "b" |] in
+  let vg = Graph.create ~n:2 () in
+  ignore (Graph.add_edge vg 0 1 (Vlink.make ~bandwidth_mbps:50. ~latency_ms:40.));
+  let problem = Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:vg) in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p ->
+    Alcotest.(check bool) "all assigned" true (Placement.all_assigned p);
+    Alcotest.(check bool) "co-located" true
+      (Placement.host_of p ~guest:0 = Placement.host_of p ~guest:1)
+
+let test_hosting_splits_when_too_big () =
+  (* Each guest needs 1500 MB; hosts have 2048 MB: the pair cannot
+     share, so Hosting must split them across hosts. *)
+  let cluster = line_cluster 3 in
+  let guests = [| guest ~mem:1500. "a"; guest ~mem:1500. "b" |] in
+  let vg = Graph.create ~n:2 () in
+  ignore (Graph.add_edge vg 0 1 (Vlink.make ~bandwidth_mbps:50. ~latency_ms:40.));
+  let problem = Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:vg) in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p ->
+    Alcotest.(check bool) "split" true
+      (Placement.host_of p ~guest:0 <> Placement.host_of p ~guest:1)
+
+let test_hosting_processes_links_by_bandwidth () =
+  Alcotest.(check bool) "sorted_vlinks descending" true
+    (let problem = random_problem ~seed:1 ~n_guests:40 in
+     let order = Hosting.sorted_vlinks problem in
+     let venv = problem.Problem.venv in
+     let ok = ref true in
+     for i = 0 to Array.length order - 2 do
+       let bw e = (Venv.vlink venv e).Vlink.bandwidth_mbps in
+       if bw order.(i) < bw order.(i + 1) then ok := false
+     done;
+     !ok)
+
+let test_hosting_isolated_guests () =
+  (* Guests with no virtual links still get placed. *)
+  let cluster = line_cluster 2 in
+  let guests = [| guest "a"; guest "b"; guest "c" |] in
+  let vg = Graph.create ~n:3 () in
+  ignore (Graph.add_edge vg 0 1 (Vlink.make ~bandwidth_mbps:1. ~latency_ms:40.));
+  let problem = Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:vg) in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p -> Alcotest.(check bool) "all assigned" true (Placement.all_assigned p)
+
+let test_hosting_fails_when_impossible () =
+  let cluster = line_cluster 2 in
+  (* One guest larger than any host's memory. *)
+  let guests = [| guest ~mem:5000. "huge" |] in
+  let problem =
+    Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:(Graph.create ~n:1 ()))
+  in
+  match Hosting.run problem with
+  | Ok _ -> Alcotest.fail "expected hosting failure"
+  | Error f -> Alcotest.(check string) "stage" "hosting" f.Mapper.stage
+
+let test_hosting_prefers_cpu_available_host () =
+  (* With no affinity pressure, the first pair goes to the most
+     CPU-available host. *)
+  let hosts = [| host ~mips:500. 0; host ~mips:3000. 1; host ~mips:1000. 2 |] in
+  let cluster = Hmn_testbed.Topology.line ~hosts ~link:Link.gigabit in
+  let guests = [| guest "a"; guest "b" |] in
+  let vg = Graph.create ~n:2 () in
+  ignore (Graph.add_edge vg 0 1 (Vlink.make ~bandwidth_mbps:1. ~latency_ms:40.));
+  let problem = Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:vg) in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p ->
+    Alcotest.(check (option int)) "fat host chosen" (Some 1)
+      (Placement.host_of p ~guest:0)
+
+(* ---- Migration ---- *)
+
+let test_migration_improves_or_keeps_lbf () =
+  let problem = random_problem ~seed:2 ~n_guests:60 in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p ->
+    let stats = Migration.run p in
+    Alcotest.(check bool) "LBF non-increasing" true
+      (stats.Migration.lbf_after <= stats.Migration.lbf_before +. 1e-9);
+    Alcotest.(check (float 1e-9)) "lbf_after is current" stats.Migration.lbf_after
+      (Objective.load_balance_factor p)
+
+let test_migration_balances_obvious_imbalance () =
+  (* All guests crammed on one host of three equal hosts: migration
+     must spread them. *)
+  let cluster = line_cluster 3 in
+  let guests = Array.init 6 (fun i -> guest (Printf.sprintf "g%d" i)) in
+  let vg = Graph.create ~n:6 () in
+  let problem = Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:vg) in
+  let p = Placement.create problem in
+  for g = 0 to 5 do
+    ignore (Placement.assign p ~guest:g ~host:0)
+  done;
+  let stats = Migration.run p in
+  Alcotest.(check bool) "moved some" true (stats.Migration.moves > 0);
+  Alcotest.(check bool) "strictly better" true
+    (stats.Migration.lbf_after < stats.Migration.lbf_before);
+  (* Perfect balance is achievable: 2 guests per host. *)
+  Alcotest.(check (float 1e-6)) "perfectly balanced" 0. stats.Migration.lbf_after
+
+let test_migration_victim_choice () =
+  (* The victim is the guest with the least bandwidth to co-located
+     guests. *)
+  let cluster = line_cluster 2 in
+  let guests = [| guest "a"; guest "b"; guest "c" |] in
+  let vg = Graph.create ~n:3 () in
+  ignore (Graph.add_edge vg 0 1 (Vlink.make ~bandwidth_mbps:100. ~latency_ms:40.));
+  ignore (Graph.add_edge vg 1 2 (Vlink.make ~bandwidth_mbps:1. ~latency_ms:40.));
+  let problem = Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:vg) in
+  let p = Placement.create problem in
+  for g = 0 to 2 do
+    ignore (Placement.assign p ~guest:g ~host:0)
+  done;
+  Alcotest.(check (float 1e-9)) "a colocated bw" 100.
+    (Migration.colocated_bandwidth p ~guest:0);
+  Alcotest.(check (float 1e-9)) "b colocated bw" 101.
+    (Migration.colocated_bandwidth p ~guest:1);
+  Alcotest.(check (float 1e-9)) "c colocated bw" 1.
+    (Migration.colocated_bandwidth p ~guest:2);
+  ignore (Migration.run p);
+  (* Guest c (cheapest to move) must be the one that left host 0. *)
+  Alcotest.(check (option int)) "c moved" (Some 1) (Placement.host_of p ~guest:2);
+  Alcotest.(check (option int)) "a stayed" (Some 0) (Placement.host_of p ~guest:0)
+
+let test_migration_max_moves_cap () =
+  let problem = random_problem ~seed:3 ~n_guests:60 in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p ->
+    let stats = Migration.run ~max_moves:1 p in
+    Alcotest.(check bool) "capped" true (stats.Migration.moves <= 1)
+
+(* ---- Networking ---- *)
+
+let test_networking_routes_all () =
+  let problem = random_problem ~seed:4 ~n_guests:50 in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p -> (
+    match Networking.run p with
+    | Error f -> Alcotest.fail f.Mapper.reason
+    | Ok (lm, stats) ->
+      Alcotest.(check bool) "all mapped" true (Hmn_mapping.Link_map.all_mapped lm);
+      Alcotest.(check int) "routed + intra = links"
+        (Venv.n_vlinks problem.Problem.venv)
+        (stats.Networking.routed + stats.Networking.intra_host))
+
+let test_networking_intra_host_free () =
+  (* Both guests on one host: no bandwidth may be consumed anywhere. *)
+  let cluster = line_cluster 2 in
+  let guests = [| guest "a"; guest "b" |] in
+  let vg = Graph.create ~n:2 () in
+  ignore (Graph.add_edge vg 0 1 (Vlink.make ~bandwidth_mbps:500. ~latency_ms:40.));
+  let problem = Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:vg) in
+  let p = Placement.create problem in
+  ignore (Placement.assign p ~guest:0 ~host:0);
+  ignore (Placement.assign p ~guest:1 ~host:0);
+  match Networking.run p with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok (lm, stats) ->
+    Alcotest.(check int) "intra count" 1 stats.Networking.intra_host;
+    let residual = Hmn_mapping.Link_map.residual lm in
+    Alcotest.(check (float 1e-9)) "no bandwidth used" 1000.
+      (Hmn_routing.Residual.available residual 0)
+
+let test_networking_fails_on_infeasible_demand () =
+  (* A virtual link demanding more than the physical capacity between
+     two separated guests. *)
+  let cluster = line_cluster 2 in
+  let guests = [| guest "a"; guest "b" |] in
+  let vg = Graph.create ~n:2 () in
+  ignore (Graph.add_edge vg 0 1 (Vlink.make ~bandwidth_mbps:2000. ~latency_ms:40.));
+  let problem = Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:vg) in
+  let p = Placement.create problem in
+  ignore (Placement.assign p ~guest:0 ~host:0);
+  ignore (Placement.assign p ~guest:1 ~host:1);
+  match Networking.run p with
+  | Ok _ -> Alcotest.fail "expected networking failure"
+  | Error f -> Alcotest.(check string) "stage" "networking" f.Mapper.stage
+
+let test_networking_incomplete_placement_rejected () =
+  let problem = random_problem ~seed:5 ~n_guests:10 in
+  let p = Placement.create problem in
+  Alcotest.check_raises "incomplete"
+    (Invalid_argument "Networking.run: placement is incomplete") (fun () ->
+      ignore (Networking.run p))
+
+(* ---- HMN end-to-end ---- *)
+
+let test_hmn_end_to_end_valid () =
+  let problem = random_problem ~seed:6 ~n_guests:80 in
+  let outcome, report = Hmn.run_detailed problem in
+  match outcome.Mapper.result with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok mapping ->
+    Alcotest.(check int) "no violations" 0 (List.length (Constraints.check mapping));
+    Alcotest.(check bool) "migration ran" true
+      (report.Hmn.migration_stats <> None);
+    Alcotest.(check bool) "networking ran" true
+      (report.Hmn.networking_stats <> None);
+    Alcotest.(check bool) "stage times recorded" true
+      (List.length outcome.Mapper.stage_seconds = 3)
+
+let test_hmn_beats_or_ties_no_migration () =
+  (* The Migration stage can only improve the placement objective. *)
+  let problem = random_problem ~seed:7 ~n_guests:80 in
+  match ((Hmn.run problem).Mapper.result, (Hmn.without_migration problem).Mapper.result)
+  with
+  | Ok full, Ok ablated ->
+    Alcotest.(check bool) "HMN <= HN" true
+      (Hmn_mapping.Mapping.objective full
+      <= Hmn_mapping.Mapping.objective ablated +. 1e-9)
+  | _ -> Alcotest.fail "both variants should succeed on this instance"
+
+let test_hmn_deterministic () =
+  let problem = random_problem ~seed:8 ~n_guests:50 in
+  match ((Hmn.run problem).Mapper.result, (Hmn.run problem).Mapper.result) with
+  | Ok a, Ok b ->
+    Alcotest.(check (float 1e-12)) "same objective"
+      (Hmn_mapping.Mapping.objective a)
+      (Hmn_mapping.Mapping.objective b)
+  | _ -> Alcotest.fail "expected success"
+
+(* ---- Baselines ---- *)
+
+let run_mapper mapper ~seed problem =
+  mapper.Mapper.run ~rng:(Hmn_rng.Rng.create seed) problem
+
+let test_baselines_produce_valid_mappings () =
+  let problem = random_problem ~seed:9 ~n_guests:60 in
+  List.iter
+    (fun mapper ->
+      match (run_mapper mapper ~seed:1 problem).Mapper.result with
+      | Error f ->
+        Alcotest.failf "%s failed: %s" mapper.Mapper.name f.Mapper.reason
+      | Ok mapping ->
+        Alcotest.(check int)
+          (mapper.Mapper.name ^ " violations")
+          0
+          (List.length (Constraints.check mapping)))
+    (Registry.paper ~max_tries:100 ())
+
+let test_random_mapper_counts_tries () =
+  let problem = random_problem ~seed:10 ~n_guests:30 in
+  let outcome = run_mapper (Baselines.random ~max_tries:100 ()) ~seed:2 problem in
+  Alcotest.(check bool) "tries >= 1" true (outcome.Mapper.tries >= 1);
+  match outcome.Mapper.result with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "easy instance should map"
+
+let test_random_mapper_try_budget_exhausts () =
+  (* An unmappable instance: guest larger than every host. *)
+  let cluster = line_cluster 2 in
+  let guests = [| guest ~mem:5000. "huge" |] in
+  let problem =
+    Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:(Graph.create ~n:1 ()))
+  in
+  let outcome = run_mapper (Baselines.random ~max_tries:7 ()) ~seed:3 problem in
+  Alcotest.(check int) "tries = budget" 7 outcome.Mapper.tries;
+  Alcotest.(check bool) "failed" true (Result.is_error outcome.Mapper.result)
+
+let test_hs_does_not_retry_hosting () =
+  (* HS fails immediately (tries = 1) when Hosting fails. *)
+  let cluster = line_cluster 2 in
+  let guests = [| guest ~mem:5000. "huge" |] in
+  let problem =
+    Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:(Graph.create ~n:1 ()))
+  in
+  let outcome = run_mapper (Baselines.hosting_search ~max_tries:50 ()) ~seed:4 problem in
+  Alcotest.(check int) "single try" 1 outcome.Mapper.tries;
+  match outcome.Mapper.result with
+  | Error f -> Alcotest.(check string) "hosting stage" "hosting" f.Mapper.stage
+  | Ok _ -> Alcotest.fail "expected failure"
+
+let test_dfs_route_all_valid () =
+  let problem = random_problem ~seed:11 ~n_guests:40 in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p -> (
+    match Baselines.dfs_route_all ~rng:(Hmn_rng.Rng.create 5) p with
+    | Error f -> Alcotest.fail f.Mapper.reason
+    | Ok lm ->
+      let mapping = Hmn_mapping.Mapping.make ~placement:p ~link_map:lm in
+      Alcotest.(check int) "valid" 0 (List.length (Constraints.check mapping)))
+
+(* ---- Packing ---- *)
+
+let test_packing_strategies_valid () =
+  let problem = random_problem ~seed:12 ~n_guests:60 in
+  List.iter
+    (fun strategy ->
+      match Packing.place strategy problem with
+      | Error f -> Alcotest.failf "%s: %s" (Packing.strategy_name strategy) f.Mapper.reason
+      | Ok p ->
+        Alcotest.(check bool)
+          (Packing.strategy_name strategy ^ " complete")
+          true (Placement.all_assigned p))
+    [ Packing.First_fit; Packing.Best_fit; Packing.Worst_fit; Packing.Consolidate ]
+
+let test_consolidate_uses_fewer_hosts () =
+  let problem = random_problem ~seed:13 ~n_guests:40 in
+  match (Packing.place Packing.Consolidate problem, Packing.place Packing.Worst_fit problem)
+  with
+  | Ok cons, Ok worst ->
+    Alcotest.(check bool) "consolidation packs tighter" true
+      (Objective.active_hosts cons <= Objective.active_hosts worst)
+  | _ -> Alcotest.fail "placements should succeed"
+
+let test_worst_fit_balances_better () =
+  let problem = random_problem ~seed:14 ~n_guests:40 in
+  match (Packing.place Packing.Worst_fit problem, Packing.place Packing.Consolidate problem)
+  with
+  | Ok worst, Ok cons ->
+    Alcotest.(check bool) "WFD at least as balanced" true
+      (Objective.load_balance_factor worst
+      <= Objective.load_balance_factor cons +. 1e-9)
+  | _ -> Alcotest.fail "placements should succeed"
+
+(* ---- Exhaustive (OPT oracle) ---- *)
+
+(* Small instance where optimal balance is computable by hand: three
+   equal 1000-MIPS hosts, six equal 100-MIPS guests, no links. Perfect
+   balance (2 guests per host) has LBF 0. *)
+let test_exhaustive_known_optimum () =
+  let cluster = line_cluster 3 in
+  let hosts_mips = 2000. in
+  ignore hosts_mips;
+  let guests = Array.init 6 (fun i -> guest (Printf.sprintf "g%d" i)) in
+  let problem =
+    Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:(Graph.create ~n:6 ()))
+  in
+  match Hmn_core.Exhaustive.optimal_placement problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok (placement, lbf) ->
+    Alcotest.(check (float 1e-9)) "perfect balance" 0. lbf;
+    Alcotest.(check (float 1e-9)) "lbf consistent" lbf
+      (Objective.load_balance_factor placement)
+
+let test_exhaustive_rejects_large () =
+  let problem = random_problem ~seed:30 ~n_guests:50 in
+  match Hmn_core.Exhaustive.optimal_placement problem with
+  | Ok _ -> Alcotest.fail "expected a size rejection"
+  | Error f -> Alcotest.(check string) "stage" "exhaustive" f.Mapper.stage
+
+let test_exhaustive_infeasible () =
+  let cluster = line_cluster 2 in
+  let guests = [| guest ~mem:5000. "huge" |] in
+  let problem =
+    Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:(Graph.create ~n:1 ()))
+  in
+  match Hmn_core.Exhaustive.optimal_placement problem with
+  | Ok _ -> Alcotest.fail "expected infeasibility"
+  | Error f ->
+    Alcotest.(check string) "reason" "no feasible placement exists" f.Mapper.reason
+
+let prop_hmn_within_factor_of_opt =
+  (* On tiny instances, HMN's objective is never better than OPT and
+     the OPT mapping is valid. *)
+  QCheck.Test.make ~name:"OPT lower-bounds HMN on tiny instances" ~count:25
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 9100) in
+      let hosts =
+        Array.init 3 (fun i ->
+            host ~mips:(1000. +. (2000. *. Hmn_rng.Rng.float rng)) i)
+      in
+      let cluster = Hmn_testbed.Topology.ring ~hosts ~link:Hmn_testbed.Link.gigabit in
+      let venv =
+        Hmn_vnet.Venv_gen.generate ~profile:Hmn_vnet.Workload.high_level ~n:6
+          ~density:0.3 ~rng ()
+      in
+      let problem = Problem.make ~cluster ~venv in
+      match
+        ( Hmn_core.Exhaustive.optimal_placement problem,
+          (Hmn.run problem).Mapper.result )
+      with
+      | Error _, _ -> true
+      | Ok (_, opt_lbf), Ok hmn_mapping ->
+        Hmn_mapping.Mapping.objective hmn_mapping >= opt_lbf -. 1e-9
+      | Ok _, Error _ -> true)
+
+(* ---- Incremental ---- *)
+
+let live_handle ?(seed = 31) ?(n_guests = 60) () =
+  let problem = random_problem ~seed ~n_guests in
+  match (Hmn.run problem).Mapper.result with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok mapping -> Hmn_core.Incremental.create mapping
+
+let test_incremental_move_guest () =
+  let t = live_handle () in
+  let mapping = Hmn_core.Incremental.mapping t in
+  let placement = mapping.Hmn_mapping.Mapping.placement in
+  let cluster = (Hmn_mapping.Mapping.problem mapping).Problem.cluster in
+  let guest = 0 in
+  let origin = Placement.host_of_exn placement ~guest in
+  (* Pick any other host that fits the guest. *)
+  let target =
+    Array.to_list (Cluster.host_ids cluster)
+    |> List.find (fun h -> h <> origin && Placement.fits placement ~guest ~host:h)
+  in
+  (match Hmn_core.Incremental.move_guest t ~guest ~host:target with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (option int)) "moved" (Some target) (Placement.host_of placement ~guest);
+  Alcotest.(check int) "mapping still valid" 0
+    (List.length (Constraints.check mapping))
+
+let test_incremental_move_rollback () =
+  let t = live_handle () in
+  let mapping = Hmn_core.Incremental.mapping t in
+  let placement = mapping.Hmn_mapping.Mapping.placement in
+  (* Moving to a switch (non-host) must fail and leave everything
+     intact... the torus cluster has no switches, so instead move to a
+     host that cannot fit by filling criteria: use an out-of-range-free
+     approach — move onto the host it is already on is a no-op; use an
+     invalid target via a full host. Simply verify failure keeps
+     validity by attempting a move that cannot fit: find a host whose
+     residual memory is smaller than the guest's demand, if any. *)
+  let cluster = (Hmn_mapping.Mapping.problem mapping).Problem.cluster in
+  let venv = (Hmn_mapping.Mapping.problem mapping).Problem.venv in
+  let guest = 0 in
+  let demand = Venv.demand venv guest in
+  let non_fitting =
+    Array.to_list (Cluster.host_ids cluster)
+    |> List.find_opt (fun h ->
+           Placement.host_of placement ~guest <> Some h
+           && not
+                (Hmn_testbed.Resources.fits_mem_stor ~demand
+                   ~avail:(Placement.residual placement ~host:h)))
+  in
+  (match non_fitting with
+  | None -> () (* nothing to test on this seed; validity check below still runs *)
+  | Some target ->
+    let before = Placement.host_of placement ~guest in
+    Alcotest.(check bool) "move fails" true
+      (Result.is_error (Hmn_core.Incremental.move_guest t ~guest ~host:target));
+    Alcotest.(check (option int)) "guest unmoved" before
+      (Placement.host_of placement ~guest));
+  Alcotest.(check int) "still valid" 0 (List.length (Constraints.check mapping))
+
+let test_incremental_evacuate () =
+  let t = live_handle ~seed:32 () in
+  let mapping = Hmn_core.Incremental.mapping t in
+  let placement = mapping.Hmn_mapping.Mapping.placement in
+  let cluster = (Hmn_mapping.Mapping.problem mapping).Problem.cluster in
+  (* Evacuate the busiest host. *)
+  let host =
+    Hmn_prelude.Array_ext.max_by
+      (fun h -> float_of_int (Placement.n_guests_on placement ~host:h))
+      (Cluster.host_ids cluster)
+  in
+  let before = Placement.n_guests_on placement ~host in
+  Alcotest.(check bool) "has guests to move" true (before > 0);
+  (match Hmn_core.Incremental.evacuate_host t ~host with
+  | Ok moved -> Alcotest.(check int) "all moved" before moved
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "host empty" 0 (Placement.n_guests_on placement ~host);
+  Alcotest.(check int) "still valid" 0 (List.length (Constraints.check mapping))
+
+let test_incremental_rebalance () =
+  (* Build a deliberately unbalanced valid mapping: place everything
+     with the consolidating packer, then rebalance. *)
+  let problem = random_problem ~seed:33 ~n_guests:60 in
+  match Packing.place Packing.Consolidate problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok placement -> (
+    match Networking.run placement with
+    | Error f -> Alcotest.fail f.Mapper.reason
+    | Ok (link_map, _) ->
+      let mapping = Hmn_mapping.Mapping.make ~placement ~link_map in
+      let before = Hmn_mapping.Mapping.objective mapping in
+      let t = Hmn_core.Incremental.create mapping in
+      let moves = Hmn_core.Incremental.rebalance t in
+      let after = Hmn_mapping.Mapping.objective mapping in
+      Alcotest.(check bool) "moved some" true (moves > 0);
+      Alcotest.(check bool) "improved" true (after < before);
+      Alcotest.(check int) "still valid" 0 (List.length (Constraints.check mapping)))
+
+let test_incremental_rejects_invalid () =
+  let problem = random_problem ~seed:34 ~n_guests:10 in
+  let placement = Placement.create problem in
+  let link_map = Hmn_mapping.Link_map.create problem in
+  let mapping = Hmn_mapping.Mapping.make ~placement ~link_map in
+  Alcotest.(check bool) "raises on invalid mapping" true
+    (match Hmn_core.Incremental.create mapping with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_incremental_random_ops_stay_valid =
+  QCheck.Test.make ~name:"random live moves preserve mapping validity" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      let problem = random_problem ~seed:(seed + 9200) ~n_guests:40 in
+      match (Hmn.run problem).Mapper.result with
+      | Error _ -> true
+      | Ok mapping ->
+        let t = Hmn_core.Incremental.create mapping in
+        let cluster = (Hmn_mapping.Mapping.problem mapping).Problem.cluster in
+        let hosts = Cluster.host_ids cluster in
+        let rng = Hmn_rng.Rng.create seed in
+        for _ = 1 to 20 do
+          let guest = Hmn_rng.Rng.int rng ~bound:40 in
+          let host = hosts.(Hmn_rng.Rng.int rng ~bound:(Array.length hosts)) in
+          ignore (Hmn_core.Incremental.move_guest t ~guest ~host)
+        done;
+        Constraints.is_valid mapping)
+
+(* ---- Annealing ---- *)
+
+let test_annealing_never_worse () =
+  let problem = random_problem ~seed:15 ~n_guests:60 in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p ->
+    let before = Objective.load_balance_factor p in
+    let accepted = Hmn_core.Annealing.anneal ~rng:(Hmn_rng.Rng.create 1) p in
+    let after = Objective.load_balance_factor p in
+    Alcotest.(check bool) "accepted some moves" true (accepted > 0);
+    Alcotest.(check bool) "LBF not worse (best-state restore)" true
+      (after <= before +. 1e-9);
+    Alcotest.(check bool) "still complete" true (Placement.all_assigned p)
+
+let test_annealing_mapper_valid () =
+  let problem = random_problem ~seed:16 ~n_guests:60 in
+  let mapper = Hmn_core.Annealing.mapper () in
+  match (run_mapper mapper ~seed:2 problem).Mapper.result with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok mapping ->
+    Alcotest.(check int) "valid" 0 (List.length (Constraints.check mapping))
+
+let test_annealing_param_validation () =
+  let problem = random_problem ~seed:17 ~n_guests:20 in
+  match Hosting.run problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p ->
+    Alcotest.check_raises "bad cooling"
+      (Invalid_argument "Annealing: cooling must be in (0, 1)") (fun () ->
+        ignore
+          (Hmn_core.Annealing.anneal
+             ~params:
+               { Hmn_core.Annealing.iterations = 10; initial_temperature = 1.; cooling = 1.5 }
+             ~rng:(Hmn_rng.Rng.create 1) p))
+
+(* ---- Genetic ---- *)
+
+let test_genetic_produces_feasible () =
+  let problem = random_problem ~seed:18 ~n_guests:50 in
+  match Hmn_core.Genetic.evolve ~rng:(Hmn_rng.Rng.create 3) problem with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok p ->
+    Alcotest.(check bool) "complete" true (Placement.all_assigned p)
+
+let test_genetic_mapper_valid () =
+  let problem = random_problem ~seed:19 ~n_guests:50 in
+  let params =
+    { Hmn_core.Genetic.default_params with Hmn_core.Genetic.generations = 15 }
+  in
+  let mapper = Hmn_core.Genetic.mapper ~params () in
+  match (run_mapper mapper ~seed:4 problem).Mapper.result with
+  | Error f -> Alcotest.fail f.Mapper.reason
+  | Ok mapping ->
+    Alcotest.(check int) "valid" 0 (List.length (Constraints.check mapping))
+
+let test_genetic_fails_on_impossible () =
+  let cluster = line_cluster 2 in
+  let guests = [| guest ~mem:5000. "huge" |] in
+  let problem =
+    Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:(Graph.create ~n:1 ()))
+  in
+  let params =
+    { Hmn_core.Genetic.population = 8; generations = 5; crossover_rate = 0.9;
+      mutation_rate = 0.05; tournament = 2 }
+  in
+  match Hmn_core.Genetic.evolve ~params ~rng:(Hmn_rng.Rng.create 5) problem with
+  | Ok _ -> Alcotest.fail "expected infeasibility"
+  | Error f -> Alcotest.(check string) "genetic stage" "genetic" f.Mapper.stage
+
+let test_genetic_param_validation () =
+  let problem = random_problem ~seed:20 ~n_guests:10 in
+  Alcotest.check_raises "population too small"
+    (Invalid_argument "Genetic: population >= 2 required") (fun () ->
+      ignore
+        (Hmn_core.Genetic.evolve
+           ~params:
+             { Hmn_core.Genetic.population = 1; generations = 1; crossover_rate = 0.5;
+               mutation_rate = 0.1; tournament = 1 }
+           ~rng:(Hmn_rng.Rng.create 1) problem))
+
+(* ---- Registry ---- *)
+
+let test_registry () =
+  Alcotest.(check int) "paper pool" 4 (List.length (Registry.paper ()));
+  Alcotest.(check int) "full pool" 11 (List.length (Registry.all ()));
+  Alcotest.(check bool) "find case-insensitive" true
+    (Option.is_some (Registry.find "hmn"));
+  Alcotest.(check bool) "find unknown" true (Registry.find "nope" = None);
+  Alcotest.(check (list string)) "names"
+    [ "HMN"; "R"; "RA"; "HS"; "HN"; "FFD"; "BFD"; "WFD"; "CONS"; "SA"; "GA" ]
+    (Registry.names ())
+
+(* ---- integration properties ---- *)
+
+let prop_hmn_mappings_always_valid =
+  QCheck.Test.make
+    ~name:"every successful HMN mapping satisfies Eqs. (1)-(9)" ~count:40
+    QCheck.(pair small_nat (int_range 10 120))
+    (fun (seed, n_guests) ->
+      let problem = random_problem ~seed:(seed + 4000) ~n_guests in
+      match (Hmn.run problem).Mapper.result with
+      | Error _ -> true (* failing is allowed; returning junk is not *)
+      | Ok mapping -> Constraints.is_valid mapping)
+
+let prop_baseline_mappings_always_valid =
+  QCheck.Test.make
+    ~name:"every successful R/RA/HS mapping satisfies Eqs. (1)-(9)" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      let problem = random_problem ~seed:(seed + 5000) ~n_guests:50 in
+      List.for_all
+        (fun mapper ->
+          match (run_mapper mapper ~seed problem).Mapper.result with
+          | Error _ -> true
+          | Ok mapping -> Constraints.is_valid mapping)
+        (Registry.all ~max_tries:30 ()))
+
+let prop_migration_never_worsens =
+  QCheck.Test.make ~name:"Migration never increases the LBF" ~count:30
+    QCheck.small_nat
+    (fun seed ->
+      let problem = random_problem ~seed:(seed + 6000) ~n_guests:60 in
+      match Hosting.run problem with
+      | Error _ -> true
+      | Ok p ->
+        let stats = Migration.run p in
+        stats.Migration.lbf_after <= stats.Migration.lbf_before +. 1e-9)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hmn_core"
+    [
+      ( "hosting",
+        [
+          Alcotest.test_case "affinity co-locates" `Quick test_hosting_affinity_colocates;
+          Alcotest.test_case "splits oversized pairs" `Quick
+            test_hosting_splits_when_too_big;
+          Alcotest.test_case "bandwidth-descending order" `Quick
+            test_hosting_processes_links_by_bandwidth;
+          Alcotest.test_case "isolated guests" `Quick test_hosting_isolated_guests;
+          Alcotest.test_case "fails when impossible" `Quick
+            test_hosting_fails_when_impossible;
+          Alcotest.test_case "prefers CPU-available host" `Quick
+            test_hosting_prefers_cpu_available_host;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "LBF non-increasing" `Quick
+            test_migration_improves_or_keeps_lbf;
+          Alcotest.test_case "balances obvious imbalance" `Quick
+            test_migration_balances_obvious_imbalance;
+          Alcotest.test_case "victim choice" `Quick test_migration_victim_choice;
+          Alcotest.test_case "max moves cap" `Quick test_migration_max_moves_cap;
+        ] );
+      ( "networking",
+        [
+          Alcotest.test_case "routes all" `Quick test_networking_routes_all;
+          Alcotest.test_case "intra-host free" `Quick test_networking_intra_host_free;
+          Alcotest.test_case "fails on infeasible" `Quick
+            test_networking_fails_on_infeasible_demand;
+          Alcotest.test_case "rejects incomplete placement" `Quick
+            test_networking_incomplete_placement_rejected;
+        ] );
+      ( "hmn",
+        [
+          Alcotest.test_case "end-to-end valid" `Quick test_hmn_end_to_end_valid;
+          Alcotest.test_case "migration only helps" `Quick
+            test_hmn_beats_or_ties_no_migration;
+          Alcotest.test_case "deterministic" `Quick test_hmn_deterministic;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "valid mappings" `Quick
+            test_baselines_produce_valid_mappings;
+          Alcotest.test_case "R counts tries" `Quick test_random_mapper_counts_tries;
+          Alcotest.test_case "R exhausts budget" `Quick
+            test_random_mapper_try_budget_exhausts;
+          Alcotest.test_case "HS keeps hosting fixed" `Quick
+            test_hs_does_not_retry_hosting;
+          Alcotest.test_case "DFS routing valid" `Quick test_dfs_route_all_valid;
+        ] );
+      ( "packing",
+        [
+          Alcotest.test_case "strategies place" `Quick test_packing_strategies_valid;
+          Alcotest.test_case "consolidation" `Quick test_consolidate_uses_fewer_hosts;
+          Alcotest.test_case "worst-fit balances" `Quick test_worst_fit_balances_better;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "known optimum" `Quick test_exhaustive_known_optimum;
+          Alcotest.test_case "rejects large" `Quick test_exhaustive_rejects_large;
+          Alcotest.test_case "infeasible" `Quick test_exhaustive_infeasible;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "move guest" `Quick test_incremental_move_guest;
+          Alcotest.test_case "move rollback" `Quick test_incremental_move_rollback;
+          Alcotest.test_case "evacuate host" `Quick test_incremental_evacuate;
+          Alcotest.test_case "rebalance" `Quick test_incremental_rebalance;
+          Alcotest.test_case "rejects invalid" `Quick test_incremental_rejects_invalid;
+        ] );
+      ( "annealing",
+        [
+          Alcotest.test_case "never worse" `Quick test_annealing_never_worse;
+          Alcotest.test_case "mapper valid" `Quick test_annealing_mapper_valid;
+          Alcotest.test_case "param validation" `Quick test_annealing_param_validation;
+        ] );
+      ( "genetic",
+        [
+          Alcotest.test_case "produces feasible" `Quick test_genetic_produces_feasible;
+          Alcotest.test_case "mapper valid" `Quick test_genetic_mapper_valid;
+          Alcotest.test_case "fails on impossible" `Quick
+            test_genetic_fails_on_impossible;
+          Alcotest.test_case "param validation" `Quick test_genetic_param_validation;
+        ] );
+      ("registry", [ Alcotest.test_case "lookup" `Quick test_registry ]);
+      ( "properties",
+        [
+          q prop_hmn_mappings_always_valid;
+          q prop_baseline_mappings_always_valid;
+          q prop_migration_never_worsens;
+          q prop_hmn_within_factor_of_opt;
+          q prop_incremental_random_ops_stay_valid;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for hmn_experiments: scenario definitions, instance building,
+   a miniature end-to-end sweep, and the table/figure renderers. *)
+
+module Scenario = Hmn_experiments.Scenario
+module Setup = Hmn_experiments.Setup
+module Runner = Hmn_experiments.Runner
+module Tables = Hmn_experiments.Tables
+module Figure1 = Hmn_experiments.Figure1
+module Csv = Hmn_experiments.Csv
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_setup_constants () =
+  Alcotest.(check int) "40 hosts" 40 Setup.n_hosts;
+  Alcotest.(check int) "5x8 torus" 40 (Setup.torus_rows * Setup.torus_cols);
+  Alcotest.(check int) "64-port switches" 64 Setup.switch_ports;
+  Alcotest.(check int) "30 reps in the paper" 30 Setup.paper_repetitions;
+  Alcotest.(check (float 1e-9)) "gigabit" 1000.
+    Setup.physical_link.Hmn_testbed.Link.bandwidth_mbps;
+  Alcotest.(check bool) "table renders" true (String.length (Setup.render ()) > 100)
+
+let test_paper_scenarios () =
+  let scenarios = Scenario.paper_scenarios in
+  Alcotest.(check int) "16 rows" 16 (List.length scenarios);
+  let high =
+    List.filter (fun s -> s.Scenario.workload = Scenario.High_level) scenarios
+  in
+  let low = List.filter (fun s -> s.Scenario.workload = Scenario.Low_level) scenarios in
+  Alcotest.(check int) "12 high-level" 12 (List.length high);
+  Alcotest.(check int) "4 low-level" 4 (List.length low);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "low-level density is 0.01" true (s.Scenario.density = 0.01))
+    low;
+  (* Guest counts span the paper's 100-400 / 800-2000. *)
+  let counts = List.map Scenario.n_guests scenarios in
+  Alcotest.(check int) "min" 100 (List.fold_left min max_int counts);
+  Alcotest.(check int) "max" 2000 (List.fold_left max 0 counts)
+
+let test_scenario_labels () =
+  let s = { Scenario.ratio = 2.5; density = 0.015; workload = Scenario.High_level } in
+  Alcotest.(check string) "fractional ratio" "2.5:1 0.015" (Scenario.label s);
+  let s = { Scenario.ratio = 20.; density = 0.01; workload = Scenario.Low_level } in
+  Alcotest.(check string) "integer ratio" "20:1 0.01" (Scenario.label s);
+  Alcotest.(check string) "torus" "2-D Torus" (Scenario.cluster_label Scenario.Torus);
+  Alcotest.(check string) "switched" "Switched"
+    (Scenario.cluster_label Scenario.Switched)
+
+let test_build_deterministic () =
+  let s = { Scenario.ratio = 2.5; density = 0.02; workload = Scenario.High_level } in
+  let p1 = Scenario.build s Scenario.Torus ~seed:77 in
+  let p2 = Scenario.build s Scenario.Torus ~seed:77 in
+  Alcotest.(check int) "same guests"
+    (Hmn_vnet.Virtual_env.n_guests p1.Hmn_mapping.Problem.venv)
+    (Hmn_vnet.Virtual_env.n_guests p2.Hmn_mapping.Problem.venv);
+  Alcotest.(check (float 1e-12)) "same total demand"
+    (Hmn_vnet.Virtual_env.total_demand p1.Hmn_mapping.Problem.venv).Hmn_testbed.Resources.mips
+    (Hmn_vnet.Virtual_env.total_demand p2.Hmn_mapping.Problem.venv).Hmn_testbed.Resources.mips;
+  let p3 = Scenario.build s Scenario.Torus ~seed:78 in
+  Alcotest.(check bool) "different seed differs" true
+    ((Hmn_vnet.Virtual_env.total_demand p1.Hmn_mapping.Problem.venv).Hmn_testbed.Resources.mips
+    <> (Hmn_vnet.Virtual_env.total_demand p3.Hmn_mapping.Problem.venv).Hmn_testbed.Resources.mips)
+
+let test_build_cluster_kinds () =
+  let rng = Hmn_rng.Rng.create 5 in
+  let torus = Scenario.build_cluster Scenario.Torus ~rng in
+  Alcotest.(check int) "torus nodes" 40 (Hmn_testbed.Cluster.n_nodes torus);
+  let switched = Scenario.build_cluster Scenario.Switched ~rng in
+  Alcotest.(check int) "switched hosts" 40 (Hmn_testbed.Cluster.n_hosts switched);
+  Alcotest.(check int) "switched adds a switch" 41
+    (Hmn_testbed.Cluster.n_nodes switched)
+
+(* A miniature sweep: 2 scenarios' worth of work via a reduced config.
+   Uses the full 16-scenario list but with 1 repetition and only HMN to
+   stay fast would still be heavy, so restrict mappers and reps and
+   check the bookkeeping on the small scenarios only by filtering the
+   cells afterwards. *)
+let mini_results =
+  lazy
+    (let config =
+       {
+         Runner.reps = 1;
+         max_tries = 20;
+         base_seed = 123;
+         app = Hmn_emulation.App.default;
+         simulate = true;
+         mappers = Hmn_core.Registry.paper ~max_tries:20 ();
+         verbose = false;
+       }
+     in
+     Runner.run ~config ())
+
+let test_runner_cells_complete () =
+  let results = Lazy.force mini_results in
+  Alcotest.(check int) "16 scenarios" 16 (Array.length results.Runner.scenarios);
+  (* Every (scenario, cluster, mapper) cell must exist with reps
+     accounted for. *)
+  Array.iteri
+    (fun idx _ ->
+      List.iter
+        (fun cluster ->
+          match Runner.cell results ~scenario:idx ~cluster ~mapper:"HMN" with
+          | None -> Alcotest.failf "missing cell %d" idx
+          | Some c ->
+            Alcotest.(check int) "reps accounted" 1 (c.Runner.successes + c.Runner.failures))
+        [ Scenario.Torus; Scenario.Switched ])
+    results.Runner.scenarios
+
+let test_runner_simulation_recorded () =
+  let results = Lazy.force mini_results in
+  (* Each success contributed a makespan observation and a correlation
+     point. *)
+  let successes = ref 0 in
+  Hashtbl.iter (fun _ c -> successes := !successes + c.Runner.successes)
+    results.Runner.cells;
+  Alcotest.(check int) "correlation count = successes" !successes
+    (Hmn_emulation.Correlate.count results.Runner.correlation);
+  Alcotest.(check bool) "mostly successful" true (!successes > 20)
+
+let test_tables_render () =
+  let results = Lazy.force mini_results in
+  let t2 = Tables.table2 results in
+  Alcotest.(check bool) "table2 mentions scenario" true (contains ~needle:"2.5:1 0.015" t2);
+  Alcotest.(check bool) "table2 has failures row" true (contains ~needle:"Failures" t2);
+  let t3 = Tables.table3 results in
+  Alcotest.(check bool) "table3 mentions cluster" true (contains ~needle:"2-D Torus" t3);
+  let mt = Tables.mapping_time results in
+  Alcotest.(check bool) "mapping time renders" true (String.length mt > 100);
+  let corr = Tables.correlation_report results in
+  Alcotest.(check bool) "correlation mentions Pearson" true
+    (contains ~needle:"Pearson" corr)
+
+let test_csv_export () =
+  let results = Lazy.force mini_results in
+  let csv = Csv.cells results in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* header + 16 scenarios x 2 clusters x 4 mappers *)
+  Alcotest.(check int) "line count" 129 (List.length lines);
+  Alcotest.(check bool) "header" true
+    (contains ~needle:"scenario,cluster,heuristic" (List.hd lines))
+
+let test_paper_check () =
+  let results = Lazy.force mini_results in
+  let verdicts = Hmn_experiments.Paper_check.check_all results in
+  Alcotest.(check int) "seven claims" 7 (List.length verdicts);
+  let find claim_fragment =
+    List.find
+      (fun v -> contains ~needle:claim_fragment v.Hmn_experiments.Paper_check.claim)
+      verdicts
+  in
+  (* The robust claims must hold even at a single repetition. *)
+  Alcotest.(check bool) "HMN beats R/RA" true
+    (find "beats R and RA").Hmn_experiments.Paper_check.holds;
+  Alcotest.(check bool) "R ~ RA" true
+    (find "within 10%").Hmn_experiments.Paper_check.holds;
+  Alcotest.(check bool) "correlation" true
+    (find "Pearson").Hmn_experiments.Paper_check.holds;
+  Alcotest.(check bool) "render mentions verdicts" true
+    (contains ~needle:"[ok]"
+       (Hmn_experiments.Paper_check.render verdicts))
+
+let test_figure1_small () =
+  let points =
+    Figure1.run ~sweep:[ (50, 0.05, Scenario.High_level); (100, 0.02, Scenario.High_level) ]
+      ~reps:2 ~seed:9 ()
+  in
+  Alcotest.(check int) "two points" 2 (List.length points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "positive time" true (p.Figure1.mean_s > 0.);
+      Alcotest.(check int) "reps recorded" 2 p.Figure1.reps;
+      Alcotest.(check bool) "links counted" true (p.Figure1.n_vlinks > 0))
+    points;
+  let render = Figure1.render points in
+  Alcotest.(check bool) "render mentions links" true (contains ~needle:"links" render);
+  let csv = Csv.figure1 points in
+  Alcotest.(check int) "csv lines" 3 (List.length (String.split_on_char '\n' (String.trim csv)))
+
+let () =
+  Alcotest.run "hmn_experiments"
+    [
+      ( "setup & scenarios",
+        [
+          Alcotest.test_case "setup constants" `Quick test_setup_constants;
+          Alcotest.test_case "paper scenarios" `Quick test_paper_scenarios;
+          Alcotest.test_case "labels" `Quick test_scenario_labels;
+          Alcotest.test_case "deterministic build" `Quick test_build_deterministic;
+          Alcotest.test_case "cluster kinds" `Quick test_build_cluster_kinds;
+        ] );
+      ( "runner (mini sweep)",
+        [
+          Alcotest.test_case "cells complete" `Slow test_runner_cells_complete;
+          Alcotest.test_case "simulation recorded" `Slow test_runner_simulation_recorded;
+          Alcotest.test_case "tables render" `Slow test_tables_render;
+          Alcotest.test_case "csv export" `Slow test_csv_export;
+          Alcotest.test_case "paper shape checks" `Slow test_paper_check;
+        ] );
+      ("figure1", [ Alcotest.test_case "small sweep" `Slow test_figure1_small ]);
+      ( "ablation",
+        [
+          Alcotest.test_case "migration" `Slow (fun () ->
+              let t = Hmn_experiments.Ablation.migration ~reps:1 () in
+              Alcotest.(check bool) "has rows" true (contains ~needle:"20:1 low" t));
+          Alcotest.test_case "routing metric" `Slow (fun () ->
+              let t = Hmn_experiments.Ablation.routing_metric ~reps:1 () in
+              Alcotest.(check bool) "mentions A*Prune" true
+                (contains ~needle:"A*Prune" t);
+              Alcotest.(check bool) "mentions DFS" true (contains ~needle:"DFS" t));
+          Alcotest.test_case "topology sweep" `Slow (fun () ->
+              let t = Hmn_experiments.Ablation.topology_sweep ~reps:1 () in
+              Alcotest.(check bool) "mentions fat-tree" true
+                (contains ~needle:"fat-tree" t);
+              Alcotest.(check bool) "mentions hypercube" true
+                (contains ~needle:"hypercube" t));
+        ] );
+    ]

@@ -1,0 +1,621 @@
+(* Tests for hmn_graph: the graph core, traversals, shortest/widest
+   paths (cross-checked against Floyd–Warshall and brute force), the
+   generic A*Prune, generators and DOT export. *)
+
+module Graph = Hmn_graph.Graph
+module Traversal = Hmn_graph.Traversal
+module Dijkstra = Hmn_graph.Dijkstra
+module Widest = Hmn_graph.Widest_path
+module FW = Hmn_graph.Floyd_warshall
+module KSP = Hmn_graph.Astar_prune_k
+module Gen = Hmn_graph.Generators
+
+(* A small weighted test graph:
+     0 --1.0-- 1 --1.0-- 2
+     |                   |
+     +------- 5.0 -------+
+   plus isolated node 3. *)
+let diamond () =
+  let g = Graph.create ~n:4 () in
+  let e01 = Graph.add_edge g 0 1 1.0 in
+  let e12 = Graph.add_edge g 1 2 1.0 in
+  let e02 = Graph.add_edge g 0 2 5.0 in
+  (g, e01, e12, e02)
+
+let weight g eid = Graph.label g eid
+
+(* ---- Graph core ---- *)
+
+let test_graph_basic () =
+  let g, e01, _, _ = diamond () in
+  Alcotest.(check int) "nodes" 4 (Graph.n_nodes g);
+  Alcotest.(check int) "edges" 3 (Graph.n_edges g);
+  Alcotest.(check (pair int int)) "endpoints" (0, 1) (Graph.endpoints g e01);
+  Alcotest.(check (float 0.)) "label" 1.0 (Graph.label g e01);
+  Graph.set_label g e01 2.5;
+  Alcotest.(check (float 0.)) "set_label" 2.5 (Graph.label g e01);
+  Alcotest.(check int) "degree 0" 2 (Graph.degree g 0);
+  Alcotest.(check int) "degree isolated" 0 (Graph.degree g 3);
+  Alcotest.(check int) "other_end" 1 (Graph.other_end g e01 0);
+  Alcotest.(check int) "other_end reverse" 0 (Graph.other_end g e01 1)
+
+let test_graph_errors () =
+  let g, e01, _, _ = diamond () in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> ignore (Graph.add_edge g 1 1 0.));
+  Alcotest.check_raises "node range"
+    (Invalid_argument "Graph.add_edge: node out of range") (fun () ->
+      ignore (Graph.add_edge g 0 4 0.));
+  Alcotest.check_raises "not endpoint"
+    (Invalid_argument "Graph.other_end: node not an endpoint") (fun () ->
+      ignore (Graph.other_end g e01 2))
+
+let test_graph_adjacency () =
+  let g, e01, _, e02 = diamond () in
+  Alcotest.(check (list (pair int int))) "adj of 0" [ (1, e01); (2, e02) ]
+    (Graph.adj_list g 0);
+  Alcotest.(check (option int)) "find_edge" (Some e01) (Graph.find_edge g 0 1);
+  Alcotest.(check (option int)) "find_edge sym" (Some e01) (Graph.find_edge g 1 0);
+  Alcotest.(check (option int)) "find_edge none" None (Graph.find_edge g 0 3);
+  let total = Graph.fold_edges g ~init:0. ~f:(fun acc ~eid:_ ~u:_ ~v:_ l -> acc +. l) in
+  Alcotest.(check (float 0.)) "fold_edges" 7. total
+
+let test_graph_directed () =
+  let g = Graph.create ~kind:Graph.Directed ~n:3 () in
+  let e = Graph.add_edge g 0 1 () in
+  ignore (Graph.add_edge g 1 2 ());
+  Alcotest.(check (option int)) "forward" (Some e) (Graph.find_edge g 0 1);
+  Alcotest.(check (option int)) "not backward" None (Graph.find_edge g 1 0);
+  Alcotest.(check int) "out-degree" 1 (Graph.degree g 0);
+  Alcotest.(check int) "sink out-degree" 0 (Graph.degree g 2)
+
+let test_graph_map_copy () =
+  let g, _, _, _ = diamond () in
+  let doubled = Graph.map_labels g ~f:(fun ~eid:_ l -> 2. *. l) in
+  Alcotest.(check (float 0.)) "mapped label" 2. (Graph.label doubled 0);
+  Alcotest.(check int) "same structure" 3 (Graph.n_edges doubled);
+  let c = Graph.copy g in
+  Graph.set_label c 0 99.;
+  Alcotest.(check (float 0.)) "copy independent" 1. (Graph.label g 0)
+
+(* ---- Traversal ---- *)
+
+let test_bfs () =
+  let g, _, _, _ = diamond () in
+  Alcotest.(check (list int)) "bfs order" [ 0; 1; 2 ] (Traversal.bfs_order g ~src:0);
+  let hops = Traversal.bfs_hops g ~src:0 in
+  Alcotest.(check int) "hop to 2" 1 hops.(2);
+  Alcotest.(check int) "unreachable" max_int hops.(3)
+
+let test_dfs () =
+  let g, _, _, _ = diamond () in
+  Alcotest.(check (list int)) "dfs preorder" [ 0; 1; 2 ]
+    (Traversal.dfs_preorder g ~src:0)
+
+let test_components () =
+  let g, _, _, _ = diamond () in
+  let comp = Traversal.components g in
+  Alcotest.(check int) "two components" 2 (Traversal.n_components g);
+  Alcotest.(check bool) "0 and 2 together" true (comp.(0) = comp.(2));
+  Alcotest.(check bool) "3 separate" true (comp.(3) <> comp.(0));
+  Alcotest.(check bool) "not connected" false (Traversal.is_connected g);
+  Alcotest.(check bool) "ring connected" true (Traversal.is_connected (Gen.ring 5))
+
+let test_components_directed_weak () =
+  let g = Graph.create ~kind:Graph.Directed ~n:3 () in
+  ignore (Graph.add_edge g 1 0 ());
+  ignore (Graph.add_edge g 1 2 ());
+  (* Weak connectivity must see 0-1-2 as one component despite edge
+     directions. *)
+  Alcotest.(check int) "one weak component" 1 (Traversal.n_components g)
+
+(* ---- Dijkstra ---- *)
+
+let test_dijkstra_diamond () =
+  let g, _, _, _ = diamond () in
+  let res = Dijkstra.run g ~weight:(weight g) ~src:0 in
+  Alcotest.(check (float 1e-9)) "direct vs 2-hop" 2. res.Dijkstra.dist.(2);
+  Alcotest.(check (float 1e-9)) "self" 0. res.Dijkstra.dist.(0);
+  Alcotest.(check bool) "unreachable" true (res.Dijkstra.dist.(3) = infinity);
+  match Dijkstra.path_to res 2 with
+  | Some (nodes, edges) ->
+    Alcotest.(check (list int)) "path nodes" [ 0; 1; 2 ] nodes;
+    Alcotest.(check int) "path edges" 2 (List.length edges)
+  | None -> Alcotest.fail "expected a path"
+
+let test_dijkstra_negative_weight () =
+  let g = Graph.create ~n:2 () in
+  ignore (Graph.add_edge g 0 1 (-1.));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Dijkstra.run: negative weight") (fun () ->
+      ignore (Dijkstra.run g ~weight:(weight g) ~src:0))
+
+let test_distances_to_undirected () =
+  let g, _, _, _ = diamond () in
+  let d = Dijkstra.distances_to g ~weight:(weight g) ~dst:2 in
+  Alcotest.(check (float 1e-9)) "0 to 2" 2. d.(0);
+  Alcotest.(check (float 1e-9)) "dst itself" 0. d.(2)
+
+let test_distances_to_directed () =
+  let g = Graph.create ~kind:Graph.Directed ~n:3 () in
+  ignore (Graph.add_edge g 0 1 1.);
+  ignore (Graph.add_edge g 1 2 1.);
+  let d = Dijkstra.distances_to g ~weight:(weight g) ~dst:2 in
+  Alcotest.(check (float 1e-9)) "0 reaches 2 forward" 2. d.(0);
+  let d0 = Dijkstra.distances_to g ~weight:(weight g) ~dst:0 in
+  Alcotest.(check bool) "2 cannot reach 0" true (d0.(2) = infinity)
+
+(* ---- Widest path ---- *)
+
+let test_widest_path () =
+  (* 0-1 capacity 10, 1-2 capacity 3, 0-2 capacity 4: widest 0->2 is the
+     direct edge (4), not through 1 (min(10,3)=3). *)
+  let g = Graph.create ~n:3 () in
+  ignore (Graph.add_edge g 0 1 10.);
+  ignore (Graph.add_edge g 1 2 3.);
+  ignore (Graph.add_edge g 0 2 4.);
+  let res = Widest.run g ~capacity:(weight g) ~src:0 in
+  Alcotest.(check (float 1e-9)) "width to 2" 4. res.Widest.width.(2);
+  (match Widest.path_to res 2 with
+  | Some (nodes, _) -> Alcotest.(check (list int)) "direct" [ 0; 2 ] nodes
+  | None -> Alcotest.fail "expected path");
+  Alcotest.(check bool) "src infinite" true (res.Widest.width.(0) = infinity)
+
+(* ---- Floyd–Warshall vs Dijkstra ---- *)
+
+let random_weighted_graph ~n ~rng =
+  let shape = Gen.random_connected ~n ~density:0.3 ~rng in
+  Graph.map_labels shape ~f:(fun ~eid:_ () -> 0.1 +. Hmn_rng.Rng.float rng)
+
+let test_fw_matches_dijkstra () =
+  let rng = Hmn_rng.Rng.create 7 in
+  for _ = 1 to 5 do
+    let g = random_weighted_graph ~n:12 ~rng in
+    let fw = FW.run g ~weight:(weight g) in
+    for src = 0 to 11 do
+      let d = Dijkstra.run g ~weight:(weight g) ~src in
+      for v = 0 to 11 do
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "dist %d->%d" src v)
+          fw.(src).(v) d.Dijkstra.dist.(v)
+      done
+    done
+  done
+
+(* ---- generic A*Prune ---- *)
+
+let test_ksp_unconstrained_shortest () =
+  let g, _, _, _ = diamond () in
+  match KSP.k_shortest g ~k:2 ~cost:(weight g) ~constraints:[] ~src:0 ~dst:2 with
+  | [ first; second ] ->
+    Alcotest.(check (float 1e-9)) "best cost" 2. first.KSP.cost;
+    Alcotest.(check (list int)) "best nodes" [ 0; 1; 2 ] first.KSP.nodes;
+    Alcotest.(check (float 1e-9)) "second cost" 5. second.KSP.cost;
+    Alcotest.(check (list int)) "second nodes" [ 0; 2 ] second.KSP.nodes
+  | paths -> Alcotest.failf "expected 2 paths, got %d" (List.length paths)
+
+let test_ksp_constraint_prunes () =
+  let g, _, _, _ = diamond () in
+  (* Hop-count <= 1 excludes the cheap two-hop path. *)
+  let hop_constraint = { KSP.metric = (fun _ -> 1.); bound = 1. } in
+  (match
+     KSP.k_shortest g ~k:5 ~cost:(weight g) ~constraints:[ hop_constraint ] ~src:0
+       ~dst:2
+   with
+  | [ only ] ->
+    Alcotest.(check (list int)) "forced direct" [ 0; 2 ] only.KSP.nodes;
+    Alcotest.(check (float 1e-9)) "constraint total" 1. only.KSP.constraint_totals.(0)
+  | paths -> Alcotest.failf "expected 1 path, got %d" (List.length paths));
+  (* An unsatisfiable constraint yields no paths. *)
+  let impossible = { KSP.metric = (fun _ -> 1.); bound = 0. } in
+  Alcotest.(check int) "unsatisfiable" 0
+    (List.length
+       (KSP.k_shortest g ~k:3 ~cost:(weight g) ~constraints:[ impossible ] ~src:0
+          ~dst:2))
+
+let test_ksp_src_eq_dst () =
+  let g, _, _, _ = diamond () in
+  match KSP.k_shortest g ~k:1 ~cost:(weight g) ~constraints:[] ~src:1 ~dst:1 with
+  | [ p ] ->
+    Alcotest.(check (list int)) "empty path" [ 1 ] p.KSP.nodes;
+    Alcotest.(check (float 1e-9)) "zero cost" 0. p.KSP.cost
+  | _ -> Alcotest.fail "expected the trivial path"
+
+let test_ksp_loopless_and_ordered () =
+  let rng = Hmn_rng.Rng.create 21 in
+  let g = random_weighted_graph ~n:10 ~rng in
+  let paths = KSP.k_shortest g ~k:6 ~cost:(weight g) ~constraints:[] ~src:0 ~dst:9 in
+  Alcotest.(check bool) "found some" true (List.length paths > 0);
+  let last = ref neg_infinity in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "non-decreasing" true (p.KSP.cost >= !last);
+      last := p.KSP.cost;
+      let dedup = List.sort_uniq compare p.KSP.nodes in
+      Alcotest.(check int) "loopless" (List.length p.KSP.nodes) (List.length dedup))
+    paths
+
+(* ---- generators ---- *)
+
+let test_gen_line_ring_star_complete () =
+  Alcotest.(check int) "line edges" 4 (Graph.n_edges (Gen.line 5));
+  Alcotest.(check int) "ring edges" 5 (Graph.n_edges (Gen.ring 5));
+  Alcotest.(check int) "star edges" 4 (Graph.n_edges (Gen.star 5));
+  Alcotest.(check int) "complete edges" 10 (Graph.n_edges (Gen.complete 5));
+  Alcotest.(check int) "star center degree" 4 (Graph.degree (Gen.star 5) 0);
+  Alcotest.check_raises "ring too small"
+    (Invalid_argument "Generators.ring: n >= 3 required") (fun () ->
+      ignore (Gen.ring 2))
+
+let test_gen_torus () =
+  let g = Gen.torus2d ~rows:5 ~cols:8 in
+  Alcotest.(check int) "nodes" 40 (Graph.n_nodes g);
+  (* A full torus with both dims > 2 has 2*r*c edges, degree 4 each. *)
+  Alcotest.(check int) "edges" 80 (Graph.n_edges g);
+  for v = 0 to 39 do
+    Alcotest.(check int) (Printf.sprintf "degree of %d" v) 4 (Graph.degree g v)
+  done;
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g)
+
+let test_gen_torus_small_dims () =
+  (* Size-2 dimensions must not create parallel edges. *)
+  let g = Gen.torus2d ~rows:2 ~cols:2 in
+  Alcotest.(check int) "2x2 edges" 4 (Graph.n_edges g);
+  let g = Gen.torus2d ~rows:1 ~cols:4 in
+  Alcotest.(check int) "1x4 is a ring" 4 (Graph.n_edges g);
+  let g = Gen.torus2d ~rows:1 ~cols:2 in
+  Alcotest.(check int) "1x2 single edge" 1 (Graph.n_edges g)
+
+let test_gen_random_connected () =
+  let rng = Hmn_rng.Rng.create 5 in
+  let g = Gen.random_connected ~n:50 ~density:0.1 ~rng in
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check int) "edge target" (Gen.expected_edges ~n:50 ~density:0.1)
+    (Graph.n_edges g);
+  (* Density below the tree threshold still yields a connected tree. *)
+  let sparse = Gen.random_connected ~n:50 ~density:0. ~rng in
+  Alcotest.(check int) "spanning tree" 49 (Graph.n_edges sparse);
+  Alcotest.(check bool) "tree connected" true (Traversal.is_connected sparse)
+
+let test_gen_expected_edges () =
+  (* The paper's extreme: 2000 guests at density 0.01 gives 19990. *)
+  Alcotest.(check int) "paper scale" 19990 (Gen.expected_edges ~n:2000 ~density:0.01);
+  Alcotest.(check int) "clamped at clique" 10 (Gen.expected_edges ~n:5 ~density:5.)
+
+let test_gen_random_tree () =
+  let rng = Hmn_rng.Rng.create 3 in
+  let g = Gen.random_tree ~n:30 ~rng in
+  Alcotest.(check int) "n-1 edges" 29 (Graph.n_edges g);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g)
+
+let test_gen_gnp () =
+  let rng = Hmn_rng.Rng.create 11 in
+  Alcotest.(check int) "p=0 empty" 0 (Graph.n_edges (Gen.gnp ~n:20 ~p:0. ~rng));
+  Alcotest.(check int) "p=1 clique" 190 (Graph.n_edges (Gen.gnp ~n:20 ~p:1. ~rng))
+
+let test_gen_barabasi_albert () =
+  let rng = Hmn_rng.Rng.create 13 in
+  let g = Gen.barabasi_albert ~n:100 ~m:2 ~rng in
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  (* (n - m) joining nodes each add m edges. *)
+  Alcotest.(check int) "edge count" ((100 - 2) * 2) (Graph.n_edges g);
+  (* Preferential attachment concentrates degree: some hub should beat
+     the 2m average clearly. *)
+  let max_deg = ref 0 in
+  for v = 0 to 99 do
+    max_deg := max !max_deg (Graph.degree g v)
+  done;
+  Alcotest.(check bool) "has a hub" true (!max_deg > 8);
+  Alcotest.check_raises "m >= n rejected"
+    (Invalid_argument "Generators.barabasi_albert: 1 <= m < n required") (fun () ->
+      ignore (Gen.barabasi_albert ~n:3 ~m:3 ~rng))
+
+let test_gen_waxman () =
+  let rng = Hmn_rng.Rng.create 17 in
+  let g = Gen.waxman ~n:80 ~alpha:0.4 ~beta:0.3 ~rng in
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check bool) "at least a spanning tree" true (Graph.n_edges g >= 79);
+  (* Higher alpha gives denser graphs. *)
+  let sparse = Gen.waxman ~n:80 ~alpha:0.05 ~beta:0.1 ~rng:(Hmn_rng.Rng.create 17) in
+  let dense = Gen.waxman ~n:80 ~alpha:1.0 ~beta:1.0 ~rng:(Hmn_rng.Rng.create 17) in
+  Alcotest.(check bool) "alpha monotone" true
+    (Graph.n_edges dense > Graph.n_edges sparse);
+  Alcotest.check_raises "alpha out of range"
+    (Invalid_argument "Generators.waxman: alpha in (0,1] required") (fun () ->
+      ignore (Gen.waxman ~n:5 ~alpha:0. ~beta:0.5 ~rng))
+
+(* ---- Yen ---- *)
+
+let test_yen_diamond () =
+  let g, _, _, _ = diamond () in
+  match Hmn_graph.Yen.k_shortest g ~k:3 ~cost:(weight g) ~src:0 ~dst:2 with
+  | [ first; second ] ->
+    Alcotest.(check (float 1e-9)) "best" 2. first.Hmn_graph.Yen.cost;
+    Alcotest.(check (list int)) "best nodes" [ 0; 1; 2 ] first.Hmn_graph.Yen.nodes;
+    Alcotest.(check (float 1e-9)) "second" 5. second.Hmn_graph.Yen.cost
+  | paths -> Alcotest.failf "expected exactly 2 paths, got %d" (List.length paths)
+
+let test_yen_src_eq_dst () =
+  let g, _, _, _ = diamond () in
+  match Hmn_graph.Yen.k_shortest g ~k:2 ~cost:(weight g) ~src:1 ~dst:1 with
+  | [ p ] ->
+    Alcotest.(check (list int)) "trivial" [ 1 ] p.Hmn_graph.Yen.nodes;
+    Alcotest.(check (float 1e-9)) "zero" 0. p.Hmn_graph.Yen.cost
+  | _ -> Alcotest.fail "expected the empty path"
+
+let test_yen_unreachable () =
+  let g, _, _, _ = diamond () in
+  Alcotest.(check int) "no path to isolated node" 0
+    (List.length (Hmn_graph.Yen.k_shortest g ~k:3 ~cost:(weight g) ~src:0 ~dst:3))
+
+let prop_yen_matches_astar_prune =
+  (* Yen and the generic A*Prune must return identical cost sequences
+     on unconstrained instances. *)
+  QCheck.Test.make ~name:"Yen agrees with A*Prune on unconstrained K-shortest"
+    ~count:50 QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 7000) in
+      let g = random_weighted_graph ~n:10 ~rng in
+      let yen = Hmn_graph.Yen.k_shortest g ~k:5 ~cost:(weight g) ~src:0 ~dst:9 in
+      let ksp = KSP.k_shortest g ~k:5 ~cost:(weight g) ~constraints:[] ~src:0 ~dst:9 in
+      List.length yen = List.length ksp
+      && List.for_all2
+           (fun (y : Hmn_graph.Yen.path) (a : KSP.path) ->
+             Hmn_prelude.Float_ext.approx y.Hmn_graph.Yen.cost a.KSP.cost)
+           yen ksp)
+
+let prop_yen_paths_loopless_sorted =
+  QCheck.Test.make ~name:"Yen paths are loopless, sorted, distinct" ~count:50
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 8000) in
+      let g = random_weighted_graph ~n:10 ~rng in
+      let paths = Hmn_graph.Yen.k_shortest g ~k:6 ~cost:(weight g) ~src:0 ~dst:9 in
+      let costs = List.map (fun p -> p.Hmn_graph.Yen.cost) paths in
+      let node_lists = List.map (fun p -> p.Hmn_graph.Yen.nodes) paths in
+      List.sort Float.compare costs = costs
+      && List.length (List.sort_uniq compare node_lists) = List.length node_lists
+      && List.for_all
+           (fun ns -> List.length (List.sort_uniq compare ns) = List.length ns)
+           node_lists)
+
+(* ---- Betweenness ---- *)
+
+let test_betweenness_path_graph () =
+  (* Path 0-1-2-3: the middle edge carries all 0,1 x 2,3 pairs. For
+     edge (1,2): pairs crossing it = {0,1}x{2,3} both directions = 8. *)
+  let g = Gen.line 4 in
+  let eb = Hmn_graph.Betweenness.edges g in
+  Alcotest.(check (float 1e-9)) "end edge" 6. eb.(0);
+  Alcotest.(check (float 1e-9)) "middle edge" 8. eb.(1);
+  let nb = Hmn_graph.Betweenness.nodes g in
+  (* Node 1 lies on shortest paths 0-2, 0-3, and their reverses = 4. *)
+  Alcotest.(check (float 1e-9)) "inner node" 4. nb.(1);
+  Alcotest.(check (float 1e-9)) "leaf node" 0. nb.(0)
+
+let test_betweenness_star () =
+  (* Star: the hub lies on every leaf-to-leaf shortest path. *)
+  let g = Gen.star 5 in
+  let nb = Hmn_graph.Betweenness.nodes g in
+  Alcotest.(check (float 1e-9)) "hub" (4. *. 3.) nb.(0);
+  for leaf = 1 to 4 do
+    Alcotest.(check (float 1e-9)) "leaf" 0. nb.(leaf)
+  done
+
+let prop_betweenness_matches_brute_force =
+  (* Oracle: enumerate all shortest paths pair-by-pair on small graphs
+     by counting via BFS DAG sigma products. *)
+  QCheck.Test.make ~name:"edge betweenness matches brute force on small graphs"
+    ~count:30 QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 11000) in
+      let g = Gen.random_connected ~n:7 ~density:0.4 ~rng in
+      let expected = Array.make (Graph.n_edges g) 0. in
+      let n = Graph.n_nodes g in
+      (* For every ordered pair (s, t): count shortest s-t paths and,
+         per edge, shortest paths through it, by DFS enumeration. *)
+      let hops = Array.init n (fun s -> Traversal.bfs_hops g ~src:s) in
+      for s = 0 to n - 1 do
+        for t = 0 to n - 1 do
+          if s <> t then begin
+            let total = ref 0 and per_edge = Hashtbl.create 8 in
+            let rec walk v used =
+              if v = t then begin
+                incr total;
+                List.iter
+                  (fun e ->
+                    Hashtbl.replace per_edge e
+                      (1 + Option.value (Hashtbl.find_opt per_edge e) ~default:0))
+                  used
+              end
+              else
+                Graph.iter_adj g v (fun ~neighbor ~eid ->
+                    if hops.(s).(neighbor) = hops.(s).(v) + 1
+                       && hops.(neighbor).(t) = hops.(v).(t) - 1
+                    then walk neighbor (eid :: used))
+            in
+            walk s [];
+            if !total > 0 then
+              Hashtbl.iter
+                (fun e c ->
+                  expected.(e) <-
+                    expected.(e) +. (float_of_int c /. float_of_int !total))
+                per_edge
+          end
+        done
+      done;
+      let got = Hmn_graph.Betweenness.edges g in
+      let ok = ref true in
+      Array.iteri
+        (fun e v ->
+          if not (Hmn_prelude.Float_ext.approx ~eps:1e-6 v got.(e)) then ok := false)
+        expected;
+      !ok)
+
+(* ---- DOT ---- *)
+
+let test_dot_output () =
+  let g, _, _, _ = diamond () in
+  let dot = Hmn_graph.Dot.to_dot ~name:"test" g in
+  Alcotest.(check string) "graph header" "graph " (String.sub dot 0 6);
+  let directed = Graph.create ~kind:Graph.Directed ~n:2 () in
+  ignore (Graph.add_edge directed 0 1 ());
+  let ddot = Hmn_graph.Dot.to_dot directed in
+  Alcotest.(check string) "digraph header" "digraph" (String.sub ddot 0 7)
+
+(* ---- properties ---- *)
+
+let seed_gen = QCheck.small_nat
+
+let prop_random_connected_always_connected =
+  QCheck.Test.make ~name:"random_connected is connected at every density" ~count:100
+    QCheck.(triple seed_gen (int_range 1 60) (float_range 0. 1.))
+    (fun (seed, n, density) ->
+      let rng = Hmn_rng.Rng.create seed in
+      Traversal.is_connected (Gen.random_connected ~n ~density ~rng))
+
+let prop_dijkstra_triangle_inequality =
+  QCheck.Test.make ~name:"Dijkstra distances obey the triangle inequality" ~count:50
+    seed_gen
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create seed in
+      let g = random_weighted_graph ~n:15 ~rng in
+      let d0 = (Dijkstra.run g ~weight:(weight g) ~src:0).Dijkstra.dist in
+      let ok = ref true in
+      Graph.iter_edges g (fun ~eid ~u ~v w ->
+          ignore eid;
+          if d0.(v) > d0.(u) +. w +. 1e-9 then ok := false;
+          if d0.(u) > d0.(v) +. w +. 1e-9 then ok := false);
+      !ok)
+
+let prop_widest_path_is_optimal =
+  (* Brute-force all simple paths on small graphs and compare widths. *)
+  QCheck.Test.make ~name:"widest path matches brute force on small graphs" ~count:50
+    seed_gen
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create seed in
+      let shape = Gen.random_connected ~n:7 ~density:0.4 ~rng in
+      let g =
+        Graph.map_labels shape ~f:(fun ~eid:_ () -> 1. +. Hmn_rng.Rng.float rng)
+      in
+      let best = Array.make 7 neg_infinity in
+      let visited = Array.make 7 false in
+      let rec explore u width =
+        if width > best.(u) then best.(u) <- width;
+        Graph.iter_adj g u (fun ~neighbor ~eid ->
+            if not visited.(neighbor) then begin
+              visited.(neighbor) <- true;
+              explore neighbor (Float.min width (Graph.label g eid));
+              visited.(neighbor) <- false
+            end)
+      in
+      visited.(0) <- true;
+      explore 0 infinity;
+      let res = Widest.run g ~capacity:(weight g) ~src:0 in
+      let ok = ref true in
+      for v = 1 to 6 do
+        if not (Hmn_prelude.Float_ext.approx best.(v) res.Widest.width.(v)) then
+          ok := false
+      done;
+      !ok)
+
+let prop_ksp_first_matches_dijkstra =
+  QCheck.Test.make ~name:"A*Prune first path = Dijkstra optimum" ~count:50 seed_gen
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create seed in
+      let g = random_weighted_graph ~n:12 ~rng in
+      let dij = (Dijkstra.run g ~weight:(weight g) ~src:0).Dijkstra.dist in
+      match KSP.k_shortest g ~k:1 ~cost:(weight g) ~constraints:[] ~src:0 ~dst:11 with
+      | [ p ] -> Hmn_prelude.Float_ext.approx p.KSP.cost dij.(11)
+      | [] -> dij.(11) = infinity
+      | _ -> false)
+
+let prop_bfs_hops_vs_dijkstra_unit =
+  QCheck.Test.make ~name:"BFS hops equal unit-weight Dijkstra" ~count:50 seed_gen
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create seed in
+      let g = Gen.random_connected ~n:20 ~density:0.15 ~rng in
+      let hops = Traversal.bfs_hops g ~src:0 in
+      let d = (Dijkstra.run g ~weight:(fun _ -> 1.) ~src:0).Dijkstra.dist in
+      let ok = ref true in
+      for v = 0 to 19 do
+        let h = if hops.(v) = max_int then infinity else float_of_int hops.(v) in
+        if not (Hmn_prelude.Float_ext.approx h d.(v)) then ok := false
+      done;
+      !ok)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hmn_graph"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "errors" `Quick test_graph_errors;
+          Alcotest.test_case "adjacency" `Quick test_graph_adjacency;
+          Alcotest.test_case "directed" `Quick test_graph_directed;
+          Alcotest.test_case "map/copy" `Quick test_graph_map_copy;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "dfs" `Quick test_dfs;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "weak components" `Quick test_components_directed_weak;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "diamond" `Quick test_dijkstra_diamond;
+          Alcotest.test_case "negative weight" `Quick test_dijkstra_negative_weight;
+          Alcotest.test_case "distances_to undirected" `Quick
+            test_distances_to_undirected;
+          Alcotest.test_case "distances_to directed" `Quick test_distances_to_directed;
+        ] );
+      ("widest", [ Alcotest.test_case "widest path" `Quick test_widest_path ]);
+      ( "floyd-warshall",
+        [ Alcotest.test_case "matches dijkstra" `Slow test_fw_matches_dijkstra ] );
+      ( "astar_prune_k",
+        [
+          Alcotest.test_case "unconstrained shortest" `Quick
+            test_ksp_unconstrained_shortest;
+          Alcotest.test_case "constraint pruning" `Quick test_ksp_constraint_prunes;
+          Alcotest.test_case "src = dst" `Quick test_ksp_src_eq_dst;
+          Alcotest.test_case "loopless & ordered" `Quick test_ksp_loopless_and_ordered;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "line/ring/star/complete" `Quick
+            test_gen_line_ring_star_complete;
+          Alcotest.test_case "torus 5x8" `Quick test_gen_torus;
+          Alcotest.test_case "torus small dims" `Quick test_gen_torus_small_dims;
+          Alcotest.test_case "random connected" `Quick test_gen_random_connected;
+          Alcotest.test_case "expected edges" `Quick test_gen_expected_edges;
+          Alcotest.test_case "random tree" `Quick test_gen_random_tree;
+          Alcotest.test_case "gnp" `Quick test_gen_gnp;
+          Alcotest.test_case "barabasi-albert" `Quick test_gen_barabasi_albert;
+          Alcotest.test_case "waxman" `Quick test_gen_waxman;
+        ] );
+      ( "yen",
+        [
+          Alcotest.test_case "diamond" `Quick test_yen_diamond;
+          Alcotest.test_case "src = dst" `Quick test_yen_src_eq_dst;
+          Alcotest.test_case "unreachable" `Quick test_yen_unreachable;
+        ] );
+      ( "betweenness",
+        [
+          Alcotest.test_case "path graph" `Quick test_betweenness_path_graph;
+          Alcotest.test_case "star" `Quick test_betweenness_star;
+          QCheck_alcotest.to_alcotest prop_betweenness_matches_brute_force;
+        ] );
+      ("dot", [ Alcotest.test_case "output" `Quick test_dot_output ]);
+      ( "properties",
+        [
+          q prop_random_connected_always_connected;
+          q prop_dijkstra_triangle_inequality;
+          q prop_widest_path_is_optimal;
+          q prop_ksp_first_matches_dijkstra;
+          q prop_bfs_hops_vs_dijkstra_unit;
+          q prop_yen_matches_astar_prune;
+          q prop_yen_paths_loopless_sorted;
+        ] );
+    ]

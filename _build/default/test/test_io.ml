@@ -1,0 +1,180 @@
+(* Tests for hmn_io: JSON round-trips for problems and mappings, file
+   persistence, and rejection of malformed or tampered documents. *)
+
+module Json = Hmn_prelude.Json
+module Codec = Hmn_io.Codec
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Venv = Hmn_vnet.Virtual_env
+module Problem = Hmn_mapping.Problem
+module Constraints = Hmn_mapping.Constraints
+module Mapping = Hmn_mapping.Mapping
+
+let sample_problem ?(seed = 321) ?(guests = 40) () =
+  let rng = Hmn_rng.Rng.create seed in
+  let cluster =
+    Hmn_testbed.Cluster_gen.switched_cluster ~vmm:Hmn_testbed.Vmm.none ~n:10 ~rng ()
+  in
+  let venv =
+    Hmn_vnet.Venv_gen.generate ~scale_to_fit:(cluster, 0.8)
+      ~profile:Hmn_vnet.Workload.high_level ~n:guests ~density:0.05 ~rng ()
+  in
+  Problem.make ~cluster ~venv
+
+let sample_mapping ?seed ?guests () =
+  let problem = sample_problem ?seed ?guests () in
+  match (Hmn_core.Hmn.run problem).Hmn_core.Mapper.result with
+  | Ok m -> m
+  | Error f -> Alcotest.fail f.Hmn_core.Mapper.reason
+
+let problems_equal a b =
+  let ca = a.Problem.cluster and cb = b.Problem.cluster in
+  let va = a.Problem.venv and vb = b.Problem.venv in
+  Cluster.n_nodes ca = Cluster.n_nodes cb
+  && Hmn_graph.Graph.n_edges (Cluster.graph ca) = Hmn_graph.Graph.n_edges (Cluster.graph cb)
+  && Venv.n_guests va = Venv.n_guests vb
+  && Venv.n_vlinks va = Venv.n_vlinks vb
+  && Resources.equal (Cluster.total_capacity ca) (Cluster.total_capacity cb)
+  && Resources.equal (Venv.total_demand va) (Venv.total_demand vb)
+  && List.for_all
+       (fun i ->
+         Resources.equal (Venv.demand va i) (Venv.demand vb i)
+         && (Venv.guest va i).Hmn_vnet.Guest.name = (Venv.guest vb i).Hmn_vnet.Guest.name)
+       (List.init (Venv.n_guests va) Fun.id)
+
+let test_problem_roundtrip () =
+  let problem = sample_problem () in
+  match Codec.problem_of_json (Codec.problem_to_json problem) with
+  | Error e -> Alcotest.fail e
+  | Ok problem' ->
+    Alcotest.(check bool) "problems equal" true (problems_equal problem problem')
+
+let test_mapping_roundtrip () =
+  let mapping = sample_mapping () in
+  let problem = Mapping.problem mapping in
+  match Codec.mapping_of_json ~problem (Codec.mapping_to_json mapping) with
+  | Error e -> Alcotest.fail e
+  | Ok mapping' ->
+    Alcotest.(check bool) "valid after reload" true (Constraints.is_valid mapping');
+    Alcotest.(check (float 1e-9)) "same objective" (Mapping.objective mapping)
+      (Mapping.objective mapping');
+    Alcotest.(check int) "same hops" (Mapping.total_hops mapping)
+      (Mapping.total_hops mapping')
+
+let test_bundle_roundtrip () =
+  let mapping = sample_mapping () in
+  match Codec.bundle_of_json (Codec.bundle_to_json mapping) with
+  | Error e -> Alcotest.fail e
+  | Ok mapping' ->
+    Alcotest.(check bool) "valid" true (Constraints.is_valid mapping');
+    Alcotest.(check (float 1e-9)) "objective preserved" (Mapping.objective mapping)
+      (Mapping.objective mapping')
+
+let test_bundle_text_roundtrip () =
+  (* Through the actual text representation, pretty-printed. *)
+  let mapping = sample_mapping ~seed:99 () in
+  let text = Json.to_string ~pretty:true (Codec.bundle_to_json mapping) in
+  match Result.bind (Json.of_string text) Codec.bundle_of_json with
+  | Error e -> Alcotest.fail e
+  | Ok mapping' ->
+    Alcotest.(check (float 1e-9)) "objective preserved" (Mapping.objective mapping)
+      (Mapping.objective mapping')
+
+let test_file_persistence () =
+  let mapping = sample_mapping () in
+  let path = Filename.temp_file "hmn_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.save_bundle ~path mapping;
+      match Codec.load_bundle ~path with
+      | Error e -> Alcotest.fail e
+      | Ok mapping' ->
+        Alcotest.(check bool) "valid" true (Constraints.is_valid mapping'));
+  (* Missing file is a clean error, not an exception. *)
+  Alcotest.(check bool) "missing file" true
+    (Result.is_error (Codec.load_bundle ~path:"/nonexistent/nope.json"))
+
+let test_rejects_wrong_format () =
+  let problem = sample_problem () in
+  let j = Codec.problem_to_json problem in
+  Alcotest.(check bool) "bundle loader rejects problem doc" true
+    (Result.is_error (Codec.bundle_of_json j));
+  Alcotest.(check bool) "problem loader rejects junk" true
+    (Result.is_error (Codec.problem_of_json (Json.str "hello")))
+
+let test_rejects_tampered_placement () =
+  let mapping = sample_mapping () in
+  let problem = Mapping.problem mapping in
+  let j = Codec.mapping_to_json mapping in
+  (* Point every guest at host 0: memory must overflow and decoding
+     must fail through the Placement constructor. *)
+  let tampered =
+    match j with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "placement", Json.Arr xs ->
+               ("placement", Json.Arr (List.map (fun _ -> Json.int 0) xs))
+             | field -> field)
+           fields)
+    | _ -> Alcotest.fail "expected an object"
+  in
+  Alcotest.(check bool) "tampered placement rejected" true
+    (Result.is_error (Codec.mapping_of_json ~problem tampered))
+
+let test_rejects_overdrawn_paths () =
+  let mapping = sample_mapping () in
+  let problem = Mapping.problem mapping in
+  let j = Codec.mapping_to_json mapping in
+  (* Duplicate a vlink's path entry: the double reservation must be
+     rejected by the Link_map. *)
+  let tampered =
+    match j with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "paths", Json.Arr (p :: rest) -> ("paths", Json.Arr (p :: p :: rest))
+             | field -> field)
+           fields)
+    | _ -> Alcotest.fail "expected an object"
+  in
+  Alcotest.(check bool) "duplicate path rejected" true
+    (Result.is_error (Codec.mapping_of_json ~problem tampered))
+
+let prop_roundtrip_many_seeds =
+  QCheck.Test.make ~name:"bundle round-trip preserves validity across seeds" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      let problem = sample_problem ~seed:(seed + 1) ~guests:25 () in
+      match (Hmn_core.Hmn.run problem).Hmn_core.Mapper.result with
+      | Error _ -> true
+      | Ok mapping -> (
+        match Codec.bundle_of_json (Codec.bundle_to_json mapping) with
+        | Error _ -> false
+        | Ok mapping' ->
+          Constraints.is_valid mapping'
+          && Hmn_prelude.Float_ext.approx (Mapping.objective mapping)
+               (Mapping.objective mapping')))
+
+let () =
+  Alcotest.run "hmn_io"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "problem" `Quick test_problem_roundtrip;
+          Alcotest.test_case "mapping" `Quick test_mapping_roundtrip;
+          Alcotest.test_case "bundle" `Quick test_bundle_roundtrip;
+          Alcotest.test_case "bundle via text" `Quick test_bundle_text_roundtrip;
+          Alcotest.test_case "files" `Quick test_file_persistence;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "wrong format" `Quick test_rejects_wrong_format;
+          Alcotest.test_case "tampered placement" `Quick test_rejects_tampered_placement;
+          Alcotest.test_case "overdrawn paths" `Quick test_rejects_overdrawn_paths;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip_many_seeds ]);
+    ]

@@ -1,0 +1,416 @@
+(* Tests for hmn_prelude: numeric helpers, array/list utilities, the
+   table renderer, unit conversions. *)
+
+open Hmn_prelude
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Float_ext ---- *)
+
+let test_approx_equal () =
+  Alcotest.(check bool) "identical" true (Float_ext.approx 1.0 1.0);
+  Alcotest.(check bool) "within eps" true (Float_ext.approx 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "outside eps" false (Float_ext.approx 1.0 1.1);
+  Alcotest.(check bool) "relative for large" true
+    (Float_ext.approx ~eps:1e-9 1e12 (1e12 +. 1.))
+
+let test_clamp () =
+  check_float "below" 0. (Float_ext.clamp ~lo:0. ~hi:1. (-5.));
+  check_float "above" 1. (Float_ext.clamp ~lo:0. ~hi:1. 5.);
+  check_float "inside" 0.5 (Float_ext.clamp ~lo:0. ~hi:1. 0.5);
+  Alcotest.check_raises "inverted bounds"
+    (Invalid_argument "Float_ext.clamp: lo > hi") (fun () ->
+      ignore (Float_ext.clamp ~lo:1. ~hi:0. 0.5))
+
+let test_lerp () =
+  check_float "t=0" 2. (Float_ext.lerp 2. 8. 0.);
+  check_float "t=1" 8. (Float_ext.lerp 2. 8. 1.);
+  check_float "midpoint" 5. (Float_ext.lerp 2. 8. 0.5)
+
+let test_sum_kahan () =
+  check_float "empty" 0. (Float_ext.sum [||]);
+  check_float "simple" 6. (Float_ext.sum [| 1.; 2.; 3. |]);
+  (* Kahan keeps small terms that naive summation drops. *)
+  let xs = Array.make 10_000 1e-8 in
+  xs.(0) <- 1e8;
+  let s = Float_ext.sum xs in
+  Alcotest.(check bool) "compensated" true
+    (Float.abs (s -. (1e8 +. 9_999e-8)) < 1e-6)
+
+let test_mean () =
+  check_float "mean" 2. (Float_ext.mean [| 1.; 2.; 3. |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Float_ext.mean: empty array")
+    (fun () -> ignore (Float_ext.mean [||]))
+
+let test_round_to () =
+  check_float "2 digits" 3.14 (Float_ext.round_to 2 3.14159);
+  check_float "0 digits" 3. (Float_ext.round_to 0 3.14159);
+  check_float "negative" (-2.7) (Float_ext.round_to 1 (-2.71))
+
+let test_is_finite () =
+  Alcotest.(check bool) "finite" true (Float_ext.is_finite 1.0);
+  Alcotest.(check bool) "inf" false (Float_ext.is_finite infinity);
+  Alcotest.(check bool) "nan" false (Float_ext.is_finite Float.nan)
+
+(* ---- Array_ext ---- *)
+
+let test_sum_by () =
+  check_float "doubles" 12. (Array_ext.sum_by (fun x -> 2. *. x) [| 1.; 2.; 3. |]);
+  check_float "empty" 0. (Array_ext.sum_by Fun.id [||])
+
+let test_min_max_by () =
+  Alcotest.(check int) "min_by" 3 (Array_ext.min_by float_of_int [| 5; 3; 4 |]);
+  Alcotest.(check int) "max_by" 5 (Array_ext.max_by float_of_int [| 5; 3; 4 |]);
+  (* Ties resolve to the earliest element. *)
+  Alcotest.(check (pair int int)) "tie" (1, 0)
+    (let xs = [| (1, 0); (1, 1) |] in
+     Array_ext.min_by (fun (a, _) -> float_of_int a) xs);
+  Alcotest.check_raises "empty" (Invalid_argument "Array_ext.arg_min: empty array")
+    (fun () -> ignore (Array_ext.min_by Fun.id [||]))
+
+let test_arg_min_max () =
+  Alcotest.(check int) "arg_min" 1 (Array_ext.arg_min float_of_int [| 5; 3; 4 |]);
+  Alcotest.(check int) "arg_max" 0 (Array_ext.arg_max float_of_int [| 5; 3; 4 |])
+
+let test_sort_by () =
+  let xs = [| 3; 1; 2 |] in
+  Array_ext.sort_by float_of_int xs;
+  Alcotest.(check (array int)) "ascending" [| 1; 2; 3 |] xs;
+  Array_ext.sort_by_desc float_of_int xs;
+  Alcotest.(check (array int)) "descending" [| 3; 2; 1 |] xs
+
+let test_sort_stability () =
+  (* Equal keys keep their input order. *)
+  let xs = [| ("a", 1.); ("b", 1.); ("c", 0.) |] in
+  Array_ext.sort_by snd xs;
+  Alcotest.(check (list string)) "stable" [ "c"; "a"; "b" ]
+    (Array.to_list (Array.map fst xs))
+
+let test_swap_find_count () =
+  let xs = [| 1; 2; 3 |] in
+  Array_ext.swap xs 0 2;
+  Alcotest.(check (array int)) "swap" [| 3; 2; 1 |] xs;
+  Alcotest.(check (option int)) "find hit" (Some 1)
+    (Array_ext.find_index_opt (( = ) 2) xs);
+  Alcotest.(check (option int)) "find miss" None
+    (Array_ext.find_index_opt (( = ) 9) xs);
+  Alcotest.(check int) "count" 2 (Array_ext.count (fun x -> x > 1) xs)
+
+let test_init_matrix () =
+  let m = Array_ext.init_matrix 2 3 (fun i j -> (10 * i) + j) in
+  Alcotest.(check int) "rows" 2 (Array.length m);
+  Alcotest.(check (array int)) "row 1" [| 10; 11; 12 |] m.(1)
+
+(* ---- List_ext ---- *)
+
+let test_take_drop () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (List_ext.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take too many" [ 1 ] (List_ext.take 5 [ 1 ]);
+  Alcotest.(check (list int)) "take negative" [] (List_ext.take (-1) [ 1 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (List_ext.drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop all" [] (List_ext.drop 5 [ 1; 2 ])
+
+let test_list_min_max () =
+  Alcotest.(check int) "min_by" 3 (List_ext.min_by float_of_int [ 5; 3; 4 ]);
+  Alcotest.(check int) "max_by" 5 (List_ext.max_by float_of_int [ 5; 3; 4 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "List_ext.min_by: empty list")
+    (fun () -> ignore (List_ext.min_by Fun.id []))
+
+let test_group_by () =
+  let groups = List_ext.group_by (fun x -> x mod 2) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  Alcotest.(check (list int)) "odds first (first-seen order)" [ 1; 3; 5 ]
+    (List.assoc 1 groups);
+  Alcotest.(check (list int)) "evens" [ 2; 4 ] (List.assoc 0 groups)
+
+let test_pairs () =
+  Alcotest.(check (list (pair int int)))
+    "pairs" [ (1, 2); (1, 3); (2, 3) ] (List_ext.pairs [ 1; 2; 3 ]);
+  Alcotest.(check (list (pair int int))) "singleton" [] (List_ext.pairs [ 1 ])
+
+let test_unfold () =
+  let countdown = List_ext.unfold (fun n -> if n = 0 then None else Some (n, n - 1)) 3 in
+  Alcotest.(check (list int)) "countdown" [ 3; 2; 1 ] countdown
+
+(* ---- Pretty_table ---- *)
+
+let test_table_render () =
+  let t = Pretty_table.create ~header:[ "a"; "bb" ] () in
+  Pretty_table.add_row t [ "1"; "2" ];
+  Pretty_table.add_row t [ "10"; "20" ];
+  let out = Pretty_table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length out > 0 && String.sub out 0 1 = " ");
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count (header + rule + 2 rows + trailing)" 5
+    (List.length lines);
+  Alcotest.(check string) "first row right-aligned" " 1   2" (List.nth lines 2);
+  Alcotest.(check string) "second row right-aligned" "10  20" (List.nth lines 3)
+
+let test_table_align_left () =
+  let t =
+    Pretty_table.create
+      ~aligns:[ Pretty_table.Left; Pretty_table.Right ]
+      ~header:[ "name"; "v" ] ()
+  in
+  Pretty_table.add_row t [ "x"; "1" ];
+  let lines = String.split_on_char '\n' (Pretty_table.render t) in
+  Alcotest.(check string) "left padding" "x     1" (List.nth lines 2)
+
+let test_table_arity_errors () =
+  let t = Pretty_table.create ~header:[ "a" ] () in
+  Alcotest.check_raises "row arity"
+    (Invalid_argument "Pretty_table.add_row: arity mismatch") (fun () ->
+      Pretty_table.add_row t [ "1"; "2" ]);
+  Alcotest.check_raises "aligns arity"
+    (Invalid_argument "Pretty_table.create: aligns/header arity mismatch")
+    (fun () -> ignore (Pretty_table.create ~aligns:[] ~header:[ "a" ] ()))
+
+(* ---- Units ---- *)
+
+let test_conversions () =
+  check_float "gbps" 1000. (Units.mbps_of_gbps 1.);
+  check_float "kbps" 0.175 (Units.mbps_of_kbps 175.);
+  check_float "gb" 2048. (Units.mb_of_gb 2.);
+  check_float "tb" 3072. (Units.gb_of_tb 3.);
+  check_float "ms" 0.005 (Units.seconds_of_ms 5.);
+  check_float "s" 5. (Units.ms_of_seconds 0.005)
+
+let test_pretty_units () =
+  Alcotest.(check string) "gbps display" "1.00Gbps"
+    (Format.asprintf "%a" Units.pp_bandwidth 1000.);
+  Alcotest.(check string) "kbps display" "175kbps"
+    (Format.asprintf "%a" Units.pp_bandwidth 0.175);
+  Alcotest.(check string) "gb display" "2.00GB"
+    (Format.asprintf "%a" Units.pp_memory 2048.);
+  Alcotest.(check string) "tb display" "2.00TB"
+    (Format.asprintf "%a" Units.pp_storage 2048.)
+
+(* ---- Json ---- *)
+
+let test_json_print () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.int 1);
+        ("b", Json.Arr [ Json.Bool true; Json.Null; Json.str "x" ]);
+        ("c", Json.float 1.5);
+      ]
+  in
+  Alcotest.(check string) "minified"
+    {|{"a":1,"b":[true,null,"x"],"c":1.5}|}
+    (Json.to_string v);
+  Alcotest.(check bool) "pretty contains newlines" true
+    (String.contains (Json.to_string ~pretty:true v) '\n')
+
+let test_json_parse_basic () =
+  let check_ok input expected =
+    match Json.of_string input with
+    | Ok v -> Alcotest.(check string) input expected (Json.to_string v)
+    | Error e -> Alcotest.fail e
+  in
+  check_ok {|{"a": 1, "b": [true, null]}|} {|{"a":1,"b":[true,null]}|};
+  check_ok "  42  " "42";
+  check_ok {|"hi\nthere"|} {|"hi\nthere"|};
+  check_ok "[-1.5e2]" "[-150]";
+  check_ok "{}" "{}";
+  check_ok "[]" "[]"
+
+let test_json_parse_escapes () =
+  (match Json.of_string {|"Aé€"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9\xe2\x82\xac" s
+  | _ -> Alcotest.fail "expected a string");
+  match Json.of_string {|"😀"|} with
+  | Ok (Json.Str s) ->
+    Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected a string"
+
+let test_json_parse_errors () =
+  let fails input =
+    Alcotest.(check bool) input true (Result.is_error (Json.of_string input))
+  in
+  fails "{";
+  fails "[1,]";
+  fails {|{"a" 1}|};
+  fails "tru";
+  fails "1 2";
+  fails {|"unterminated|};
+  fails ""
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("n", Json.int 3); ("s", Json.str "x"); ("l", Json.Arr [ Json.int 1 ]) ] in
+  Alcotest.(check bool) "member ok" true (Result.is_ok (Json.member "n" v));
+  Alcotest.(check bool) "member missing" true (Result.is_error (Json.member "zz" v));
+  Alcotest.(check (result int string)) "to_int" (Ok 3)
+    (Result.bind (Json.member "n" v) Json.to_int);
+  Alcotest.(check bool) "to_int on non-integer" true
+    (Result.is_error (Json.to_int (Json.float 1.5)));
+  Alcotest.(check bool) "to_str wrong type" true
+    (Result.is_error (Result.bind (Json.member "n" v) Json.to_str));
+  Alcotest.(check bool) "map_result short-circuits" true
+    (Result.is_error (Json.map_result Json.to_int [ Json.int 1; Json.str "no" ]))
+
+let prop_json_roundtrip =
+  (* Random JSON trees survive print-then-parse. *)
+  let rec gen_value depth =
+    QCheck.Gen.(
+      if depth = 0 then
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun i -> Json.int i) small_signed_int;
+            map (fun s -> Json.str s) (string_size ~gen:printable (int_range 0 10));
+          ]
+      else
+        frequency
+          [
+            (2, gen_value 0);
+            ( 1,
+              map (fun xs -> Json.Arr xs) (list_size (int_range 0 4) (gen_value (depth - 1)))
+            );
+            ( 1,
+              map
+                (fun kvs ->
+                  (* Duplicate keys would not round-trip through assoc
+                     lookup; deduplicate. *)
+                  let seen = Hashtbl.create 8 in
+                  Json.Obj
+                    (List.filter
+                       (fun (k, _) ->
+                         if Hashtbl.mem seen k then false
+                         else begin
+                           Hashtbl.add seen k ();
+                           true
+                         end)
+                       kvs))
+                (list_size (int_range 0 4)
+                   (pair (string_size ~gen:printable (int_range 1 6)) (gen_value (depth - 1))))
+            );
+          ])
+  in
+  QCheck.Test.make ~name:"JSON print/parse round-trip" ~count:300
+    (QCheck.make (gen_value 3))
+    (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
+let prop_json_parser_never_raises =
+  (* Fuzz: arbitrary bytes produce Ok or Error, never an exception. *)
+  QCheck.Test.make ~name:"JSON parser is total on arbitrary input" ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 40))
+    (fun s ->
+      match Json.of_string s with Ok _ | Error _ -> true)
+
+(* ---- properties ---- *)
+
+let prop_clamp_in_range =
+  QCheck.Test.make ~name:"clamp lands inside the interval" ~count:500
+    QCheck.(triple (float_range (-100.) 100.) (float_range (-100.) 100.) float)
+    (fun (a, b, x) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let r = Float_ext.clamp ~lo ~hi x in
+      r >= lo && r <= hi)
+
+let prop_sum_matches_fold =
+  QCheck.Test.make ~name:"Kahan sum close to naive fold" ~count:300
+    QCheck.(array_of_size Gen.(int_range 0 100) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let naive = Array.fold_left ( +. ) 0. xs in
+      Float_ext.approx ~eps:1e-6 naive (Float_ext.sum xs))
+
+let prop_sort_by_sorts =
+  QCheck.Test.make ~name:"sort_by yields ascending keys" ~count:300
+    QCheck.(array_of_size Gen.(int_range 0 50) small_int)
+    (fun xs ->
+      Array_ext.sort_by float_of_int xs;
+      let ok = ref true in
+      for i = 0 to Array.length xs - 2 do
+        if xs.(i) > xs.(i + 1) then ok := false
+      done;
+      !ok)
+
+let prop_take_drop_partition =
+  QCheck.Test.make ~name:"take n @ drop n = original" ~count:300
+    QCheck.(pair small_nat (small_list int))
+    (fun (n, xs) -> List_ext.take n xs @ List_ext.drop n xs = xs)
+
+let prop_group_by_preserves_elements =
+  QCheck.Test.make ~name:"group_by preserves the multiset" ~count:300
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let grouped = List_ext.group_by (fun x -> x mod 3) xs in
+      let back = List.concat_map snd grouped in
+      List.sort compare back = List.sort compare xs)
+
+let prop_pairs_count =
+  QCheck.Test.make ~name:"pairs yields n(n-1)/2 elements" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 30) unit)
+    (fun xs ->
+      let n = List.length xs in
+      List.length (List_ext.pairs xs) = n * (n - 1) / 2)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hmn_prelude"
+    [
+      ( "float_ext",
+        [
+          Alcotest.test_case "approx" `Quick test_approx_equal;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "lerp" `Quick test_lerp;
+          Alcotest.test_case "kahan sum" `Quick test_sum_kahan;
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "round_to" `Quick test_round_to;
+          Alcotest.test_case "is_finite" `Quick test_is_finite;
+        ] );
+      ( "array_ext",
+        [
+          Alcotest.test_case "sum_by" `Quick test_sum_by;
+          Alcotest.test_case "min/max_by" `Quick test_min_max_by;
+          Alcotest.test_case "arg_min/max" `Quick test_arg_min_max;
+          Alcotest.test_case "sort_by" `Quick test_sort_by;
+          Alcotest.test_case "sort stability" `Quick test_sort_stability;
+          Alcotest.test_case "swap/find/count" `Quick test_swap_find_count;
+          Alcotest.test_case "init_matrix" `Quick test_init_matrix;
+        ] );
+      ( "list_ext",
+        [
+          Alcotest.test_case "take/drop" `Quick test_take_drop;
+          Alcotest.test_case "min/max_by" `Quick test_list_min_max;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "pairs" `Quick test_pairs;
+          Alcotest.test_case "unfold" `Quick test_unfold;
+        ] );
+      ( "pretty_table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "left align" `Quick test_table_align_left;
+          Alcotest.test_case "arity errors" `Quick test_table_arity_errors;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "conversions" `Quick test_conversions;
+          Alcotest.test_case "pretty printing" `Quick test_pretty_units;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "print" `Quick test_json_print;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basic;
+          Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_parser_never_raises;
+        ] );
+      ( "properties",
+        [
+          q prop_clamp_in_range;
+          q prop_sum_matches_fold;
+          q prop_sort_by_sorts;
+          q prop_take_drop_partition;
+          q prop_group_by_preserves_elements;
+          q prop_pairs_count;
+        ] );
+    ]

@@ -1,0 +1,485 @@
+(* Tests for hmn_routing: paths, residual bookkeeping, latency tables,
+   the paper's modified A*Prune (Algorithm 1) and the DFS baseline
+   router. A*Prune is verified against a brute-force enumeration of all
+   simple paths on small clusters. *)
+
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Node = Hmn_testbed.Node
+module Link = Hmn_testbed.Link
+module Resources = Hmn_testbed.Resources
+module Path = Hmn_routing.Path
+module Residual = Hmn_routing.Residual
+module Latency_table = Hmn_routing.Latency_table
+module Astar = Hmn_routing.Astar_prune
+module Dfs = Hmn_routing.Dfs_route
+
+let host i =
+  Node.host
+    ~name:(Printf.sprintf "h%d" i)
+    ~capacity:(Resources.make ~mips:1000. ~mem_mb:1024. ~stor_gb:100.)
+
+(* A 4-node cluster:
+     0 --(100 Mbps, 5 ms)-- 1 --(100 Mbps, 5 ms)-- 2
+     0 --------------(10 Mbps, 5 ms)-------------- 2
+     2 --(100 Mbps, 5 ms)-- 3 *)
+let small_cluster () =
+  let g = Graph.create ~n:4 () in
+  let mk bw = Link.make ~bandwidth_mbps:bw ~latency_ms:5. in
+  let e01 = Graph.add_edge g 0 1 (mk 100.) in
+  let e12 = Graph.add_edge g 1 2 (mk 100.) in
+  let e02 = Graph.add_edge g 0 2 (mk 10.) in
+  let e23 = Graph.add_edge g 2 3 (mk 100.) in
+  (Cluster.create ~nodes:(Array.init 4 host) ~graph:g, e01, e12, e02, e23)
+
+(* ---- Path ---- *)
+
+let test_path_basics () =
+  let cluster, e01, e12, _, _ = small_cluster () in
+  let p = Path.make ~nodes:[ 0; 1; 2 ] ~edges:[ e01; e12 ] in
+  Alcotest.(check int) "src" 0 (Path.src p);
+  Alcotest.(check int) "dst" 2 (Path.dst p);
+  Alcotest.(check int) "hops" 2 (Path.hop_count p);
+  Alcotest.(check bool) "not intra" false (Path.is_intra_host p);
+  Alcotest.(check (float 1e-9)) "latency" 10. (Path.total_latency cluster p);
+  Alcotest.(check bool) "mem_edge" true (Path.mem_edge p e01);
+  let trivial = Path.trivial 2 in
+  Alcotest.(check bool) "trivial intra" true (Path.is_intra_host trivial);
+  Alcotest.(check (float 1e-9)) "trivial latency" 0.
+    (Path.total_latency cluster trivial);
+  Alcotest.(check bool) "trivial infinite bottleneck" true
+    (Path.bottleneck ~capacity:(fun _ -> 1.) trivial = infinity);
+  Alcotest.(check (float 1e-9)) "bottleneck" 7.
+    (Path.bottleneck ~capacity:(fun e -> if e = e01 then 7. else 9.) p)
+
+let test_path_make_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Path.make: empty node list")
+    (fun () -> ignore (Path.make ~nodes:[] ~edges:[]));
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Path.make: edge/node length mismatch") (fun () ->
+      ignore (Path.make ~nodes:[ 0; 1 ] ~edges:[]))
+
+let test_path_validate () =
+  let cluster, e01, e12, e02, _ = small_cluster () in
+  let ok p src dst = Path.validate cluster ~src ~dst p in
+  let good = Path.make ~nodes:[ 0; 1; 2 ] ~edges:[ e01; e12 ] in
+  Alcotest.(check bool) "valid" true (Result.is_ok (ok good 0 2));
+  Alcotest.(check bool) "wrong src" true (Result.is_error (ok good 1 2));
+  Alcotest.(check bool) "wrong dst" true (Result.is_error (ok good 0 3));
+  (* Edge that does not join the stated nodes (Eq. 6 violation). *)
+  let bad_edge = Path.make ~nodes:[ 0; 1; 2 ] ~edges:[ e01; e02 ] in
+  Alcotest.(check bool) "edge mismatch" true (Result.is_error (ok bad_edge 0 2));
+  (* Loop (Eq. 7 violation). *)
+  let loopy = Path.make ~nodes:[ 0; 1; 0; 2 ] ~edges:[ e01; e01; e02 ] in
+  Alcotest.(check bool) "loop rejected" true (Result.is_error (ok loopy 0 2))
+
+(* ---- Residual ---- *)
+
+let test_residual_reserve_release () =
+  let cluster, e01, e12, _, _ = small_cluster () in
+  let res = Residual.create cluster in
+  Alcotest.(check (float 1e-9)) "initial" 100. (Residual.available res e01);
+  let p = Path.make ~nodes:[ 0; 1; 2 ] ~edges:[ e01; e12 ] in
+  (match Residual.reserve_path res p 30. with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (float 1e-9)) "after reserve" 70. (Residual.available res e01);
+  Alcotest.(check (float 1e-9)) "used" 30. (Residual.used res e12);
+  Residual.release_path res p 30.;
+  Alcotest.(check (float 1e-9)) "after release" 100. (Residual.available res e01)
+
+let test_residual_atomic_failure () =
+  let cluster, e01, e12, _, _ = small_cluster () in
+  let res = Residual.create cluster in
+  (* Drain e12 so reserving along 0-1-2 must fail without touching e01. *)
+  let p12 = Path.make ~nodes:[ 1; 2 ] ~edges:[ e12 ] in
+  (match Residual.reserve_path res p12 95. with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let p = Path.make ~nodes:[ 0; 1; 2 ] ~edges:[ e01; e12 ] in
+  Alcotest.(check bool) "reserve fails" true
+    (Result.is_error (Residual.reserve_path res p 30.));
+  Alcotest.(check (float 1e-9)) "e01 untouched" 100. (Residual.available res e01)
+
+let test_residual_release_overflow () =
+  let cluster, e01, _, _, _ = small_cluster () in
+  let res = Residual.create cluster in
+  let p = Path.make ~nodes:[ 0; 1 ] ~edges:[ e01 ] in
+  Alcotest.check_raises "over-release"
+    (Invalid_argument "Residual.release_path: release exceeds capacity") (fun () ->
+      Residual.release_path res p 1.)
+
+let test_residual_copy_and_utilization () =
+  let cluster, e01, _, _, _ = small_cluster () in
+  let res = Residual.create cluster in
+  Alcotest.(check (float 1e-9)) "empty utilization" 0. (Residual.utilization res);
+  let p = Path.make ~nodes:[ 0; 1 ] ~edges:[ e01 ] in
+  (match Residual.reserve_path res p 50. with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let copy = Residual.copy res in
+  Residual.release_path res p 50.;
+  Alcotest.(check (float 1e-9)) "copy unaffected" 50. (Residual.available copy e01);
+  Alcotest.(check (float 1e-9)) "copy utilization" 0.125 (Residual.utilization copy)
+
+(* ---- Latency_table ---- *)
+
+let test_latency_table () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let tables = Latency_table.create cluster in
+  let ar = Latency_table.to_destination tables ~dst:3 in
+  Alcotest.(check (float 1e-9)) "dst itself" 0. ar.(3);
+  Alcotest.(check (float 1e-9)) "adjacent" 5. ar.(2);
+  Alcotest.(check (float 1e-9)) "0 via 2" 10. ar.(0);
+  ignore (Latency_table.to_destination tables ~dst:3);
+  Alcotest.(check int) "cache hit" 1 (Latency_table.hits tables);
+  Alcotest.(check int) "one miss" 1 (Latency_table.misses tables)
+
+(* ---- Astar_prune ---- *)
+
+let test_astar_widest_choice () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  let tables = Latency_table.create cluster in
+  (* 0->2 with a loose latency bound: the two-hop 100 Mbps path has the
+     wider bottleneck than the direct 10 Mbps edge. *)
+  match
+    Astar.route ~residual ~latency_tables:tables ~src:0 ~dst:2 ~bandwidth_mbps:1.
+      ~latency_ms:60. ()
+  with
+  | Some (p, _) ->
+    Alcotest.(check int) "two hops" 2 (Path.hop_count p);
+    Alcotest.(check (float 1e-9)) "bottleneck 100" 100.
+      (Path.bottleneck ~capacity:(Residual.available residual) p)
+  | None -> Alcotest.fail "expected a path"
+
+let test_astar_latency_forces_direct () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  let tables = Latency_table.create cluster in
+  (* Latency bound 5 ms only admits the direct edge. *)
+  match
+    Astar.route ~residual ~latency_tables:tables ~src:0 ~dst:2 ~bandwidth_mbps:1.
+      ~latency_ms:5. ()
+  with
+  | Some (p, _) -> Alcotest.(check int) "direct" 1 (Path.hop_count p)
+  | None -> Alcotest.fail "expected the direct path"
+
+let test_astar_bandwidth_prunes () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  let tables = Latency_table.create cluster in
+  (* Demanding 50 Mbps with a 5 ms bound: the only in-bound path (the
+     direct 10 Mbps edge) lacks bandwidth -> no path. *)
+  Alcotest.(check bool) "no feasible path" true
+    (Astar.route ~residual ~latency_tables:tables ~src:0 ~dst:2 ~bandwidth_mbps:50.
+       ~latency_ms:5. ()
+    = None);
+  (* With a loose bound the 100 Mbps detour qualifies. *)
+  Alcotest.(check bool) "detour found" true
+    (Astar.route ~residual ~latency_tables:tables ~src:0 ~dst:2 ~bandwidth_mbps:50.
+       ~latency_ms:60. ()
+    <> None)
+
+let test_astar_trivial_and_errors () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  let tables = Latency_table.create cluster in
+  (match
+     Astar.route ~residual ~latency_tables:tables ~src:1 ~dst:1 ~bandwidth_mbps:1.
+       ~latency_ms:0. ()
+   with
+  | Some (p, _) -> Alcotest.(check bool) "trivial" true (Path.is_intra_host p)
+  | None -> Alcotest.fail "src = dst must yield the trivial path");
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Astar_prune.route: bandwidth must be positive") (fun () ->
+      ignore
+        (Astar.route ~residual ~latency_tables:tables ~src:0 ~dst:1
+           ~bandwidth_mbps:0. ~latency_ms:1. ()))
+
+let test_astar_respects_residual () =
+  let cluster, e01, e12, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  let tables = Latency_table.create cluster in
+  (* Consume the fat path; a 50 Mbps request must now fail even with a
+     loose latency bound (direct edge has only 10). *)
+  let p = Path.make ~nodes:[ 0; 1; 2 ] ~edges:[ e01; e12 ] in
+  (match Residual.reserve_path residual p 60. with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "saturated" true
+    (Astar.route ~residual ~latency_tables:tables ~src:0 ~dst:2 ~bandwidth_mbps:50.
+       ~latency_ms:60. ()
+    = None)
+
+(* Brute-force oracle: enumerate all simple paths, keep those within
+   the latency bound whose every edge offers the bandwidth, and return
+   the maximum bottleneck. *)
+let brute_force_widest residual ~src ~dst ~bandwidth_mbps ~latency_ms =
+  let cluster = Residual.cluster residual in
+  let g = Cluster.graph cluster in
+  let n = Graph.n_nodes g in
+  let visited = Array.make n false in
+  let best = ref None in
+  let rec explore u lat width =
+    if u = dst then begin
+      match !best with
+      | Some w when w >= width -> ()
+      | _ -> best := Some width
+    end
+    else
+      Graph.iter_adj g u (fun ~neighbor ~eid ->
+          if not visited.(neighbor) then begin
+            let link = Cluster.link cluster eid in
+            let lat' = lat +. link.Link.latency_ms in
+            let avail = Residual.available residual eid in
+            if lat' <= latency_ms && avail >= bandwidth_mbps then begin
+              visited.(neighbor) <- true;
+              explore neighbor lat' (Float.min width avail);
+              visited.(neighbor) <- false
+            end
+          end)
+  in
+  visited.(src) <- true;
+  if src = dst then Some infinity
+  else begin
+    explore src 0. infinity;
+    !best
+  end
+
+let random_cluster ~n ~rng =
+  let shape = Hmn_graph.Generators.random_connected ~n ~density:0.3 ~rng in
+  let g =
+    Graph.map_labels shape ~f:(fun ~eid:_ () ->
+        Link.make
+          ~bandwidth_mbps:(10. +. (90. *. Hmn_rng.Rng.float rng))
+          ~latency_ms:(1. +. (9. *. Hmn_rng.Rng.float rng)))
+  in
+  Cluster.create ~nodes:(Array.init n host) ~graph:g
+
+let prop_astar_optimal_bottleneck =
+  QCheck.Test.make
+    ~name:"A*Prune returns the maximum-bottleneck feasible path (vs brute force)"
+    ~count:100 QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 1000) in
+      let cluster = random_cluster ~n:8 ~rng in
+      let residual = Residual.create cluster in
+      let tables = Latency_table.create cluster in
+      let bandwidth_mbps = 5. +. (40. *. Hmn_rng.Rng.float rng) in
+      let latency_ms = 5. +. (25. *. Hmn_rng.Rng.float rng) in
+      let src = Hmn_rng.Rng.int rng ~bound:8 in
+      let dst = Hmn_rng.Rng.int rng ~bound:8 in
+      let oracle = brute_force_widest residual ~src ~dst ~bandwidth_mbps ~latency_ms in
+      match
+        ( Astar.route ~residual ~latency_tables:tables ~src ~dst ~bandwidth_mbps
+            ~latency_ms (),
+          oracle )
+      with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some (p, _), Some w ->
+        if src = dst then Path.is_intra_host p
+        else
+          let got = Path.bottleneck ~capacity:(Residual.available residual) p in
+          Hmn_prelude.Float_ext.approx got w
+          && Path.total_latency cluster p <= latency_ms +. 1e-9
+          && Result.is_ok (Path.validate cluster ~src ~dst p))
+
+let prop_astar_dominance_preserves_width =
+  QCheck.Test.make
+    ~name:"dominance pruning does not change the returned bottleneck" ~count:100
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 2000) in
+      let cluster = random_cluster ~n:9 ~rng in
+      let residual = Residual.create cluster in
+      let tables = Latency_table.create cluster in
+      let bandwidth_mbps = 5. +. (40. *. Hmn_rng.Rng.float rng) in
+      let latency_ms = 5. +. (25. *. Hmn_rng.Rng.float rng) in
+      let width p = Path.bottleneck ~capacity:(Residual.available residual) p in
+      match
+        ( Astar.route ~residual ~latency_tables:tables ~src:0 ~dst:8 ~bandwidth_mbps
+            ~latency_ms (),
+          Astar.route ~prune_dominated:false ~residual ~latency_tables:tables ~src:0
+            ~dst:8 ~bandwidth_mbps ~latency_ms () )
+      with
+      | None, None -> true
+      | Some (a, _), Some (b, _) -> Hmn_prelude.Float_ext.approx (width a) (width b)
+      | _ -> false)
+
+(* ---- Dijkstra_route ---- *)
+
+let test_dijkstra_route_min_latency () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  (* 0->2 with modest bandwidth: the direct 1-hop (5 ms) edge wins over
+     the 2-hop 10 ms detour — the opposite of A*Prune's choice. *)
+  match
+    Hmn_routing.Dijkstra_route.route ~residual ~src:0 ~dst:2 ~bandwidth_mbps:1.
+      ~latency_ms:60. ()
+  with
+  | Some p -> Alcotest.(check int) "direct edge" 1 (Path.hop_count p)
+  | None -> Alcotest.fail "expected a path"
+
+let test_dijkstra_route_respects_bandwidth () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  (* Demanding 50 Mbps excludes the 10 Mbps direct edge: detour. *)
+  (match
+     Hmn_routing.Dijkstra_route.route ~residual ~src:0 ~dst:2 ~bandwidth_mbps:50.
+       ~latency_ms:60. ()
+   with
+  | Some p -> Alcotest.(check int) "detour" 2 (Path.hop_count p)
+  | None -> Alcotest.fail "expected the detour");
+  (* And with a 5 ms bound nothing qualifies. *)
+  Alcotest.(check bool) "bound excludes detour" true
+    (Hmn_routing.Dijkstra_route.route ~residual ~src:0 ~dst:2 ~bandwidth_mbps:50.
+       ~latency_ms:5. ()
+    = None)
+
+let test_dijkstra_route_trivial () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  match
+    Hmn_routing.Dijkstra_route.route ~residual ~src:2 ~dst:2 ~bandwidth_mbps:1.
+      ~latency_ms:0. ()
+  with
+  | Some p -> Alcotest.(check bool) "intra" true (Path.is_intra_host p)
+  | None -> Alcotest.fail "expected the trivial path"
+
+let prop_dijkstra_route_is_minimal_latency =
+  QCheck.Test.make
+    ~name:"Dijkstra route achieves the minimum feasible latency" ~count:100
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 9000) in
+      let cluster = random_cluster ~n:10 ~rng in
+      let residual = Residual.create cluster in
+      let bandwidth_mbps = 5. +. (40. *. Hmn_rng.Rng.float rng) in
+      let src = Hmn_rng.Rng.int rng ~bound:10 in
+      let dst = Hmn_rng.Rng.int rng ~bound:10 in
+      (* Oracle: Dijkstra over the filtered graph. *)
+      let g = Cluster.graph cluster in
+      let weight eid =
+        if Residual.available residual eid >= bandwidth_mbps then
+          (Cluster.link cluster eid).Link.latency_ms
+        else infinity
+      in
+      let best = (Hmn_graph.Dijkstra.run g ~weight ~src).Hmn_graph.Dijkstra.dist.(dst) in
+      match
+        Hmn_routing.Dijkstra_route.route ~residual ~src ~dst ~bandwidth_mbps
+          ~latency_ms:1000. ()
+      with
+      | None -> best = infinity || src = dst
+      | Some p ->
+        if src = dst then Path.is_intra_host p
+        else Hmn_prelude.Float_ext.approx (Path.total_latency cluster p) best)
+
+(* ---- Dfs_route ---- *)
+
+let test_dfs_finds_feasible () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  match Dfs.route ~residual ~src:0 ~dst:3 ~bandwidth_mbps:5. ~latency_ms:60. () with
+  | Some p ->
+    Alcotest.(check bool) "valid" true
+      (Result.is_ok (Path.validate cluster ~src:0 ~dst:3 p));
+    Alcotest.(check bool) "within latency" true (Path.total_latency cluster p <= 60.)
+  | None -> Alcotest.fail "expected a path"
+
+let test_dfs_latency_bound () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  (* 0->3 needs at least 2 hops (10 ms); bound 5 ms is infeasible. *)
+  Alcotest.(check bool) "infeasible" true
+    (Dfs.route ~residual ~src:0 ~dst:3 ~bandwidth_mbps:1. ~latency_ms:5. () = None)
+
+let test_dfs_step_budget () =
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  (* Destination 3 is two hops away; a 1-expansion budget cannot reach
+     it. *)
+  Alcotest.(check bool) "budget exhausts" true
+    (Dfs.route ~max_steps:1 ~residual ~src:0 ~dst:3 ~bandwidth_mbps:1.
+       ~latency_ms:1000. ()
+    = None);
+  Alcotest.(check bool) "enough budget succeeds" true
+    (Dfs.route ~max_steps:1000 ~residual ~src:0 ~dst:3 ~bandwidth_mbps:1.
+       ~latency_ms:1000. ()
+    <> None)
+
+let prop_dfs_paths_always_valid =
+  QCheck.Test.make ~name:"DFS paths satisfy the constraints they were asked for"
+    ~count:100 QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 3000) in
+      let cluster = random_cluster ~n:10 ~rng in
+      let residual = Residual.create cluster in
+      let bandwidth_mbps = 5. +. (40. *. Hmn_rng.Rng.float rng) in
+      let latency_ms = 5. +. (30. *. Hmn_rng.Rng.float rng) in
+      let src = Hmn_rng.Rng.int rng ~bound:10 in
+      let dst = Hmn_rng.Rng.int rng ~bound:10 in
+      match Dfs.route ~rng ~residual ~src ~dst ~bandwidth_mbps ~latency_ms () with
+      | None ->
+        (* DFS is complete (no budget here): if it fails, the oracle
+           must fail too. *)
+        brute_force_widest residual ~src ~dst ~bandwidth_mbps ~latency_ms = None
+      | Some p ->
+        if src = dst then Path.is_intra_host p
+        else
+          Result.is_ok (Path.validate cluster ~src ~dst p)
+          && Path.total_latency cluster p <= latency_ms +. 1e-9
+          && Path.bottleneck ~capacity:(Residual.available residual) p
+             >= bandwidth_mbps)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hmn_routing"
+    [
+      ( "path",
+        [
+          Alcotest.test_case "basics" `Quick test_path_basics;
+          Alcotest.test_case "make errors" `Quick test_path_make_errors;
+          Alcotest.test_case "validate (Eqs. 4-7)" `Quick test_path_validate;
+        ] );
+      ( "residual",
+        [
+          Alcotest.test_case "reserve/release" `Quick test_residual_reserve_release;
+          Alcotest.test_case "atomic failure" `Quick test_residual_atomic_failure;
+          Alcotest.test_case "release overflow" `Quick test_residual_release_overflow;
+          Alcotest.test_case "copy & utilization" `Quick
+            test_residual_copy_and_utilization;
+        ] );
+      ( "latency_table",
+        [ Alcotest.test_case "table & cache" `Quick test_latency_table ] );
+      ( "astar_prune",
+        [
+          Alcotest.test_case "widest choice" `Quick test_astar_widest_choice;
+          Alcotest.test_case "latency forces direct" `Quick
+            test_astar_latency_forces_direct;
+          Alcotest.test_case "bandwidth pruning" `Quick test_astar_bandwidth_prunes;
+          Alcotest.test_case "trivial & errors" `Quick test_astar_trivial_and_errors;
+          Alcotest.test_case "respects residual" `Quick test_astar_respects_residual;
+        ] );
+      ( "dijkstra_route",
+        [
+          Alcotest.test_case "min latency" `Quick test_dijkstra_route_min_latency;
+          Alcotest.test_case "respects bandwidth" `Quick
+            test_dijkstra_route_respects_bandwidth;
+          Alcotest.test_case "trivial" `Quick test_dijkstra_route_trivial;
+        ] );
+      ( "dfs_route",
+        [
+          Alcotest.test_case "finds feasible" `Quick test_dfs_finds_feasible;
+          Alcotest.test_case "latency bound" `Quick test_dfs_latency_bound;
+          Alcotest.test_case "step budget" `Quick test_dfs_step_budget;
+        ] );
+      ( "properties",
+        [
+          q prop_astar_optimal_bottleneck;
+          q prop_astar_dominance_preserves_width;
+          q prop_dfs_paths_always_valid;
+          q prop_dijkstra_route_is_minimal_latency;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+(* Tests for hmn_simcore: event ordering, FIFO tie-breaking, clock
+   semantics, bounded runs. *)
+
+module Engine = Hmn_simcore.Engine
+
+let test_empty_engine () =
+  let e = Engine.create () in
+  Alcotest.(check (float 0.)) "starts at 0" 0. (Engine.now e);
+  Alcotest.(check int) "no pending" 0 (Engine.pending e);
+  Alcotest.(check bool) "step on empty" false (Engine.step e);
+  Engine.run e;
+  Alcotest.(check int) "processed none" 0 (Engine.processed e)
+
+let test_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e ~time:3. (fun _ -> log := 3 :: !log);
+  Engine.schedule_at e ~time:1. (fun _ -> log := 1 :: !log);
+  Engine.schedule_at e ~time:2. (fun _ -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "chronological" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 0.)) "clock at last event" 3. (Engine.now e);
+  Alcotest.(check int) "processed" 3 (Engine.processed e)
+
+let test_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule_at e ~time:5. (fun _ -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO at equal times" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_schedule_relative () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule e ~delay:2. (fun e ->
+      seen := Engine.now e :: !seen;
+      Engine.schedule e ~delay:3. (fun e -> seen := Engine.now e :: !seen));
+  Engine.run e;
+  Alcotest.(check (list (float 1e-12))) "chained delays" [ 2.; 5. ] (List.rev !seen)
+
+let test_schedule_errors () =
+  let e = Engine.create () in
+  Engine.schedule_at e ~time:10. (fun _ -> ());
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time is in the past")
+    (fun () -> Engine.schedule_at e ~time:5. (fun _ -> ()));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.) (fun _ -> ()));
+  Alcotest.check_raises "nan" (Invalid_argument "Engine.schedule_at: non-finite time")
+    (fun () -> Engine.schedule_at e ~time:Float.nan (fun _ -> ()))
+
+let test_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun t -> Engine.schedule_at e ~time:t (fun _ -> incr count))
+    [ 1.; 2.; 3.; 4. ];
+  Engine.run ~until:2.5 e;
+  Alcotest.(check int) "two fired" 2 !count;
+  Alcotest.(check int) "two left" 2 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "all fired" 4 !count
+
+let test_run_max_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  (* A self-perpetuating event stream; only max_events bounds it. *)
+  let rec tick engine =
+    incr count;
+    Engine.schedule engine ~delay:1. tick
+  in
+  Engine.schedule e ~delay:0. tick;
+  Engine.run ~max_events:50 e;
+  Alcotest.(check int) "bounded" 50 !count
+
+let test_events_scheduled_during_run () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at e ~time:1. (fun e ->
+      log := "first" :: !log;
+      (* Insert an event between pending ones. *)
+      Engine.schedule_at e ~time:1.5 (fun _ -> log := "inserted" :: !log));
+  Engine.schedule_at e ~time:2. (fun _ -> log := "second" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "interleaved" [ "first"; "inserted"; "second" ]
+    (List.rev !log)
+
+let prop_events_fire_in_time_order =
+  QCheck.Test.make ~name:"random schedules fire in timestamp order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0. 100.))
+    (fun times ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun t -> Engine.schedule_at e ~time:t (fun e -> fired := Engine.now e :: !fired))
+        times;
+      Engine.run e;
+      let fired = List.rev !fired in
+      List.sort Float.compare times = fired)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hmn_simcore"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_engine;
+          Alcotest.test_case "time order" `Quick test_time_order;
+          Alcotest.test_case "FIFO ties" `Quick test_fifo_ties;
+          Alcotest.test_case "relative schedule" `Quick test_schedule_relative;
+          Alcotest.test_case "errors" `Quick test_schedule_errors;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "max events" `Quick test_run_max_events;
+          Alcotest.test_case "mid-run scheduling" `Quick
+            test_events_scheduled_during_run;
+        ] );
+      ("properties", [ q prop_events_fire_in_time_order ]);
+    ]
