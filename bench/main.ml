@@ -4,35 +4,99 @@
    (Tables 2-3, the mapping-time discussion, the objective/runtime
    correlation, Figure 1) through Hmn_experiments; repetition counts
    come from HMN_REPS / HMN_MAX_TRIES (defaults 5 / 200; the paper used
-   30 / 100000 — see EXPERIMENTS.md).
+   30 / 100000 — see EXPERIMENTS.md). The sweep fans out over HMN_JOBS
+   worker domains (see "Parallel sweeps" in EXPERIMENTS.md); its wall
+   time, jobs count and per-mapper mean mapping time are recorded in
+   BENCH_sweep.json (path override: HMN_BENCH_JSON) so the perf
+   trajectory can be tracked across PRs.
 
    Part 2 runs Bechamel micro-benchmarks: one Test.make per
    table/figure target plus the DESIGN.md ablations (Migration stage
    on/off, A*Prune dominance pruning on/off, A*Prune vs DFS routing).
 
-   Set HMN_BENCH_FAST=1 to shrink part 1 to one repetition (used by CI
-   smoke runs). *)
+   Set HMN_BENCH_FAST=1 to shrink part 1 to a smoke run (one
+   repetition, retry cap 20, reduced Figure 1 / ablation sweeps), and
+   HMN_BENCH_SKIP_MICRO=1 to skip part 2; the tier-1 smoke rule in
+   bench/dune sets both together with HMN_JOBS=2. *)
 
 open Bechamel
 open Toolkit
 
+let fast = Sys.getenv_opt "HMN_BENCH_FAST" <> None
+
 (* ---- part 1: paper tables and figures ---- *)
+
+(* Per-mapper mean mapping time, pooled over every (scenario, cluster)
+   cell with Running.merge. *)
+let mapper_map_times results =
+  List.map
+    (fun name ->
+      let pooled =
+        Hashtbl.fold
+          (fun (_, _, mapper) cell acc ->
+            if String.equal mapper name then
+              Hmn_stats.Running.merge acc cell.Hmn_experiments.Runner.map_time
+            else acc)
+          results.Hmn_experiments.Runner.cells
+          (Hmn_stats.Running.create ())
+      in
+      (name, pooled))
+    (Hmn_experiments.Runner.mapper_names results)
+
+let write_sweep_json ~wall_s results =
+  let module Json = Hmn_prelude.Json in
+  let config = results.Hmn_experiments.Runner.config in
+  let path =
+    Option.value (Sys.getenv_opt "HMN_BENCH_JSON") ~default:"BENCH_sweep.json"
+  in
+  let per_mapper =
+    List.map
+      (fun (name, pooled) ->
+        ( name,
+          if Hmn_stats.Running.count pooled = 0 then Json.Null
+          else Json.float (Hmn_stats.Running.mean pooled) ))
+      (mapper_map_times results)
+  in
+  let doc =
+    Json.Obj
+      [
+        ("sweep_wall_s", Json.float wall_s);
+        ("jobs", Json.int config.Hmn_experiments.Runner.jobs);
+        ("reps", Json.int config.Hmn_experiments.Runner.reps);
+        ("max_tries", Json.int config.Hmn_experiments.Runner.max_tries);
+        ("base_seed", Json.int config.Hmn_experiments.Runner.base_seed);
+        ("mean_map_time_s", Json.Obj per_mapper);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n\n" path
 
 let part1 () =
   let config =
     let c = Hmn_experiments.Runner.default_config () in
-    if Sys.getenv_opt "HMN_BENCH_FAST" <> None then
-      { c with Hmn_experiments.Runner.reps = 1 }
+    if fast then
+      {
+        c with
+        Hmn_experiments.Runner.reps = 1;
+        max_tries = min c.Hmn_experiments.Runner.max_tries 20;
+        mappers = Hmn_core.Registry.paper ~max_tries:20 ();
+      }
     else c
   in
   print_endline "== Table 1: simulation setup ==";
   print_string (Hmn_experiments.Setup.render ());
-  Printf.printf "(reps=%d, max_tries=%d, seed=%d)\n\n"
+  Printf.printf "(reps=%d, max_tries=%d, seed=%d, jobs=%d)\n\n"
     config.Hmn_experiments.Runner.reps config.Hmn_experiments.Runner.max_tries
-    config.Hmn_experiments.Runner.base_seed;
+    config.Hmn_experiments.Runner.base_seed config.Hmn_experiments.Runner.jobs;
   let t0 = Unix.gettimeofday () in
   let results = Hmn_experiments.Runner.run ~config () in
-  Printf.printf "(sweep wall time: %.1f s)\n\n" (Unix.gettimeofday () -. t0);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "(sweep wall time: %.1f s, jobs=%d)\n\n" wall_s
+    config.Hmn_experiments.Runner.jobs;
+  write_sweep_json ~wall_s results;
   print_endline "== Table 2: objective function and failures ==";
   print_string (Hmn_experiments.Tables.table2 results);
   print_newline ();
@@ -50,11 +114,21 @@ let part1 () =
     (Hmn_experiments.Paper_check.render (Hmn_experiments.Paper_check.check_all results));
   print_newline ();
   print_endline "== Figure 1: HMN mapping time vs number of virtual links ==";
-  let points = Hmn_experiments.Figure1.run () in
+  let points =
+    if fast then
+      Hmn_experiments.Figure1.run
+        ~sweep:
+          [
+            (100, 0.02, Hmn_experiments.Scenario.High_level);
+            (200, 0.02, Hmn_experiments.Scenario.High_level);
+          ]
+        ~reps:1 ()
+    else Hmn_experiments.Figure1.run ()
+  in
   print_string (Hmn_experiments.Figure1.render points);
   print_newline ();
   print_endline "== Ablations (DESIGN.md: Migration / routing metric / topology) ==";
-  print_string (Hmn_experiments.Ablation.all ~reps:3 ());
+  print_string (Hmn_experiments.Ablation.all ~reps:(if fast then 1 else 3) ());
   print_newline ()
 
 (* ---- part 2: micro-benchmarks ---- *)
@@ -199,4 +273,5 @@ let run_benchmarks fixture =
 
 let () =
   part1 ();
-  run_benchmarks (build_fixture ())
+  if Sys.getenv_opt "HMN_BENCH_SKIP_MICRO" = None then
+    run_benchmarks (build_fixture ())

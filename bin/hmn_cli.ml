@@ -175,17 +175,34 @@ let experiments_cmd =
       & info [ "reps" ] ~docv:"INT"
           ~doc:"Repetitions per scenario (default: $(b,HMN_REPS) or 5; paper: 30).")
   in
+  let jobs_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"INT"
+          ~doc:
+            "Worker domains for the sweep (default: $(b,HMN_JOBS) or the \
+             machine's core count minus one). Any value produces identical \
+             tables; only wall time changes.")
+  in
   let csv_t =
     Arg.(
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write per-cell results as CSV.")
   in
-  let run reps csv =
+  let run reps jobs csv =
     let config =
       let c = Hmn_experiments.Runner.default_config () in
-      match reps with
+      let c =
+        match reps with
+        | None -> c
+        | Some reps -> { c with Hmn_experiments.Runner.reps }
+      in
+      match jobs with
       | None -> c
-      | Some reps -> { c with Hmn_experiments.Runner.reps }
+      | Some jobs when jobs >= 1 -> { c with Hmn_experiments.Runner.jobs }
+      | Some _ ->
+        prerr_endline "hmn_cli: --jobs must be >= 1";
+        exit 2
     in
     let results = Hmn_experiments.Runner.run ~config () in
     print_string (Hmn_experiments.Setup.render ());
@@ -212,7 +229,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's Tables 2-3 and the correlation result.")
-    Term.(const run $ reps_t $ csv_t)
+    Term.(const run $ reps_t $ jobs_t $ csv_t)
 
 (* ---- figure1 ---- *)
 

@@ -19,6 +19,9 @@ let run ?router placement =
   let venv = problem.Problem.venv in
   let link_map = Link_map.create problem in
   let latency_tables = Hmn_routing.Latency_table.create problem.Problem.cluster in
+  (* Eager fill: every routed link targets a host, so from here on the
+     table is a read-only lookup on the A*Prune hot path. *)
+  Hmn_routing.Latency_table.precompute latency_tables;
   let stats = ref { routed = 0; intra_host = 0; expanded = 0; generated = 0 } in
   let default_router ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms ()
       =

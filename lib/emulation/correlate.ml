@@ -11,6 +11,19 @@ let observe t ~group ~objective ~makespan_s =
 
 let count t = t.n
 
+(* Both row lists are newest-first, so placing [src.rows] in front of
+   [t.rows] appends [src]'s observations, in their insertion order,
+   after everything already in [t]. *)
+let append t src =
+  t.rows <- src.rows @ t.rows;
+  t.n <- t.n + src.n
+
+let merge a b =
+  let t = create () in
+  append t a;
+  append t b;
+  t
+
 let arrays rows =
   ( Array.of_list (List.map (fun (_, o, _) -> o) rows),
     Array.of_list (List.map (fun (_, _, m) -> m) rows) )

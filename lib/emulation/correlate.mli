@@ -16,6 +16,16 @@ val observe : t -> group:string -> objective:float -> makespan_s:float -> unit
 
 val count : t -> int
 
+val append : t -> t -> unit
+(** [append t src] adds every observation of [src] to [t], after [t]'s
+    existing rows and preserving [src]'s insertion order; [src] is left
+    untouched. The parallel experiment runner gives each instance its
+    own buffer and appends them in canonical order, so the merged
+    buffer is identical to a sequential sweep's. *)
+
+val merge : t -> t -> t
+(** Fresh buffer holding [a]'s observations followed by [b]'s. *)
+
 val pearson : t -> float
 (** Pooled over all observations. Raises [Invalid_argument] with fewer
     than two observations or degenerate variance. *)

@@ -1,5 +1,6 @@
 module Mapper = Hmn_core.Mapper
 module Running = Hmn_stats.Running
+module Domain_pool = Hmn_prelude.Domain_pool
 
 type config = {
   reps : int;
@@ -9,6 +10,7 @@ type config = {
   simulate : bool;
   mappers : Mapper.t list;
   verbose : bool;
+  jobs : int;
 }
 
 let env_int name default =
@@ -26,6 +28,7 @@ let default_config () =
     simulate = true;
     mappers = Hmn_core.Registry.paper ~max_tries ();
     verbose = Sys.getenv_opt "HMN_VERBOSE" <> None;
+    jobs = env_int "HMN_JOBS" (Domain_pool.default_jobs ());
   }
 
 type cell = {
@@ -63,9 +66,93 @@ let instance_seed config ~scenario_idx ~cluster ~rep =
 let mapper_rng ~seed ~mapper_name =
   Hmn_rng.Rng.create (seed + (17 * Hashtbl.hash mapper_name))
 
+(* ---- parallel sweep ----
+
+   Every (scenario, cluster, rep) instance is independent: it derives
+   its own seed, builds its own problem and RNGs, and runs every mapper
+   on its own domain, touching no shared state. The pure per-instance
+   records below are then folded into [cells]/[correlation] by the main
+   domain in the same canonical order the sequential loop used, so the
+   aggregate (and every rendered table) is identical for any [jobs]. *)
+
+type mapper_record = {
+  m_name : string;
+  m_tries : int;
+  (* objective, mapping wall-clock, simulated makespan (when enabled);
+     [None] when the mapper failed *)
+  m_ok : (float * float * float option) option;
+}
+
+type instance_result = {
+  i_scenario : int;
+  i_cluster : Scenario.cluster_kind;
+  i_records : mapper_record list;  (* in [config.mappers] order *)
+  i_corr : Hmn_emulation.Correlate.t;  (* this instance's observations *)
+}
+
+let run_instance config scenarios (scenario_idx, cluster, rep) =
+  let scenario = scenarios.(scenario_idx) in
+  let seed = instance_seed config ~scenario_idx ~cluster ~rep in
+  let problem = Scenario.build scenario cluster ~seed in
+  let corr = Hmn_emulation.Correlate.create () in
+  let records =
+    List.map
+      (fun mapper ->
+        let rng = mapper_rng ~seed ~mapper_name:mapper.Mapper.name in
+        let outcome = mapper.Mapper.run ~rng problem in
+        if config.verbose then
+          Printf.eprintf "[%s %s rep %d] %s: %s\n%!" (Scenario.label scenario)
+            (Scenario.cluster_label cluster) rep mapper.Mapper.name
+            (match outcome.Mapper.result with
+            | Ok _ -> "ok"
+            | Error f -> "FAIL " ^ f.Mapper.stage);
+        match outcome.Mapper.result with
+        | Error _ ->
+          { m_name = mapper.Mapper.name; m_tries = outcome.Mapper.tries; m_ok = None }
+        | Ok mapping ->
+          let objective = Hmn_mapping.Mapping.objective mapping in
+          let makespan =
+            if config.simulate then begin
+              let sim = Hmn_emulation.Exec_sim.run ~app:config.app mapping in
+              Hmn_emulation.Correlate.observe corr
+                ~group:
+                  (Scenario.label scenario ^ " " ^ Scenario.cluster_label cluster)
+                ~objective ~makespan_s:sim.Hmn_emulation.Exec_sim.makespan_s;
+              Some sim.Hmn_emulation.Exec_sim.makespan_s
+            end
+            else None
+          in
+          {
+            m_name = mapper.Mapper.name;
+            m_tries = outcome.Mapper.tries;
+            m_ok = Some (objective, outcome.Mapper.elapsed_s, makespan);
+          })
+      config.mappers
+  in
+  { i_scenario = scenario_idx; i_cluster = cluster; i_records = records; i_corr = corr }
+
 let run ?config () =
   let config = match config with Some c -> c | None -> default_config () in
   let scenarios = Array.of_list Scenario.paper_scenarios in
+  let clusters = [ Scenario.Torus; Scenario.Switched ] in
+  (* Canonical instance order: scenario-major, then cluster, then rep —
+     exactly the nesting of the original sequential loop. *)
+  let instances =
+    Array.of_list
+      (List.concat_map
+         (fun scenario_idx ->
+           List.concat_map
+             (fun cluster ->
+               List.init config.reps (fun rep -> (scenario_idx, cluster, rep)))
+             clusters)
+         (List.init (Array.length scenarios) Fun.id))
+  in
+  let per_instance =
+    if config.jobs <= 1 then Array.map (run_instance config scenarios) instances
+    else
+      Domain_pool.with_pool ~jobs:config.jobs (fun pool ->
+          Domain_pool.map_array pool (run_instance config scenarios) instances)
+  in
   let cells = Hashtbl.create 256 in
   let correlation = Hmn_emulation.Correlate.create () in
   let get_cell key =
@@ -76,50 +163,26 @@ let run ?config () =
       Hashtbl.add cells key c;
       c
   in
-  let clusters = [ Scenario.Torus; Scenario.Switched ] in
-  Array.iteri
-    (fun scenario_idx scenario ->
+  Array.iter
+    (fun inst ->
       List.iter
-        (fun cluster ->
-          for rep = 0 to config.reps - 1 do
-            let seed = instance_seed config ~scenario_idx ~cluster ~rep in
-            let problem = Scenario.build scenario cluster ~seed in
-            List.iter
-              (fun mapper ->
-                let rng = mapper_rng ~seed ~mapper_name:mapper.Mapper.name in
-                let outcome = mapper.Mapper.run ~rng problem in
-                let key = (scenario_idx, cluster, mapper.Mapper.name) in
-                let c = get_cell key in
-                Running.add c.tries (float_of_int outcome.Mapper.tries);
-                let c =
-                  match outcome.Mapper.result with
-                  | Error _ -> { c with failures = c.failures + 1 }
-                  | Ok mapping ->
-                    Running.add c.objective (Hmn_mapping.Mapping.objective mapping);
-                    Running.add c.map_time outcome.Mapper.elapsed_s;
-                    if config.simulate then begin
-                      let sim = Hmn_emulation.Exec_sim.run ~app:config.app mapping in
-                      Running.add c.makespan sim.Hmn_emulation.Exec_sim.makespan_s;
-                      Hmn_emulation.Correlate.observe correlation
-                        ~group:
-                          (Scenario.label scenario ^ " "
-                          ^ Scenario.cluster_label cluster)
-                        ~objective:(Hmn_mapping.Mapping.objective mapping)
-                        ~makespan_s:sim.Hmn_emulation.Exec_sim.makespan_s
-                    end;
-                    { c with successes = c.successes + 1 }
-                in
-                Hashtbl.replace cells key c;
-                if config.verbose then
-                  Printf.eprintf "[%s %s rep %d] %s: %s\n%!" (Scenario.label scenario)
-                    (Scenario.cluster_label cluster) rep mapper.Mapper.name
-                    (match outcome.Mapper.result with
-                    | Ok _ -> "ok"
-                    | Error f -> "FAIL " ^ f.Mapper.stage))
-              config.mappers
-          done)
-        clusters)
-    scenarios;
+        (fun r ->
+          let key = (inst.i_scenario, inst.i_cluster, r.m_name) in
+          let c = get_cell key in
+          Running.add c.tries (float_of_int r.m_tries);
+          let c =
+            match r.m_ok with
+            | None -> { c with failures = c.failures + 1 }
+            | Some (objective, elapsed_s, makespan) ->
+              Running.add c.objective objective;
+              Running.add c.map_time elapsed_s;
+              Option.iter (Running.add c.makespan) makespan;
+              { c with successes = c.successes + 1 }
+          in
+          Hashtbl.replace cells key c)
+        inst.i_records;
+      Hmn_emulation.Correlate.append correlation inst.i_corr)
+    per_instance;
   { config; scenarios; cells; correlation }
 
 let cell results ~scenario ~cluster ~mapper =

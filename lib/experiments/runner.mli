@@ -6,7 +6,16 @@
 
     Each (scenario, cluster, repetition) triple deterministically
     derives one problem instance that all heuristics share, as in the
-    paper ("each workload has been tested in both clusters"). *)
+    paper ("each workload has been tested in both clusters").
+
+    Instances are independent (each derives its own seed, problem and
+    RNG streams), so the sweep fans them out across [jobs] worker
+    domains. Every instance returns a pure record that the main domain
+    merges in the canonical (scenario, cluster, rep) order, so
+    [cells], [correlation] and every table rendered from them are
+    identical whatever [jobs] is — only the mapping wall-clock
+    measurements ([map_time]) vary between runs, as they always have.
+    See "Parallel sweeps" in EXPERIMENTS.md. *)
 
 type config = {
   reps : int;  (** repetitions per scenario (paper: 30) *)
@@ -16,6 +25,7 @@ type config = {
   simulate : bool;  (** run the emulated experiment on each success *)
   mappers : Hmn_core.Mapper.t list;
   verbose : bool;  (** progress lines on stderr *)
+  jobs : int;  (** worker domains for the sweep; 1 = run in-process *)
 }
 
 val default_config : unit -> config
@@ -23,6 +33,8 @@ val default_config : unit -> config
     (default 5), [max_tries] from [HMN_MAX_TRIES] (default 200) — the
     defaults keep the full 16×2-cell sweep tractable on a laptop while
     [HMN_REPS=30 HMN_MAX_TRIES=100000] reproduces the paper's scale.
+    [jobs] comes from [HMN_JOBS], defaulting to
+    [Domain.recommended_domain_count () - 1] (floor 1).
     See EXPERIMENTS.md. *)
 
 type cell = {

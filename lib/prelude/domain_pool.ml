@@ -1,0 +1,111 @@
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* a task was enqueued, or shutdown began *)
+  idle : Condition.t;  (* [pending] reached zero *)
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;  (* queued + currently running *)
+  mutable stop : bool;
+  mutable error : (exn * Printexc.raw_backtrace) option;  (* first task failure *)
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let worker t =
+  Mutex.lock t.mutex;
+  let running = ref true in
+  while !running do
+    match Queue.take_opt t.queue with
+    | Some task ->
+      Mutex.unlock t.mutex;
+      let failure =
+        match task () with
+        | () -> None
+        | exception exn -> Some (exn, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      (match failure with
+      | Some _ when t.error = None -> t.error <- failure
+      | _ -> ());
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.idle
+    | None ->
+      if t.stop then running := false else Condition.wait t.work t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Domain_pool.create: jobs must be >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      stop = false;
+      error = None;
+      workers = [];
+    }
+  in
+  t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = List.length t.workers
+
+let run t task =
+  Mutex.lock t.mutex;
+  if t.stop then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.run: pool is shut down"
+  end;
+  t.pending <- t.pending + 1;
+  Queue.add task t.queue;
+  Condition.signal t.work;
+  Mutex.unlock t.mutex
+
+let reraise_error t =
+  (* Called with [t.mutex] held; unlocks before raising. *)
+  let error = t.error in
+  t.error <- None;
+  Mutex.unlock t.mutex;
+  match error with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let wait t =
+  Mutex.lock t.mutex;
+  while t.pending > 0 do
+    Condition.wait t.idle t.mutex
+  done;
+  reraise_error t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  while t.pending > 0 do
+    Condition.wait t.idle t.mutex
+  done;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers;
+  Mutex.lock t.mutex;
+  reraise_error t
+
+let map_array t f xs =
+  let n = Array.length xs in
+  let out = Array.make n None in
+  Array.iteri (fun i x -> run t (fun () -> out.(i) <- Some (f x))) xs;
+  wait t;
+  Array.map
+    (function
+      | Some y -> y
+      | None -> failwith "Domain_pool.map_array: missing result (task failed)")
+    out
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,44 @@
+(** A fixed-size pool of worker domains for fanning out independent
+    CPU-bound tasks (OCaml 5 [Domain] + [Mutex]/[Condition], no work
+    stealing: one shared FIFO queue).
+
+    The pool is designed for the experiment sweep: tasks are pure
+    functions writing into caller-owned slots, so parallelism never
+    changes results — only wall-clock time. A pool is reusable: submit
+    a batch, [wait], submit another batch.
+
+    All functions may be called from the owning domain only; tasks
+    themselves must not submit further tasks to the same pool. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1] (one slot is left for the
+    submitting domain), floored at 1. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawns [jobs] worker domains (default {!default_jobs}). Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val run : t -> (unit -> unit) -> unit
+(** Enqueue one task. Raises [Invalid_argument] after {!shutdown}. *)
+
+val wait : t -> unit
+(** Block until every enqueued task has finished. If any task raised,
+    re-raises the first such exception (with its backtrace); the
+    remaining tasks still run to completion and the pool remains
+    usable. *)
+
+val shutdown : t -> unit
+(** Wait for outstanding tasks, then join the worker domains. Pending
+    task exceptions are re-raised as in {!wait}. Idempotent. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f xs] applies [f] to every element on the pool and
+    returns the results in input order. Implies a {!wait}. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on the
+    way out, whether [f] returns or raises. *)

@@ -12,6 +12,7 @@ type partial = {
   rev_nodes : int list;
   rev_edges : int list;
   last : int;
+  hops : int;  (* length of [rev_nodes], precomputed for the comparator *)
   bottleneck : float;  (* min residual bandwidth so far; infinity at origin *)
   acc_latency : float;
   members : Bitset.t;
@@ -19,15 +20,16 @@ type partial = {
 
 (* Open-set order: widest bottleneck first (the algorithm's selection
    rule), then optimistic total latency, then fewer hops — the
-   tie-breakers make the search deterministic. *)
+   tie-breakers make the search deterministic. The comparator runs on
+   every heap sift, so it must stay O(1): [hops] is carried in the
+   label rather than recomputed as [List.length rev_nodes]. *)
 let compare_partial ar a b =
   let c = Float.compare b.bottleneck a.bottleneck in
   if c <> 0 then c
   else
     let proj p = p.acc_latency +. ar.(p.last) in
     let c = Float.compare (proj a) (proj b) in
-    if c <> 0 then c
-    else Int.compare (List.length a.rev_nodes) (List.length b.rev_nodes)
+    if c <> 0 then c else Int.compare a.hops b.hops
 
 let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
     ~bandwidth_mbps ~latency_ms () =
@@ -50,9 +52,16 @@ let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
       List.exists (fun (b, l) -> b >= bottleneck && l <= latency) labels.(v)
     in
     let record v ~bottleneck ~latency =
-      labels.(v) <-
-        (bottleneck, latency)
-        :: List.filter (fun (b, l) -> not (b <= bottleneck && l >= latency)) labels.(v)
+      (* Drop labels the new one dominates. Most insertions dominate
+         nothing, so only rebuild the (pruned-in-place, never copied)
+         list when a victim actually exists. *)
+      let current = labels.(v) in
+      let rest =
+        if List.exists (fun (b, l) -> b <= bottleneck && l >= latency) current then
+          List.filter (fun (b, l) -> not (b <= bottleneck && l >= latency)) current
+        else current
+      in
+      labels.(v) <- (bottleneck, latency) :: rest
     in
     let generated = ref 0 and expanded = ref 0 in
     let push p =
@@ -68,6 +77,7 @@ let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
           rev_nodes = [ src ];
           rev_edges = [];
           last = src;
+          hops = 1;
           bottleneck = infinity;
           acc_latency = 0.;
           members = start_members;
@@ -98,6 +108,7 @@ let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
                     rev_nodes = neighbor :: p.rev_nodes;
                     rev_edges = eid :: p.rev_edges;
                     last = neighbor;
+                    hops = p.hops + 1;
                     bottleneck;
                     acc_latency;
                     members;

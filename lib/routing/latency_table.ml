@@ -21,5 +21,11 @@ let to_destination t ~dst =
     Hashtbl.add t.tables dst table;
     table
 
+let precompute t =
+  Array.iter
+    (fun dst ->
+      if not (Hashtbl.mem t.tables dst) then ignore (to_destination t ~dst))
+    (Cluster.host_ids t.cluster)
+
 let hits t = t.hits
 let misses t = t.misses

@@ -16,6 +16,13 @@ val to_destination : t -> dst:int -> float array
     [0.] at [dst]). The returned array is owned by the cache: do not
     mutate. *)
 
+val precompute : t -> unit
+(** Eagerly fill the table for every host destination (each counted as
+    one miss). Routing only ever targets hosts, so after [precompute]
+    the cache is read-only during routing — lookups allocate nothing
+    and the table may be consulted from several domains at once without
+    synchronisation. *)
+
 val hits : t -> int
 val misses : t -> int
 (** Cache statistics, for the benchmarks. *)

@@ -89,6 +89,7 @@ let mini_results =
          simulate = true;
          mappers = Hmn_core.Registry.paper ~max_tries:20 ();
          verbose = false;
+         jobs = 1;
        }
      in
      Runner.run ~config ())
@@ -162,6 +163,37 @@ let test_paper_check () =
     (contains ~needle:"[ok]"
        (Hmn_experiments.Paper_check.render verdicts))
 
+(* The parallel sweep's contract: any jobs count yields byte-identical
+   aggregates. Exercise it on a deliberately tiny configuration (1 rep,
+   max_tries 5, only HMN and the R baseline) with more domains than
+   there are cores, and compare the rendered tables — the user-visible
+   output — rather than internal state. map_time is wall-clock and
+   excluded by construction (Tables 2/3 and the correlation report do
+   not show it). *)
+let test_jobs_determinism () =
+  let config jobs =
+    {
+      Runner.reps = 1;
+      max_tries = 5;
+      base_seed = 777;
+      app = Hmn_emulation.App.default;
+      simulate = true;
+      mappers =
+        List.filter
+          (fun m -> List.mem m.Hmn_core.Mapper.name [ "HMN"; "R" ])
+          (Hmn_core.Registry.paper ~max_tries:5 ());
+      verbose = false;
+      jobs;
+    }
+  in
+  let seq = Runner.run ~config:(config 1) () in
+  let par = Runner.run ~config:(config 4) () in
+  Alcotest.(check string) "table2 identical" (Tables.table2 seq) (Tables.table2 par);
+  Alcotest.(check string) "table3 identical" (Tables.table3 seq) (Tables.table3 par);
+  Alcotest.(check string) "correlation identical"
+    (Tables.correlation_report seq)
+    (Tables.correlation_report par)
+
 let test_figure1_small () =
   let points =
     Figure1.run ~sweep:[ (50, 0.05, Scenario.High_level); (100, 0.02, Scenario.High_level) ]
@@ -198,6 +230,8 @@ let () =
           Alcotest.test_case "csv export" `Slow test_csv_export;
           Alcotest.test_case "paper shape checks" `Slow test_paper_check;
         ] );
+      ( "parallel sweep",
+        [ Alcotest.test_case "jobs=1 vs jobs=4 determinism" `Slow test_jobs_determinism ] );
       ("figure1", [ Alcotest.test_case "small sweep" `Slow test_figure1_small ]);
       ( "ablation",
         [

@@ -186,6 +186,65 @@ let test_pretty_units () =
   Alcotest.(check string) "tb display" "2.00TB"
     (Format.asprintf "%a" Units.pp_storage 2048.)
 
+(* ---- Domain_pool ---- *)
+
+let test_pool_many_tiny_tasks () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let hits = Atomic.make 0 in
+      for _ = 1 to 1_000 do
+        Domain_pool.run pool (fun () -> Atomic.incr hits)
+      done;
+      Domain_pool.wait pool;
+      Alcotest.(check int) "all tasks ran" 1_000 (Atomic.get hits))
+
+let test_pool_map_array_order () =
+  Domain_pool.with_pool ~jobs:3 (fun pool ->
+      let xs = Array.init 100 Fun.id in
+      let ys = Domain_pool.map_array pool (fun x -> x * x) xs in
+      Alcotest.(check (array int)) "in input order" (Array.map (fun x -> x * x) xs) ys)
+
+let test_pool_exception_propagation () =
+  Domain_pool.with_pool ~jobs:2 (fun pool ->
+      let survivors = Atomic.make 0 in
+      for i = 1 to 20 do
+        Domain_pool.run pool (fun () ->
+            if i = 7 then failwith "task 7 exploded" else Atomic.incr survivors)
+      done;
+      Alcotest.check_raises "wait re-raises the task's exception"
+        (Failure "task 7 exploded") (fun () -> Domain_pool.wait pool);
+      (* The failure neither cancelled the other tasks nor poisoned the
+         pool: it is reusable after the failed batch. *)
+      Alcotest.(check int) "other tasks completed" 19 (Atomic.get survivors);
+      Domain_pool.run pool (fun () -> Atomic.incr survivors);
+      Domain_pool.wait pool;
+      Alcotest.(check int) "usable after failure" 20 (Atomic.get survivors))
+
+let test_pool_reuse_after_wait () =
+  Domain_pool.with_pool ~jobs:2 (fun pool ->
+      let acc = Atomic.make 0 in
+      for batch = 1 to 5 do
+        for _ = 1 to 50 do
+          Domain_pool.run pool (fun () -> Atomic.incr acc)
+        done;
+        Domain_pool.wait pool;
+        Alcotest.(check int)
+          (Printf.sprintf "batch %d drained" batch)
+          (batch * 50) (Atomic.get acc)
+      done)
+
+let test_pool_misuse () =
+  Alcotest.check_raises "zero jobs rejected"
+    (Invalid_argument "Domain_pool.create: jobs must be >= 1") (fun () ->
+      ignore (Domain_pool.create ~jobs:0 ()));
+  let pool = Domain_pool.create ~jobs:1 () in
+  Alcotest.(check int) "jobs recorded" 1 (Domain_pool.jobs pool);
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Domain_pool.run: pool is shut down") (fun () ->
+      Domain_pool.run pool (fun () -> ()))
+
 (* ---- Json ---- *)
 
 let test_json_print () =
@@ -393,6 +452,14 @@ let () =
         [
           Alcotest.test_case "conversions" `Quick test_conversions;
           Alcotest.test_case "pretty printing" `Quick test_pretty_units;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "many tiny tasks" `Quick test_pool_many_tiny_tasks;
+          Alcotest.test_case "map_array order" `Quick test_pool_map_array_order;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagation;
+          Alcotest.test_case "reuse after wait" `Quick test_pool_reuse_after_wait;
+          Alcotest.test_case "misuse" `Quick test_pool_misuse;
         ] );
       ( "json",
         [
