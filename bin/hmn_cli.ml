@@ -166,6 +166,108 @@ let validate_cmd =
        ~doc:"Load a saved mapping bundle and re-check every constraint.")
     Term.(const run $ file_t)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let module Fuzz = Hmn_validate.Fuzz in
+  let instances_t =
+    Arg.(
+      value & opt int 25
+      & info [ "instances" ] ~docv:"INT" ~doc:"Number of random instances.")
+  in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Fixed-seed CI mode: 25 instances from the pinned smoke seed.")
+  in
+  let mapper_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "mapper" ] ~docv:"NAME"
+          ~doc:"Restrict to this heuristic (repeatable; default: all).")
+  in
+  (* Pinned-instance options, used by the repro commands the fuzzer
+     prints for (shrunk) failures. When any is given, all must be. *)
+  let pin_cluster_t =
+    Arg.(
+      value
+      & opt (some (Arg.enum [ ("torus", `Torus); ("switched", `Switched) ])) None
+      & info [ "cluster" ] ~docv:"torus|switched" ~doc:"Pin the cluster shape.")
+  in
+  let rows_t =
+    Arg.(value & opt int 3 & info [ "rows" ] ~docv:"INT" ~doc:"Torus rows (pinned mode).")
+  in
+  let cols_t =
+    Arg.(value & opt int 3 & info [ "cols" ] ~docv:"INT" ~doc:"Torus cols (pinned mode).")
+  in
+  let hosts_t =
+    Arg.(
+      value & opt int 8 & info [ "hosts" ] ~docv:"INT" ~doc:"Switched hosts (pinned mode).")
+  in
+  let pin_guests_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "guests"; "n" ] ~docv:"INT" ~doc:"Pin the number of guests.")
+  in
+  let pin_density_t =
+    Arg.(
+      value & opt (some float) None
+      & info [ "density" ] ~docv:"FLOAT" ~doc:"Pin the virtual edge density.")
+  in
+  let pin_workload_t =
+    Arg.(
+      value & opt (some (Arg.enum [ ("high", false); ("low", true) ])) None
+      & info [ "workload" ] ~docv:"high|low" ~doc:"Pin the workload profile.")
+  in
+  let run seed instances smoke mappers pin_cluster rows cols hosts pin_guests
+      pin_density pin_workload =
+    let mappers =
+      match mappers with
+      | [] -> None
+      | names ->
+        Some
+          (List.map
+             (fun name ->
+               match Hmn_core.Registry.find name with
+               | Some m -> m
+               | None ->
+                 Printf.eprintf "unknown heuristic %s; try `hmn_cli list'\n" name;
+                 exit 2)
+             names)
+    in
+    let params =
+      match (pin_cluster, pin_guests, pin_density, pin_workload) with
+      | None, None, None, None -> None
+      | Some kind, Some n_guests, Some density, Some low_level ->
+        let shape =
+          match kind with
+          | `Torus -> Fuzz.Torus { rows; cols }
+          | `Switched -> Fuzz.Switched { hosts }
+        in
+        Some { Fuzz.shape; n_guests; density; low_level }
+      | _ ->
+        prerr_endline
+          "hmn_cli fuzz: --cluster, --guests, --density and --workload must be \
+           given together (they pin one exact instance)";
+        exit 2
+    in
+    let seed = if smoke then Fuzz.smoke_seed else seed in
+    let count = if smoke then 25 else instances in
+    let stats = Fuzz.run ?mappers ?params ~seed ~count () in
+    Format.printf "%a@." Fuzz.pp_stats stats;
+    if stats.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: map random instances with every heuristic, \
+          re-validate each mapping against the paper's invariants, and \
+          cross-check the router against exhaustive oracles.")
+    Term.(
+      const run $ seed_t $ instances_t $ smoke_t $ mapper_t $ pin_cluster_t
+      $ rows_t $ cols_t $ hosts_t $ pin_guests_t $ pin_density_t $ pin_workload_t)
+
 (* ---- experiments ---- *)
 
 let experiments_cmd =
@@ -316,6 +418,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "hmn_cli" ~doc)
           [
-            list_cmd; map_cmd; validate_cmd; experiments_cmd; figure1_cmd;
-            ablation_cmd; dot_cmd;
+            list_cmd; map_cmd; validate_cmd; fuzz_cmd; experiments_cmd;
+            figure1_cmd; ablation_cmd; dot_cmd;
           ]))

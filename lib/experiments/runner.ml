@@ -11,6 +11,7 @@ type config = {
   mappers : Mapper.t list;
   verbose : bool;
   jobs : int;
+  validate : bool;
 }
 
 let env_int name default =
@@ -29,6 +30,7 @@ let default_config () =
     mappers = Hmn_core.Registry.paper ~max_tries ();
     verbose = Sys.getenv_opt "HMN_VERBOSE" <> None;
     jobs = env_int "HMN_JOBS" (Domain_pool.default_jobs ());
+    validate = Sys.getenv_opt "HMN_VALIDATE" <> None;
   }
 
 type cell = {
@@ -110,6 +112,17 @@ let run_instance config scenarios (scenario_idx, cluster, rep) =
         | Error _ ->
           { m_name = mapper.Mapper.name; m_tries = outcome.Mapper.tries; m_ok = None }
         | Ok mapping ->
+          if config.validate then begin
+            let report = Hmn_validate.Validator.check mapping in
+            if report.Hmn_validate.Validator.violations <> [] then
+              failwith
+                (Format.asprintf
+                   "HMN_VALIDATE: %s on %s %s rep %d produced an invalid \
+                    mapping — %a"
+                   mapper.Mapper.name (Scenario.label scenario)
+                   (Scenario.cluster_label cluster) rep
+                   Hmn_validate.Validator.pp_report report)
+          end;
           let objective = Hmn_mapping.Mapping.objective mapping in
           let makespan =
             if config.simulate then begin

@@ -26,6 +26,11 @@ type config = {
   mappers : Hmn_core.Mapper.t list;
   verbose : bool;  (** progress lines on stderr *)
   jobs : int;  (** worker domains for the sweep; 1 = run in-process *)
+  validate : bool;
+      (** re-check every successful mapping with
+          {!Hmn_validate.Validator} and abort the sweep (with the full
+          violation report) on the first invalid one — the sweep's
+          self-check, enabled by setting [HMN_VALIDATE] *)
 }
 
 val default_config : unit -> config
@@ -34,7 +39,8 @@ val default_config : unit -> config
     defaults keep the full 16×2-cell sweep tractable on a laptop while
     [HMN_REPS=30 HMN_MAX_TRIES=100000] reproduces the paper's scale.
     [jobs] comes from [HMN_JOBS], defaulting to
-    [Domain.recommended_domain_count () - 1] (floor 1).
+    [Domain.recommended_domain_count () - 1] (floor 1); [validate] is
+    true when [HMN_VALIDATE] is set (to anything).
     See EXPERIMENTS.md. *)
 
 type cell = {

@@ -71,7 +71,9 @@ let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
     let start_members = Bitset.create n in
     Bitset.add start_members src;
     if ar.(src) <= latency_ms then begin
-      record src ~bottleneck:infinity ~latency:0.;
+      (* Label recording must track the flag: the unpruned reference
+         mode would otherwise start with a seeded Pareto table. *)
+      if prune_dominated then record src ~bottleneck:infinity ~latency:0.;
       push
         {
           rev_nodes = [ src ];

@@ -8,6 +8,12 @@ type t = {
 
 let capacity t eid = (Cluster.link t.cluster eid).Hmn_testbed.Link.bandwidth_mbps
 
+(* One tolerance, used symmetrically by reserve and release. Reserve and
+   release must accept the same accumulation drift or an
+   exactly-saturating reservation that survived many reserve/release
+   cycles (incremental remapping, live operations) spuriously fails. *)
+let tolerance = 1e-6
+
 let create cluster =
   let n = Graph.n_edges (Cluster.graph cluster) in
   let t = { cluster; avail = Array.make n 0. } in
@@ -29,33 +35,41 @@ let reserve_path t path bw =
      deduction is correct. *)
   let shortage = ref None in
   Path.iter_edges path (fun eid ->
-      if !shortage = None && t.avail.(eid) < bw then shortage := Some eid);
+      if !shortage = None && t.avail.(eid) +. tolerance < bw then
+        shortage := Some eid);
   match !shortage with
   | Some eid ->
     Error
       (Printf.sprintf "edge %d: needs %.3f Mbps, only %.3f available" eid bw
          t.avail.(eid))
   | None ->
-    Path.iter_edges path (fun eid -> t.avail.(eid) <- t.avail.(eid) -. bw);
+    (* Clamp at zero: a within-tolerance over-reservation must not leave
+       a negative residual for later feasibility checks to trip over. *)
+    Path.iter_edges path (fun eid ->
+        t.avail.(eid) <- Float.max 0. (t.avail.(eid) -. bw));
     Ok ()
 
 let release_path t path bw =
   if bw < 0. then invalid_arg "Residual.release_path: negative bandwidth";
   Path.iter_edges path (fun eid ->
+      let cap = capacity t eid in
       let next = t.avail.(eid) +. bw in
-      if next > capacity t eid +. 1e-6 then
+      if next > cap +. tolerance then
         invalid_arg "Residual.release_path: release exceeds capacity";
-      t.avail.(eid) <- next)
+      (* Clamp back to capacity so drift cannot accumulate upward. *)
+      t.avail.(eid) <- Float.min next cap)
 
 let used t eid = capacity t eid -. t.avail.(eid)
 
 let utilization t =
-  let n = Array.length t.avail in
-  if n = 0 then 0.
-  else begin
-    let acc = ref 0. in
-    for eid = 0 to n - 1 do
-      acc := !acc +. (used t eid /. capacity t eid)
-    done;
-    !acc /. float_of_int n
-  end
+  (* A zero-capacity link (e.g. an administratively disabled cable)
+     carries nothing: skipping it keeps the mean NaN-free. *)
+  let acc = ref 0. and counted = ref 0 in
+  for eid = 0 to Array.length t.avail - 1 do
+    let cap = capacity t eid in
+    if cap > 0. then begin
+      acc := !acc +. (used t eid /. cap);
+      incr counted
+    end
+  done;
+  if !counted = 0 then 0. else !acc /. float_of_int !counted

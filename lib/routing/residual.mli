@@ -16,18 +16,28 @@ val cluster : t -> Hmn_testbed.Cluster.t
 val available : t -> int -> float
 (** Remaining bandwidth (Mbps) of a physical edge id. *)
 
+val tolerance : float
+(** Floating-point slack ([1e-6] Mbps) applied symmetrically by
+    {!reserve_path} and {!release_path}, so that after arbitrarily many
+    reserve/release cycles an exactly-saturating reservation still
+    succeeds. Both operations also clamp the residual back into
+    [[0, capacity]], so per-edge drift never exceeds [tolerance] per
+    operation. *)
+
 val reserve_path : t -> Path.t -> float -> (unit, string) result
 (** Atomically reserves [bw] on every edge of the path; fails (leaving
-    the state untouched) when any edge lacks capacity. Reserving on the
-    intra-host path is a no-op. *)
+    the state untouched) when any edge lacks capacity by more than
+    {!tolerance}. Reserving on the intra-host path is a no-op. *)
 
 val release_path : t -> Path.t -> float -> unit
 (** Returns previously reserved bandwidth. Raises [Invalid_argument] if
-    a release would exceed an edge's full capacity. *)
+    a release would exceed an edge's full capacity by more than
+    {!tolerance}; smaller overshoots are clamped to capacity. *)
 
 val used : t -> int -> float
 (** Capacity minus availability. *)
 
 val utilization : t -> float
-(** Mean used/capacity over all physical links (0 when the cluster has
-    no links). *)
+(** Mean used/capacity over the physical links with positive capacity
+    (0 when there are none); zero-capacity links are skipped rather
+    than poisoning the mean with NaN. *)

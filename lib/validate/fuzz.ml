@@ -1,0 +1,358 @@
+module Rng = Hmn_rng.Rng
+module Graph = Hmn_graph.Graph
+module Generators = Hmn_graph.Generators
+module Cluster = Hmn_testbed.Cluster
+module Cluster_gen = Hmn_testbed.Cluster_gen
+module Node = Hmn_testbed.Node
+module Link = Hmn_testbed.Link
+module Resources = Hmn_testbed.Resources
+module Workload = Hmn_vnet.Workload
+module Venv_gen = Hmn_vnet.Venv_gen
+module Problem = Hmn_mapping.Problem
+module Path = Hmn_routing.Path
+module Residual = Hmn_routing.Residual
+module Latency_table = Hmn_routing.Latency_table
+module Astar = Hmn_routing.Astar_prune
+module Dijkstra_route = Hmn_routing.Dijkstra_route
+module Mapper = Hmn_core.Mapper
+module Registry = Hmn_core.Registry
+
+type cluster_shape =
+  | Torus of { rows : int; cols : int }
+  | Switched of { hosts : int }
+
+type params = {
+  shape : cluster_shape;
+  n_guests : int;
+  density : float;
+  low_level : bool;
+}
+
+type what =
+  | Invalid_mapping of { mapper : string; report : Validator.report }
+  | Mapper_exception of { mapper : string; exn : string }
+  | Route_disagreement of {
+      src : int;
+      dst : int;
+      bandwidth_mbps : float;
+      latency_ms : float;
+      detail : string;
+    }
+
+type failure = {
+  seed : int;
+  params : params;
+  what : what;
+}
+
+type stats = {
+  cases : int;
+  validated : int;
+  mapper_gave_up : int;
+  route_queries : int;
+  failures : failure list;
+}
+
+let smoke_seed = 20090922
+
+(* Distinct offsets keep the parameter draw, the instance build and the
+   router cross-check on independent streams of the same case seed, so
+   pinning parameters on the command line (a shrunk repro) still
+   regenerates the identical instance. *)
+let instance_seed_offset = 7919
+let route_seed_offset = 104729
+
+let draw_params rng =
+  let shape =
+    if Rng.bool rng then
+      Torus { rows = Rng.int_in rng ~lo:2 ~hi:3; cols = Rng.int_in rng ~lo:2 ~hi:4 }
+    else Switched { hosts = Rng.int_in rng ~lo:4 ~hi:12 }
+  in
+  let hosts =
+    match shape with Torus { rows; cols } -> rows * cols | Switched { hosts } -> hosts
+  in
+  {
+    shape;
+    n_guests = min 40 (max 2 (hosts * Rng.int_in rng ~lo:1 ~hi:4));
+    density = Rng.float_in rng ~lo:0.05 ~hi:0.4;
+    low_level = Rng.bool rng;
+  }
+
+let build_problem params ~seed =
+  let rng = Rng.create (seed + instance_seed_offset) in
+  let cluster =
+    match params.shape with
+    | Torus { rows; cols } -> Cluster_gen.torus_cluster ~rows ~cols ~rng ()
+    | Switched { hosts } -> Cluster_gen.switched_cluster ~n:hosts ~rng ()
+  in
+  let profile = if params.low_level then Workload.low_level else Workload.high_level in
+  let venv =
+    Venv_gen.generate ~scale_to_fit:(cluster, 0.75) ~profile ~n:params.n_guests
+      ~density:params.density ~rng ()
+  in
+  Problem.make ~cluster ~venv
+
+(* ---- router differential check ---- *)
+
+(* Exhaustive reference: every simple path within the latency bound
+   whose edges all offer the bandwidth; returns the widest bottleneck. *)
+let exhaustive_widest residual ~src ~dst ~bandwidth_mbps ~latency_ms =
+  let cluster = Residual.cluster residual in
+  let g = Cluster.graph cluster in
+  let n = Graph.n_nodes g in
+  let visited = Array.make n false in
+  let best = ref None in
+  let rec explore u lat width =
+    if u = dst then begin
+      match !best with
+      | Some w when w >= width -> ()
+      | _ -> best := Some width
+    end
+    else
+      Graph.iter_adj g u (fun ~neighbor ~eid ->
+          if not visited.(neighbor) then begin
+            let link = Cluster.link cluster eid in
+            let lat' = lat +. link.Link.latency_ms in
+            let avail = Residual.available residual eid in
+            if lat' <= latency_ms && avail >= bandwidth_mbps then begin
+              visited.(neighbor) <- true;
+              explore neighbor lat' (Float.min width avail);
+              visited.(neighbor) <- false
+            end
+          end)
+  in
+  visited.(src) <- true;
+  if src = dst then Some infinity
+  else begin
+    explore src 0. infinity;
+    !best
+  end
+
+let route_host i =
+  Node.host
+    ~name:(Printf.sprintf "h%d" i)
+    ~capacity:(Resources.make ~mips:1000. ~mem_mb:1024. ~stor_gb:100.)
+
+let route_check ~seed =
+  let rng = Rng.create (seed + route_seed_offset) in
+  let n = Rng.int_in rng ~lo:5 ~hi:9 in
+  let shape = Generators.random_connected ~n ~density:0.35 ~rng in
+  let g =
+    Graph.map_labels shape ~f:(fun ~eid:_ () ->
+        Link.make
+          ~bandwidth_mbps:(Rng.float_in rng ~lo:10. ~hi:100.)
+          ~latency_ms:(Rng.float_in rng ~lo:1. ~hi:10.))
+  in
+  let cluster = Cluster.create ~nodes:(Array.init n route_host) ~graph:g in
+  let residual = Residual.create cluster in
+  (* A random partial load, reserved edge by edge, so the oracle sees a
+     residual state shaped like mid-Networking, not a fresh cluster. *)
+  Graph.iter_edges g (fun ~eid ~u ~v _ ->
+      if Rng.bool rng then begin
+        let cap = Residual.available residual eid in
+        let p = Path.make ~nodes:[ u; v ] ~edges:[ eid ] in
+        ignore (Residual.reserve_path residual p (0.8 *. cap *. Rng.float rng))
+      end);
+  let tables = Latency_table.create cluster in
+  let failures = ref [] in
+  let queries = 8 in
+  for _ = 1 to queries do
+    let src = Rng.int rng ~bound:n and dst = Rng.int rng ~bound:n in
+    let bandwidth_mbps = Rng.float_in rng ~lo:5. ~hi:60. in
+    let latency_ms = Rng.float_in rng ~lo:5. ~hi:40. in
+    let disagree detail =
+      failures :=
+        Route_disagreement { src; dst; bandwidth_mbps; latency_ms; detail }
+        :: !failures
+    in
+    if src <> dst then begin
+      let oracle =
+        exhaustive_widest residual ~src ~dst ~bandwidth_mbps ~latency_ms
+      in
+      let pruned =
+        Astar.route ~residual ~latency_tables:tables ~src ~dst ~bandwidth_mbps
+          ~latency_ms ()
+      in
+      let unpruned =
+        Astar.route ~prune_dominated:false ~residual ~latency_tables:tables ~src
+          ~dst ~bandwidth_mbps ~latency_ms ()
+      in
+      let width p = Path.bottleneck ~capacity:(Residual.available residual) p in
+      (match (pruned, oracle) with
+      | None, Some w ->
+        disagree
+          (Printf.sprintf "A*Prune found nothing; oracle has a %.3f Mbps path" w)
+      | Some _, None -> disagree "A*Prune found a path; oracle says infeasible"
+      | None, None -> ()
+      | Some (p, _), Some w ->
+        if Result.is_error (Path.validate cluster ~src ~dst p) then
+          disagree "A*Prune path is structurally invalid"
+        else if Path.total_latency cluster p > latency_ms +. 1e-9 then
+          disagree "A*Prune path violates the latency bound"
+        else if not (Hmn_prelude.Float_ext.approx (width p) w) then
+          disagree
+            (Printf.sprintf "bottleneck %.6f differs from oracle optimum %.6f"
+               (width p) w));
+      (match (pruned, unpruned) with
+      | None, None -> ()
+      | Some _, None ->
+        disagree "pruned search found a path the unpruned reference missed"
+      | None, Some _ ->
+        disagree "unpruned reference found a path the pruned search missed"
+      | Some (a, _), Some (b, _) ->
+        if not (Hmn_prelude.Float_ext.approx (width a) (width b)) then
+          disagree
+            (Printf.sprintf "dominance pruning changed the bottleneck: %.6f vs %.6f"
+               (width a) (width b)));
+      let dij =
+        Dijkstra_route.route ~residual ~src ~dst ~bandwidth_mbps ~latency_ms ()
+      in
+      match (dij, oracle) with
+      | None, Some _ ->
+        disagree "Dijkstra oracle found nothing where a feasible path exists"
+      | Some _, None -> disagree "Dijkstra oracle found an infeasible path"
+      | _ -> ()
+    end
+  done;
+  (queries, List.rev !failures)
+
+(* ---- mapper differential check ---- *)
+
+let mapper_rng ~seed ~mapper_name = Rng.create (seed + (17 * Hashtbl.hash mapper_name))
+
+let run_case ~mappers ~params ~seed =
+  let problem = build_problem params ~seed in
+  let validated = ref 0 and gave_up = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun mapper ->
+      let name = mapper.Mapper.name in
+      match (mapper.Mapper.run ~rng:(mapper_rng ~seed ~mapper_name:name) problem).Mapper.result with
+      | exception exn ->
+        failures :=
+          Mapper_exception { mapper = name; exn = Printexc.to_string exn }
+          :: !failures
+      | Error _ -> incr gave_up
+      | Ok mapping ->
+        incr validated;
+        let report = Validator.check mapping in
+        if report.Validator.violations <> [] then
+          failures := Invalid_mapping { mapper = name; report } :: !failures)
+    mappers;
+  let route_queries, route_failures = route_check ~seed in
+  let whats = List.rev !failures @ route_failures in
+  {
+    cases = 1;
+    validated = !validated;
+    mapper_gave_up = !gave_up;
+    route_queries;
+    failures = List.map (fun what -> { seed; params; what }) whats;
+  }
+
+(* ---- shrinking ---- *)
+
+let reductions p =
+  let guests = if p.n_guests > 2 then [ { p with n_guests = max 2 (p.n_guests / 2) } ] else [] in
+  let shape =
+    match p.shape with
+    | Torus { rows; cols } ->
+      (if cols > 2 then [ { p with shape = Torus { rows; cols = max 2 (cols / 2) } } ] else [])
+      @ if rows > 2 then [ { p with shape = Torus { rows = max 2 (rows / 2); cols } } ] else []
+    | Switched { hosts } ->
+      if hosts > 2 then [ { p with shape = Switched { hosts = max 2 (hosts / 2) } } ] else []
+  in
+  let density =
+    if p.density > 0.05 then [ { p with density = Float.max 0.05 (p.density /. 2.) } ]
+    else []
+  in
+  guests @ shape @ density
+
+let shrink ~mappers f =
+  let rec go f budget =
+    if budget = 0 then f
+    else
+      match
+        List.find_map
+          (fun p ->
+            match (run_case ~mappers ~params:p ~seed:f.seed).failures with
+            | [] -> None
+            | g :: _ -> Some g)
+          (reductions f.params)
+      with
+      | None -> f
+      | Some f' -> go f' (budget - 1)
+  in
+  go f 16
+
+(* ---- driver ---- *)
+
+let empty_stats =
+  { cases = 0; validated = 0; mapper_gave_up = 0; route_queries = 0; failures = [] }
+
+let merge a b =
+  {
+    cases = a.cases + b.cases;
+    validated = a.validated + b.validated;
+    mapper_gave_up = a.mapper_gave_up + b.mapper_gave_up;
+    route_queries = a.route_queries + b.route_queries;
+    failures = a.failures @ b.failures;
+  }
+
+let run ?mappers ?params ~seed ~count () =
+  let mappers =
+    match mappers with Some ms -> ms | None -> Registry.all ~max_tries:50 ()
+  in
+  let acc = ref empty_stats in
+  for i = 0 to count - 1 do
+    let case_seed = seed + i in
+    let p =
+      match params with
+      | Some p -> p
+      | None -> draw_params (Rng.create case_seed)
+    in
+    acc := merge !acc (run_case ~mappers ~params:p ~seed:case_seed)
+  done;
+  { !acc with failures = List.map (shrink ~mappers) !acc.failures }
+
+(* ---- reporting ---- *)
+
+let shape_args = function
+  | Torus { rows; cols } -> Printf.sprintf "--cluster torus --rows %d --cols %d" rows cols
+  | Switched { hosts } -> Printf.sprintf "--cluster switched --hosts %d" hosts
+
+let repro_command f =
+  Printf.sprintf "hmn_cli fuzz --instances 1 --seed %d %s --guests %d --density %g --workload %s"
+    f.seed (shape_args f.params.shape) f.params.n_guests f.params.density
+    (if f.params.low_level then "low" else "high")
+
+let pp_params ppf p =
+  let shape =
+    match p.shape with
+    | Torus { rows; cols } -> Printf.sprintf "%dx%d torus" rows cols
+    | Switched { hosts } -> Printf.sprintf "%d-host switched" hosts
+  in
+  Format.fprintf ppf "%s, %d guests, density %g, %s workload" shape p.n_guests
+    p.density
+    (if p.low_level then "low-level" else "high-level")
+
+let pp_what ppf = function
+  | Invalid_mapping { mapper; report } ->
+    Format.fprintf ppf "%s produced an invalid mapping: %a" mapper
+      Validator.pp_report report
+  | Mapper_exception { mapper; exn } ->
+    Format.fprintf ppf "%s raised: %s" mapper exn
+  | Route_disagreement { src; dst; bandwidth_mbps; latency_ms; detail } ->
+    Format.fprintf ppf
+      "router cross-check %d->%d (%.1f Mbps, <= %.1f ms): %s" src dst
+      bandwidth_mbps latency_ms detail
+
+let pp_failure ppf f =
+  Format.fprintf ppf "seed %d (%a)@\n  %a@\n  repro: %s" f.seed pp_params f.params
+    pp_what f.what (repro_command f)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d cases: %d mappings validated, %d mapper give-ups, %d route queries \
+     cross-checked, %d failure(s)"
+    s.cases s.validated s.mapper_gave_up s.route_queries (List.length s.failures);
+  List.iter (fun f -> Format.fprintf ppf "@\n%a" pp_failure f) s.failures

@@ -1,0 +1,89 @@
+(** Differential fuzzing of the mapper registry and the router.
+
+    Each case derives, from a reported integer seed, a random
+    (cluster, virtual environment) instance via the production
+    generators ({!Hmn_testbed.Cluster_gen}, {!Hmn_vnet.Venv_gen}), runs
+    every mapper in the registry on it, and {!Validator.check}s every
+    mapping produced — a mapper declining an instance is not a failure,
+    producing an {e invalid} mapping (or raising) is. Independently,
+    each case cross-checks {!Hmn_routing.Astar_prune} — pruned and
+    unpruned — against an exhaustive widest-path oracle and
+    {!Hmn_routing.Dijkstra_route} on a small random graph.
+
+    Failing cases are shrunk by repeatedly halving the instance
+    parameters while the failure persists, and carry an exact
+    [hmn_cli fuzz] repro command. All randomness derives from the case
+    seed, so the command reproduces the instance bit-for-bit. *)
+
+type cluster_shape =
+  | Torus of { rows : int; cols : int }
+  | Switched of { hosts : int }
+
+type params = {
+  shape : cluster_shape;
+  n_guests : int;
+  density : float;  (** virtual-graph edge density *)
+  low_level : bool;  (** workload family (Table 1) *)
+}
+
+type what =
+  | Invalid_mapping of { mapper : string; report : Validator.report }
+  | Mapper_exception of { mapper : string; exn : string }
+  | Route_disagreement of {
+      src : int;
+      dst : int;
+      bandwidth_mbps : float;
+      latency_ms : float;
+      detail : string;
+    }
+
+type failure = {
+  seed : int;  (** the case seed; feeds {!repro_command} *)
+  params : params;
+  what : what;
+}
+
+type stats = {
+  cases : int;
+  validated : int;  (** successful mapper runs, each re-checked *)
+  mapper_gave_up : int;  (** [Error] outcomes — not failures *)
+  route_queries : int;
+  failures : failure list;
+}
+
+val draw_params : Hmn_rng.Rng.t -> params
+(** Small instances: 4–12 hosts, up to ~40 guests, both workloads. *)
+
+val build_problem : params -> seed:int -> Hmn_mapping.Problem.t
+(** Deterministic in [(params, seed)], independent of how [params] was
+    obtained — so a shrunk parameter set replayed with the original
+    seed regenerates the shrunk instance exactly. *)
+
+val run_case :
+  mappers:Hmn_core.Mapper.t list -> params:params -> seed:int -> stats
+(** One instance: every mapper validated, plus the router cross-check. *)
+
+val shrink : mappers:Hmn_core.Mapper.t list -> failure -> failure
+(** Greedily halves guests/hosts/density while the case still fails;
+    returns the smallest still-failing case (possibly the input). *)
+
+val run :
+  ?mappers:Hmn_core.Mapper.t list ->
+  ?params:params ->
+  seed:int ->
+  count:int ->
+  unit ->
+  stats
+(** [count] cases with seeds [seed, seed+1, ...]. [?params] pins the
+    instance parameters (repro / shrink replay); otherwise each case
+    draws its own from its seed. [?mappers] defaults to the full
+    registry. Failures are shrunk before being returned. *)
+
+val smoke_seed : int
+(** The fixed seed of the CI smoke run. *)
+
+val repro_command : failure -> string
+(** An [hmn_cli fuzz] invocation that replays exactly this case. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_stats : Format.formatter -> stats -> unit

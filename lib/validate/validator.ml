@@ -1,0 +1,323 @@
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Virtual_env = Hmn_vnet.Virtual_env
+module Problem = Hmn_mapping.Problem
+module Mapping = Hmn_mapping.Mapping
+module Placement = Hmn_mapping.Placement
+module Link_map = Hmn_mapping.Link_map
+module Path = Hmn_routing.Path
+module Residual = Hmn_routing.Residual
+
+type violation =
+  | Unassigned_guest of int
+  | Guest_on_non_host of { guest : int; node : int }
+  | Memory_exceeded of { host : int; used : float; capacity : float }
+  | Storage_exceeded of { host : int; used : float; capacity : float }
+  | Unmapped_vlink of int
+  | Endpoint_mismatch of { vlink : int; reason : string }
+  | Disconnected_path of { vlink : int; reason : string }
+  | Path_not_simple of { vlink : int; node : int }
+  | Latency_exceeded of { vlink : int; actual : float; bound : float }
+  | Bandwidth_exceeded of { edge : int; used : float; capacity : float }
+  | Residual_mismatch of { edge : int; stated : float; derived : float }
+  | Objective_mismatch of { stated : float; derived : float }
+
+type report = {
+  violations : violation list;
+  guests_checked : int;
+  vlinks_checked : int;
+  edges_checked : int;
+  derived_lbf : float option;
+}
+
+type view = {
+  problem : Problem.t;
+  host_of : int -> int option;
+  path_of : int -> Hmn_routing.Path.t option;
+  residual_available : (int -> float) option;
+  stated_lbf : float option;
+}
+
+let view_of_mapping (m : Mapping.t) =
+  let residual = Link_map.residual m.Mapping.link_map in
+  {
+    problem = Mapping.problem m;
+    host_of = (fun guest -> Placement.host_of m.Mapping.placement ~guest);
+    path_of = (fun vlink -> Link_map.path_of m.Mapping.link_map ~vlink);
+    residual_available = Some (fun eid -> Residual.available residual eid);
+    stated_lbf = Some (Mapping.objective m);
+  }
+
+(* Memory/storage capacity slack: pure accumulation error of summing a
+   few hundred demands — Constraints' constant is plenty. *)
+let capacity_eps = 1e-6
+
+let residual_tolerance problem =
+  Residual.tolerance
+  *. float_of_int (Virtual_env.n_vlinks problem.Problem.venv + 1)
+
+(* Eq. 10 from raw demands only: residual CPU per host is the host's
+   MIPS capacity minus the summed MIPS demand of the guests the view
+   puts there; the LBF is the population standard deviation over hosts.
+   Deliberately shares no code with [Objective] or [Placement]. *)
+let derive_lbf problem host_of =
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let n_nodes = Cluster.n_nodes cluster in
+  let demand = Array.make n_nodes 0. in
+  let complete = ref true in
+  for guest = 0 to Virtual_env.n_guests venv - 1 do
+    match host_of guest with
+    | None -> complete := false
+    | Some node ->
+      if node >= 0 && node < n_nodes && Cluster.is_host cluster node then
+        demand.(node) <-
+          demand.(node) +. (Virtual_env.demand venv guest).Resources.mips
+      else complete := false
+  done;
+  if not !complete then None
+  else begin
+    let hosts = Cluster.host_ids cluster in
+    let n = float_of_int (Array.length hosts) in
+    let rproc =
+      Array.map
+        (fun h -> (Cluster.capacity cluster h).Resources.mips -. demand.(h))
+        hosts
+    in
+    let mean = Array.fold_left ( +. ) 0. rproc /. n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. rproc
+      /. n
+    in
+    Some (sqrt var)
+  end
+
+(* Walks the path against the physical graph itself: ids in range, each
+   stated edge joining the consecutive node pair ([Graph.endpoints], not
+   [Path.validate]), no node repeated. Returns [Error] on the first
+   structural defect; latency/bandwidth are only meaningful on
+   structurally sound paths. *)
+let check_path_structure cluster ~vlink (p : Path.t) =
+  let g = Cluster.graph cluster in
+  let n_nodes = Graph.n_nodes g in
+  let n_edges = Graph.n_edges g in
+  let nodes = p.Path.nodes and edges = p.Path.edges in
+  let defect = ref None in
+  let flag v = if !defect = None then defect := Some v in
+  Array.iter
+    (fun u ->
+      if u < 0 || u >= n_nodes then
+        flag
+          (Disconnected_path
+             { vlink; reason = Printf.sprintf "node %d out of range" u }))
+    nodes;
+  if !defect = None then begin
+    let seen = Array.make n_nodes false in
+    Array.iter
+      (fun u ->
+        if seen.(u) then flag (Path_not_simple { vlink; node = u });
+        seen.(u) <- true)
+      nodes
+  end;
+  if !defect = None then
+    Array.iteri
+      (fun i eid ->
+        if !defect = None then
+          if eid < 0 || eid >= n_edges then
+            flag
+              (Disconnected_path
+                 { vlink; reason = Printf.sprintf "edge %d out of range" eid })
+          else begin
+            let u, v = Graph.endpoints g eid in
+            let a = nodes.(i) and b = nodes.(i + 1) in
+            if not ((u = a && v = b) || (u = b && v = a)) then
+              flag
+                (Disconnected_path
+                   {
+                     vlink;
+                     reason =
+                       Printf.sprintf
+                         "edge %d joins %d-%d, not the consecutive nodes %d-%d"
+                         eid u v a b;
+                   })
+          end)
+      edges;
+  match !defect with Some v -> Error v | None -> Ok ()
+
+let check_view view =
+  let problem = view.problem in
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let g = Cluster.graph cluster in
+  let n_nodes = Cluster.n_nodes cluster in
+  let n_guests = Virtual_env.n_guests venv in
+  let n_vlinks = Virtual_env.n_vlinks venv in
+  let n_edges = Graph.n_edges g in
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  (* Guests: assignment, host-ness, per-host memory/storage (Eqs. 1-3). *)
+  let mem_used = Array.make n_nodes 0. and stor_used = Array.make n_nodes 0. in
+  for guest = 0 to n_guests - 1 do
+    match view.host_of guest with
+    | None -> report (Unassigned_guest guest)
+    | Some node ->
+      if node < 0 || node >= n_nodes || not (Cluster.is_host cluster node) then
+        report (Guest_on_non_host { guest; node })
+      else begin
+        let d = Virtual_env.demand venv guest in
+        mem_used.(node) <- mem_used.(node) +. d.Resources.mem_mb;
+        stor_used.(node) <- stor_used.(node) +. d.Resources.stor_gb
+      end
+  done;
+  Array.iter
+    (fun host ->
+      let cap = Cluster.capacity cluster host in
+      if mem_used.(host) > cap.Resources.mem_mb +. capacity_eps then
+        report
+          (Memory_exceeded
+             { host; used = mem_used.(host); capacity = cap.Resources.mem_mb });
+      if stor_used.(host) > cap.Resources.stor_gb +. capacity_eps then
+        report
+          (Storage_exceeded
+             { host; used = stor_used.(host); capacity = cap.Resources.stor_gb }))
+    (Cluster.host_ids cluster);
+  (* Virtual links: structural path checks (Eqs. 4-7), latency (Eq. 8),
+     and per-edge bandwidth accumulation for Eq. 9. *)
+  let bw_used = Array.make n_edges 0. in
+  for vlink = 0 to n_vlinks - 1 do
+    let vs, vd = Virtual_env.endpoints venv vlink in
+    match (view.host_of vs, view.host_of vd) with
+    | None, _ | _, None -> ()  (* already reported as Unassigned_guest *)
+    | Some hs, Some hd -> (
+      match view.path_of vlink with
+      | None -> if hs <> hd then report (Unmapped_vlink vlink)
+      | Some p -> (
+        match check_path_structure cluster ~vlink p with
+        | Error v -> report v
+        | Ok () ->
+          let nodes = p.Path.nodes in
+          let first = nodes.(0) and last = nodes.(Array.length nodes - 1) in
+          (* The demand is undirected: either orientation serves it. *)
+          if not ((first = hs && last = hd) || (first = hd && last = hs)) then
+            report
+              (Endpoint_mismatch
+                 {
+                   vlink;
+                   reason =
+                     Printf.sprintf
+                       "path runs %d..%d but the guests are placed on %d and %d"
+                       first last hs hd;
+                 })
+          else begin
+            let spec = Virtual_env.vlink venv vlink in
+            let latency = ref 0. in
+            Path.iter_edges p (fun eid ->
+                latency :=
+                  !latency +. (Cluster.link cluster eid).Hmn_testbed.Link.latency_ms);
+            if !latency > spec.Hmn_vnet.Vlink.latency_ms +. capacity_eps then
+              report
+                (Latency_exceeded
+                   {
+                     vlink;
+                     actual = !latency;
+                     bound = spec.Hmn_vnet.Vlink.latency_ms;
+                   });
+            Path.iter_edges p (fun eid ->
+                bw_used.(eid) <- bw_used.(eid) +. spec.Hmn_vnet.Vlink.bandwidth_mbps)
+          end))
+  done;
+  (* Eq. 9 against raw capacities, then the reconstruction against the
+     stated residual state. *)
+  let bw_eps = residual_tolerance problem in
+  Array.iteri
+    (fun eid used ->
+      let cap = (Cluster.link cluster eid).Hmn_testbed.Link.bandwidth_mbps in
+      if used > cap +. bw_eps then
+        report (Bandwidth_exceeded { edge = eid; used; capacity = cap }))
+    bw_used;
+  (match view.residual_available with
+  | None -> ()
+  | Some stated_avail ->
+    Array.iteri
+      (fun eid used ->
+        let cap = (Cluster.link cluster eid).Hmn_testbed.Link.bandwidth_mbps in
+        (* [Residual] clamps into [0, capacity]; mirror that here so a
+           legal exactly-saturating state is not flagged. *)
+        let derived = Float.max 0. (cap -. used) in
+        let stated = stated_avail eid in
+        if Float.abs (stated -. derived) > bw_eps then
+          report (Residual_mismatch { edge = eid; stated; derived }))
+      bw_used);
+  (* Eq. 10, recomputed without [Objective]. *)
+  let derived_lbf = derive_lbf problem view.host_of in
+  (match (view.stated_lbf, derived_lbf) with
+  | Some stated, Some derived
+    when not (Hmn_prelude.Float_ext.approx ~eps:1e-6 stated derived) ->
+    report (Objective_mismatch { stated; derived })
+  | _ -> ());
+  {
+    violations = List.rev !violations;
+    guests_checked = n_guests;
+    vlinks_checked = n_vlinks;
+    edges_checked = n_edges;
+    derived_lbf;
+  }
+
+let check m = check_view (view_of_mapping m)
+
+let is_valid m = (check m).violations = []
+
+let violation_label = function
+  | Unassigned_guest _ -> "unassigned-guest"
+  | Guest_on_non_host _ -> "guest-on-non-host"
+  | Memory_exceeded _ -> "memory-exceeded"
+  | Storage_exceeded _ -> "storage-exceeded"
+  | Unmapped_vlink _ -> "unmapped-vlink"
+  | Endpoint_mismatch _ -> "endpoint-mismatch"
+  | Disconnected_path _ -> "disconnected-path"
+  | Path_not_simple _ -> "path-not-simple"
+  | Latency_exceeded _ -> "latency-exceeded"
+  | Bandwidth_exceeded _ -> "bandwidth-exceeded"
+  | Residual_mismatch _ -> "residual-mismatch"
+  | Objective_mismatch _ -> "objective-mismatch"
+
+let pp_violation ppf = function
+  | Unassigned_guest g -> Format.fprintf ppf "guest %d is unassigned" g
+  | Guest_on_non_host { guest; node } ->
+    Format.fprintf ppf "guest %d placed on non-host node %d" guest node
+  | Memory_exceeded { host; used; capacity } ->
+    Format.fprintf ppf "host %d memory exceeded: %.1f/%.1f MB" host used capacity
+  | Storage_exceeded { host; used; capacity } ->
+    Format.fprintf ppf "host %d storage exceeded: %.1f/%.1f GB" host used capacity
+  | Unmapped_vlink v -> Format.fprintf ppf "virtual link %d has no path" v
+  | Endpoint_mismatch { vlink; reason } ->
+    Format.fprintf ppf "virtual link %d endpoint mismatch: %s" vlink reason
+  | Disconnected_path { vlink; reason } ->
+    Format.fprintf ppf "virtual link %d path disconnected: %s" vlink reason
+  | Path_not_simple { vlink; node } ->
+    Format.fprintf ppf "virtual link %d path visits node %d twice" vlink node
+  | Latency_exceeded { vlink; actual; bound } ->
+    Format.fprintf ppf "virtual link %d latency %.2f ms exceeds bound %.2f ms"
+      vlink actual bound
+  | Bandwidth_exceeded { edge; used; capacity } ->
+    Format.fprintf ppf "physical link %d bandwidth exceeded: %.3f/%.3f Mbps" edge
+      used capacity
+  | Residual_mismatch { edge; stated; derived } ->
+    Format.fprintf ppf
+      "physical link %d residual drift: state says %.6f Mbps free, links sum to \
+       %.6f"
+      edge stated derived
+  | Objective_mismatch { stated; derived } ->
+    Format.fprintf ppf "load-balance factor mismatch: reported %.6f, Eq. 10 gives %.6f"
+      stated derived
+
+let pp_report ppf r =
+  match r.violations with
+  | [] ->
+    Format.fprintf ppf
+      "valid: %d guests, %d virtual links, %d physical links re-checked"
+      r.guests_checked r.vlinks_checked r.edges_checked
+  | vs ->
+    Format.fprintf ppf "%d violation(s):" (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "@\n  %a" pp_violation v) vs

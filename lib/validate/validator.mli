@@ -1,0 +1,100 @@
+(** Independent re-derivation of every paper invariant a finished
+    mapping must satisfy.
+
+    {!Constraints.check} (in [hmn_mapping]) validates a mapping through
+    the same [Path]/[Placement] helpers the mappers themselves use. This
+    module is the {e oracle}: it rebuilds each invariant from the raw
+    problem data and the physical graph alone — walking path node/edge
+    sequences against [Graph.endpoints] rather than [Path.validate],
+    summing demands rather than reading [Placement]'s residual arrays,
+    recomputing the load-balance factor without [Objective] — so a
+    bookkeeping bug in any of those layers is caught rather than
+    inherited. It additionally cross-checks the {e stated} mutable state
+    ([Link_map]'s [Residual], the mapping's reported objective) against
+    the reconstruction, which is how incremental-accounting drift
+    (remapping, live operations) becomes visible.
+
+    Checked invariants, by paper equation:
+    - every guest assigned, and only to host nodes (Eq. 1);
+    - per-host memory and storage loads within capacity (Eqs. 2–3);
+    - every inter-host virtual link routed by a path that starts and
+      ends at the placed endpoints, is connected edge-by-edge in the
+      physical graph, and repeats no node (Eqs. 4–7);
+    - accumulated path latency within the virtual link's bound (Eq. 8);
+    - per-physical-edge bandwidth sums within capacity (Eq. 9), and
+      consistent with the stated residual state within the documented
+      tolerance;
+    - the reported load-balance factor equal to an independent
+      recomputation of Eq. 10.
+
+    [check] never raises: every defect is a value in the report. *)
+
+type violation =
+  | Unassigned_guest of int
+  | Guest_on_non_host of { guest : int; node : int }
+  | Memory_exceeded of { host : int; used : float; capacity : float }
+  | Storage_exceeded of { host : int; used : float; capacity : float }
+  | Unmapped_vlink of int
+  | Endpoint_mismatch of { vlink : int; reason : string }
+      (** The path does not start/end at the hosts the placement put the
+          link's guests on (Eqs. 4–5), including a non-trivial path for
+          an intra-host link. *)
+  | Disconnected_path of { vlink : int; reason : string }
+      (** A stated edge does not join the consecutive nodes in the
+          physical graph (Eq. 6), or ids are out of range. *)
+  | Path_not_simple of { vlink : int; node : int }
+      (** The path visits [node] twice (Eq. 7). *)
+  | Latency_exceeded of { vlink : int; actual : float; bound : float }
+  | Bandwidth_exceeded of { edge : int; used : float; capacity : float }
+  | Residual_mismatch of { edge : int; stated : float; derived : float }
+      (** The live [Residual] disagrees with capacity minus the sum of
+          routed bandwidths by more than the accounting tolerance. *)
+  | Objective_mismatch of { stated : float; derived : float }
+      (** The reported load-balance factor is not the one Eq. 10 gives
+          for this placement. *)
+
+type report = {
+  violations : violation list;  (** in discovery order; [[]] = valid *)
+  guests_checked : int;
+  vlinks_checked : int;
+  edges_checked : int;
+  derived_lbf : float option;
+      (** The independently recomputed Eq. 10 value; [None] when some
+          guest was unassigned (the LBF of a partial placement is not
+          comparable). *)
+}
+
+(** A mapping reduced to the raw facts the validator consumes. The
+    indirection exists so tests and the fuzzer can seed corrupted views
+    (a placement function that overflows a host, a stated residual that
+    drifted) without bypassing the library's safe constructors. *)
+type view = {
+  problem : Hmn_mapping.Problem.t;
+  host_of : int -> int option;  (** guest id → node id *)
+  path_of : int -> Hmn_routing.Path.t option;  (** vlink id → path *)
+  residual_available : (int -> float) option;
+      (** edge id → stated residual; [None] skips the cross-check *)
+  stated_lbf : float option;  (** [None] skips the objective check *)
+}
+
+val view_of_mapping : Hmn_mapping.Mapping.t -> view
+
+val residual_tolerance : Hmn_mapping.Problem.t -> float
+(** Per-edge slack for {!Residual_mismatch}: [Residual.tolerance] times
+    (number of virtual links + 1), since each reserve/release clamps by
+    at most [Residual.tolerance] and an edge carries at most one
+    operation per virtual link per direction of churn. *)
+
+val check_view : view -> report
+
+val check : Hmn_mapping.Mapping.t -> report
+(** [check_view (view_of_mapping m)]. Never raises. *)
+
+val is_valid : Hmn_mapping.Mapping.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val violation_label : violation -> string
+(** Short class name, e.g. ["residual-mismatch"] — stable keys for the
+    fuzzer's summaries. *)

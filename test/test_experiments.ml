@@ -90,6 +90,7 @@ let mini_results =
          mappers = Hmn_core.Registry.paper ~max_tries:20 ();
          verbose = false;
          jobs = 1;
+         validate = true;
        }
      in
      Runner.run ~config ())
@@ -184,6 +185,7 @@ let test_jobs_determinism () =
           (Hmn_core.Registry.paper ~max_tries:5 ());
       verbose = false;
       jobs;
+      validate = false;
     }
   in
   let seq = Runner.run ~config:(config 1) () in

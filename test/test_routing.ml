@@ -122,6 +122,125 @@ let test_residual_copy_and_utilization () =
   Alcotest.(check (float 1e-9)) "copy unaffected" 50. (Residual.available copy e01);
   Alcotest.(check (float 1e-9)) "copy utilization" 0.125 (Residual.utilization copy)
 
+let random_cluster ~n ~rng =
+  let shape = Hmn_graph.Generators.random_connected ~n ~density:0.3 ~rng in
+  let g =
+    Graph.map_labels shape ~f:(fun ~eid:_ () ->
+        Link.make
+          ~bandwidth_mbps:(10. +. (90. *. Hmn_rng.Rng.float rng))
+          ~latency_ms:(1. +. (9. *. Hmn_rng.Rng.float rng)))
+  in
+  Cluster.create ~nodes:(Array.init n host) ~graph:g
+
+(* Reserve/release cycles with awkward fractional bandwidths, then an
+   exactly-saturating reservation: the shared tolerance must absorb the
+   floating-point drift symmetrically (the historical bug: release
+   tolerated 1e-6 of drift, reserve none, so a full-capacity request
+   spuriously failed after churn). *)
+let prop_residual_round_trip =
+  QCheck.Test.make
+    ~name:"reserve/release round-trips preserve avail = capacity within tolerance"
+    ~count:200 QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 4000) in
+      let cluster = random_cluster ~n:6 ~rng in
+      let res = Residual.create cluster in
+      let g = Cluster.graph cluster in
+      let n_edges = Graph.n_edges g in
+      let edge_path eid =
+        let u, v = Graph.endpoints g eid in
+        Path.make ~nodes:[ u; v ] ~edges:[ eid ]
+      in
+      for _ = 1 to 3 do
+        (* A batch of fractional reservations that sums to <= capacity
+           on every edge, then release them all. *)
+        let m = 1 + Hmn_rng.Rng.int rng ~bound:6 in
+        let batch =
+          List.init m (fun _ ->
+              let eid = Hmn_rng.Rng.int rng ~bound:n_edges in
+              let cap = (Cluster.link cluster eid).Link.bandwidth_mbps in
+              let bw = cap /. float_of_int m *. Hmn_rng.Rng.float rng in
+              (eid, bw))
+        in
+        List.iter
+          (fun (eid, bw) ->
+            match Residual.reserve_path res (edge_path eid) bw with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail e)
+          batch;
+        List.iter (fun (eid, bw) -> Residual.release_path res (edge_path eid) bw) batch
+      done;
+      (* Drift after full release stays within the documented bound... *)
+      let within_tolerance = ref true in
+      for eid = 0 to n_edges - 1 do
+        let cap = (Cluster.link cluster eid).Link.bandwidth_mbps in
+        if Float.abs (Residual.available res eid -. cap) > Residual.tolerance then
+          within_tolerance := false
+      done;
+      (* ...and an exactly-saturating reservation still succeeds. *)
+      let eid = Hmn_rng.Rng.int rng ~bound:n_edges in
+      let cap = (Cluster.link cluster eid).Link.bandwidth_mbps in
+      let saturates =
+        Result.is_ok (Residual.reserve_path res (edge_path eid) cap)
+      in
+      (* After releasing it, the clamp restores capacity exactly. *)
+      if saturates then Residual.release_path res (edge_path eid) cap;
+      !within_tolerance && saturates
+      && Residual.available res eid = (Cluster.link cluster eid).Link.bandwidth_mbps)
+
+let prop_residual_reserve_atomic =
+  QCheck.Test.make ~name:"a failed multi-edge reserve leaves every edge untouched"
+    ~count:200 QCheck.small_nat
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 5000) in
+      let cluster = random_cluster ~n:6 ~rng in
+      let res = Residual.create cluster in
+      let g = Cluster.graph cluster in
+      (* Find a 2-hop path a - u - b through distinct neighbors. *)
+      let found = ref None in
+      for u = 0 to Graph.n_nodes g - 1 do
+        if !found = None then
+          match Graph.adj_list g u with
+          | (a, ea) :: rest -> (
+            match List.find_opt (fun (b, _) -> b <> a) rest with
+            | Some (b, eb) -> found := Some (a, ea, u, b, eb)
+            | None -> ())
+          | [] -> ()
+      done;
+      match !found with
+      | None -> QCheck.assume_fail ()  (* no 2-hop path in this draw *)
+      | Some (a, ea, u, b, eb) ->
+        let path = Path.make ~nodes:[ a; u; b ] ~edges:[ ea; eb ] in
+        (* Drain eb below the request so the reserve must fail. *)
+        let cap_b = (Cluster.link cluster eb).Link.bandwidth_mbps in
+        (match
+           Residual.reserve_path res (Path.make ~nodes:[ u; b ] ~edges:[ eb ])
+             (cap_b -. 1.)
+         with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e);
+        let before = Array.init (Graph.n_edges g) (Residual.available res) in
+        let failed = Result.is_error (Residual.reserve_path res path 5.) in
+        failed
+        && Array.for_all2 ( = ) before
+             (Array.init (Graph.n_edges g) (Residual.available res)))
+
+let test_utilization_zero_capacity_link () =
+  (* A zero-bandwidth (administratively dead) cable must not poison the
+     mean with NaN. *)
+  let g = Graph.create ~n:3 () in
+  let e01 = Graph.add_edge g 0 1 (Link.make ~bandwidth_mbps:100. ~latency_ms:5.) in
+  ignore
+    (Graph.add_edge g 1 2 { Link.bandwidth_mbps = 0.; latency_ms = 5. });
+  let cluster = Cluster.create ~nodes:(Array.init 3 host) ~graph:g in
+  let res = Residual.create cluster in
+  (match Residual.reserve_path res (Path.make ~nodes:[ 0; 1 ] ~edges:[ e01 ]) 50. with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let u = Residual.utilization res in
+  Alcotest.(check bool) "finite" true (Float.is_finite u);
+  Alcotest.(check (float 1e-9)) "mean over live links only" 0.5 u
+
 (* ---- Latency_table ---- *)
 
 let test_latency_table () =
@@ -246,16 +365,6 @@ let brute_force_widest residual ~src ~dst ~bandwidth_mbps ~latency_ms =
     explore src 0. infinity;
     !best
   end
-
-let random_cluster ~n ~rng =
-  let shape = Hmn_graph.Generators.random_connected ~n ~density:0.3 ~rng in
-  let g =
-    Graph.map_labels shape ~f:(fun ~eid:_ () ->
-        Link.make
-          ~bandwidth_mbps:(10. +. (90. *. Hmn_rng.Rng.float rng))
-          ~latency_ms:(1. +. (9. *. Hmn_rng.Rng.float rng)))
-  in
-  Cluster.create ~nodes:(Array.init n host) ~graph:g
 
 let prop_astar_optimal_bottleneck =
   QCheck.Test.make
@@ -450,6 +559,8 @@ let () =
           Alcotest.test_case "release overflow" `Quick test_residual_release_overflow;
           Alcotest.test_case "copy & utilization" `Quick
             test_residual_copy_and_utilization;
+          Alcotest.test_case "zero-capacity utilization" `Quick
+            test_utilization_zero_capacity_link;
         ] );
       ( "latency_table",
         [ Alcotest.test_case "table & cache" `Quick test_latency_table ] );
@@ -477,6 +588,8 @@ let () =
         ] );
       ( "properties",
         [
+          q prop_residual_round_trip;
+          q prop_residual_reserve_atomic;
           q prop_astar_optimal_bottleneck;
           q prop_astar_dominance_preserves_width;
           q prop_dfs_paths_always_valid;

@@ -1,0 +1,296 @@
+(* Tests for hmn_validate: the independent invariant oracle and the
+   differential fuzz harness. The validator must accept every mapping
+   the real heuristics produce, and reject a hand-corrupted view for
+   each violation class — capacity overflow, disconnected / non-simple
+   paths, latency violations, bandwidth overflow, residual drift and a
+   wrong load-balance factor. *)
+
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Node = Hmn_testbed.Node
+module Link = Hmn_testbed.Link
+module Resources = Hmn_testbed.Resources
+module Guest = Hmn_vnet.Guest
+module Vlink = Hmn_vnet.Vlink
+module Virtual_env = Hmn_vnet.Virtual_env
+module Problem = Hmn_mapping.Problem
+module Placement = Hmn_mapping.Placement
+module Link_map = Hmn_mapping.Link_map
+module Mapping = Hmn_mapping.Mapping
+module Path = Hmn_routing.Path
+module Residual = Hmn_routing.Residual
+module Validator = Hmn_validate.Validator
+module Fuzz = Hmn_validate.Fuzz
+
+let host i =
+  Node.host
+    ~name:(Printf.sprintf "h%d" i)
+    ~capacity:(Resources.make ~mips:1000. ~mem_mb:1024. ~stor_gb:100.)
+
+(* A line of four hosts plus a trailing switch:
+     0 -- 1 -- 2 -- 3 -- 4(switch), all links 100 Mbps / 5 ms. *)
+let fixture_cluster () =
+  let g = Graph.create ~n:5 () in
+  let mk () = Link.make ~bandwidth_mbps:100. ~latency_ms:5. in
+  let e01 = Graph.add_edge g 0 1 (mk ()) in
+  let e12 = Graph.add_edge g 1 2 (mk ()) in
+  let e23 = Graph.add_edge g 2 3 (mk ()) in
+  let e34 = Graph.add_edge g 3 4 (mk ()) in
+  let nodes =
+    Array.init 5 (fun i -> if i = 4 then Node.switch ~name:"sw" else host i)
+  in
+  (Cluster.create ~nodes ~graph:g, e01, e12, e23, e34)
+
+(* Three guests; vlink 0 joins guests 0-1, vlink 1 joins guests 1-2. *)
+let fixture_venv ~bw ~lat =
+  let g = Graph.create ~n:3 () in
+  ignore (Graph.add_edge g 0 1 (Vlink.make ~bandwidth_mbps:bw ~latency_ms:lat));
+  ignore (Graph.add_edge g 1 2 (Vlink.make ~bandwidth_mbps:bw ~latency_ms:lat));
+  let guests =
+    Array.init 3 (fun i ->
+        Guest.make
+          ~name:(Printf.sprintf "vm%d" i)
+          ~demand:(Resources.make ~mips:100. ~mem_mb:400. ~stor_gb:10.))
+  in
+  Virtual_env.create ~guests ~graph:g
+
+let fixture ?(bw = 10.) ?(lat = 20.) () =
+  let cluster, e01, e12, e23, e34 = fixture_cluster () in
+  let venv = fixture_venv ~bw ~lat in
+  (Problem.make ~cluster ~venv, e01, e12, e23, e34)
+
+let ok_exn = function Ok () -> () | Error e -> Alcotest.fail e
+
+(* guests 0,1 on hosts 0,1; guest 2 shares host 1, so vlink 1 is
+   intra-host and only vlink 0 needs a (one-hop) path. *)
+let valid_mapping problem e01 =
+  let placement = Placement.create problem in
+  ok_exn (Placement.assign placement ~guest:0 ~host:0);
+  ok_exn (Placement.assign placement ~guest:1 ~host:1);
+  ok_exn (Placement.assign placement ~guest:2 ~host:1);
+  let link_map = Link_map.create problem in
+  ok_exn (Link_map.assign link_map ~vlink:0 (Path.make ~nodes:[ 0; 1 ] ~edges:[ e01 ]));
+  Mapping.make ~placement ~link_map
+
+let labels report =
+  List.map Validator.violation_label report.Validator.violations
+
+let check_flags ~expected view =
+  let report = Validator.check_view view in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s flagged (got: %s)" expected
+       (String.concat ", " (labels report)))
+    true
+    (List.mem expected (labels report))
+
+(* ---- the valid mapping passes ---- *)
+
+let test_accepts_valid () =
+  let problem, e01, _, _, _ = fixture () in
+  let m = valid_mapping problem e01 in
+  let report = Validator.check m in
+  Alcotest.(check (list string)) "no violations" [] (labels report);
+  Alcotest.(check bool) "is_valid" true (Validator.is_valid m);
+  Alcotest.(check int) "guests checked" 3 report.Validator.guests_checked;
+  Alcotest.(check int) "vlinks checked" 2 report.Validator.vlinks_checked;
+  match report.Validator.derived_lbf with
+  | None -> Alcotest.fail "expected a derived LBF for a complete placement"
+  | Some lbf ->
+    Alcotest.(check (float 1e-6)) "derived = stated" (Mapping.objective m) lbf
+
+(* ---- seeded corruption classes ---- *)
+
+let base_view problem =
+  {
+    Validator.problem;
+    host_of = (fun _ -> None);
+    path_of = (fun _ -> None);
+    residual_available = None;
+    stated_lbf = None;
+  }
+
+let test_flags_unassigned () =
+  let problem, _, _, _, _ = fixture () in
+  check_flags ~expected:"unassigned-guest" (base_view problem)
+
+let test_flags_non_host () =
+  let problem, _, _, _, _ = fixture () in
+  (* Node 4 is the switch. *)
+  check_flags ~expected:"guest-on-non-host"
+    { (base_view problem) with host_of = (fun _ -> Some 4) }
+
+let test_flags_capacity_overflow () =
+  let problem, _, _, _, _ = fixture () in
+  (* All three guests on host 0: 1200 MB of demand in 1024 MB. *)
+  let view = { (base_view problem) with host_of = (fun _ -> Some 0) } in
+  check_flags ~expected:"memory-exceeded" view
+
+let test_flags_unmapped_vlink () =
+  let problem, _, _, _, _ = fixture () in
+  let view =
+    { (base_view problem) with host_of = (fun g -> Some (min g 2)) }
+    (* guests on hosts 0,1,2: both vlinks inter-host, no paths given *)
+  in
+  check_flags ~expected:"unmapped-vlink" view
+
+let test_flags_disconnected_path () =
+  let problem, e01, e12, _, _ = fixture () in
+  let view =
+    {
+      (base_view problem) with
+      host_of = (fun g -> Some (min g 2));
+      path_of =
+        (fun vlink ->
+          if vlink = 0 then
+            (* e01 joins 0-1, not the stated hop 0-2. *)
+            Some (Path.make ~nodes:[ 0; 2 ] ~edges:[ e01 ])
+          else Some (Path.make ~nodes:[ 1; 2 ] ~edges:[ e12 ]));
+    }
+  in
+  check_flags ~expected:"disconnected-path" view
+
+let test_flags_non_simple_path () =
+  let problem, e01, e12, _, _ = fixture () in
+  let view =
+    {
+      (base_view problem) with
+      host_of = (fun g -> Some (min g 2));
+      path_of =
+        (fun vlink ->
+          if vlink = 0 then
+            Some (Path.make ~nodes:[ 0; 1; 0; 1 ] ~edges:[ e01; e01; e01 ])
+          else Some (Path.make ~nodes:[ 1; 2 ] ~edges:[ e12 ]));
+    }
+  in
+  check_flags ~expected:"path-not-simple" view
+
+let test_flags_endpoint_mismatch () =
+  let problem, _, e12, _, _ = fixture () in
+  let view =
+    {
+      (base_view problem) with
+      host_of = (fun g -> Some (min g 2));
+      (* vlink 0 joins guests on hosts 0 and 1 but the path runs 1-2. *)
+      path_of = (fun _ -> Some (Path.make ~nodes:[ 1; 2 ] ~edges:[ e12 ]));
+    }
+  in
+  check_flags ~expected:"endpoint-mismatch" view
+
+let test_flags_latency () =
+  (* Bound of 10 ms; the only offered path for vlink 0 runs 0-1-2-3 at
+     15 ms. Guests 0 and 1 are placed at the path's ends so the
+     endpoints are consistent and only the latency is wrong. *)
+  let problem, e01, e12, e23, _ = fixture ~lat:10. () in
+  let view =
+    {
+      (base_view problem) with
+      host_of = (fun g -> if g = 0 then Some 0 else Some 3);
+      path_of =
+        (fun vlink ->
+          if vlink = 0 then
+            Some (Path.make ~nodes:[ 0; 1; 2; 3 ] ~edges:[ e01; e12; e23 ])
+          else None);
+    }
+  in
+  check_flags ~expected:"latency-exceeded" view
+
+let test_flags_bandwidth_overflow () =
+  (* Two 80 Mbps vlinks forced over the same 100 Mbps cable. *)
+  let problem, e01, _, _, _ = fixture ~bw:80. () in
+  let view =
+    {
+      (base_view problem) with
+      host_of = (fun g -> Some (g mod 2));  (* guests 0,2 on host 0; 1 on 1 *)
+      path_of = (fun _ -> Some (Path.make ~nodes:[ 0; 1 ] ~edges:[ e01 ]));
+    }
+  in
+  check_flags ~expected:"bandwidth-exceeded" view
+
+let test_flags_residual_mismatch () =
+  let problem, e01, _, _, _ = fixture () in
+  let m = valid_mapping problem e01 in
+  let view =
+    {
+      (Validator.view_of_mapping m) with
+      Validator.residual_available = Some (fun _ -> 999.);
+    }
+  in
+  check_flags ~expected:"residual-mismatch" view
+
+let test_flags_wrong_lbf () =
+  let problem, e01, _, _, _ = fixture () in
+  let m = valid_mapping problem e01 in
+  let view =
+    {
+      (Validator.view_of_mapping m) with
+      Validator.stated_lbf = Some (Mapping.objective m +. 10.);
+    }
+  in
+  check_flags ~expected:"objective-mismatch" view
+
+(* A live-state corruption end to end: reserve extra bandwidth directly
+   on the link map's residual, which no per-path reconstruction can
+   explain. check (not check_view) must see it. *)
+let test_residual_drift_detected_on_mapping () =
+  let problem, e01, _, e23, _ = fixture () in
+  let m = valid_mapping problem e01 in
+  let residual = Link_map.residual m.Mapping.link_map in
+  (match Residual.reserve_path residual (Path.make ~nodes:[ 2; 3 ] ~edges:[ e23 ]) 5. with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let report = Validator.check m in
+  Alcotest.(check bool) "drift flagged" true
+    (List.mem "residual-mismatch" (labels report))
+
+(* ---- properties ---- *)
+
+(* Every mapping any registered heuristic produces on a random instance
+   passes the oracle. This is the differential test the fuzz harness
+   runs at scale; a small pinned sample keeps runtest fast. *)
+let prop_mappers_produce_valid_mappings =
+  QCheck.Test.make ~name:"registry mappings satisfy the oracle on random instances"
+    ~count:15 QCheck.small_nat
+    (fun seed ->
+      let case_seed = 5000 + seed in
+      let params = Fuzz.draw_params (Hmn_rng.Rng.create case_seed) in
+      let problem = Fuzz.build_problem params ~seed:case_seed in
+      List.for_all
+        (fun mapper ->
+          let rng = Hmn_rng.Rng.create (case_seed + 1) in
+          match (mapper.Hmn_core.Mapper.run ~rng problem).Hmn_core.Mapper.result with
+          | Error _ -> true
+          | Ok mapping -> (Validator.check mapping).Validator.violations = [])
+        (Hmn_core.Registry.all ~max_tries:20 ()))
+
+let prop_fuzz_smoke_clean =
+  QCheck.Test.make ~name:"fuzz harness finds nothing on a healthy build" ~count:3
+    QCheck.small_nat
+    (fun seed ->
+      let stats = Fuzz.run ~seed:(Fuzz.smoke_seed + seed) ~count:2 () in
+      stats.Fuzz.failures = [] && stats.Fuzz.cases = 2)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hmn_validate"
+    [
+      ( "accepts",
+        [ Alcotest.test_case "valid mapping passes" `Quick test_accepts_valid ] );
+      ( "rejects",
+        [
+          Alcotest.test_case "unassigned guest" `Quick test_flags_unassigned;
+          Alcotest.test_case "guest on non-host" `Quick test_flags_non_host;
+          Alcotest.test_case "capacity overflow" `Quick test_flags_capacity_overflow;
+          Alcotest.test_case "unmapped vlink" `Quick test_flags_unmapped_vlink;
+          Alcotest.test_case "disconnected path" `Quick test_flags_disconnected_path;
+          Alcotest.test_case "non-simple path" `Quick test_flags_non_simple_path;
+          Alcotest.test_case "endpoint mismatch" `Quick test_flags_endpoint_mismatch;
+          Alcotest.test_case "latency violation" `Quick test_flags_latency;
+          Alcotest.test_case "bandwidth overflow" `Quick test_flags_bandwidth_overflow;
+          Alcotest.test_case "residual mismatch" `Quick test_flags_residual_mismatch;
+          Alcotest.test_case "wrong LBF" `Quick test_flags_wrong_lbf;
+          Alcotest.test_case "live residual drift" `Quick
+            test_residual_drift_detected_on_mapping;
+        ] );
+      ( "properties",
+        [ q prop_mappers_produce_valid_mappings; q prop_fuzz_smoke_clean ] );
+    ]
