@@ -43,8 +43,21 @@ let mapper_map_times results =
       (name, pooled))
     (Hmn_experiments.Runner.mapper_names results)
 
+(* Monotonically bumped when the JSON's shape changes, so the perf
+   trajectory stays parseable as fields evolve. History:
+   1 = the original unversioned shape (PR 1); 2 = adds schema_version,
+   generated_at, and the optional metrics aggregates. *)
+let schema_version = 2
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 let write_sweep_json ~wall_s results =
   let module Json = Hmn_prelude.Json in
+  let module Metrics = Hmn_obs.Metrics in
   let config = results.Hmn_experiments.Runner.config in
   let path =
     Option.value (Sys.getenv_opt "HMN_BENCH_JSON") ~default:"BENCH_sweep.json"
@@ -57,16 +70,44 @@ let write_sweep_json ~wall_s results =
           else Json.float (Hmn_stats.Running.mean pooled) ))
       (mapper_map_times results)
   in
+  (* With HMN_METRICS set the sweep ran instrumented: fold the merged
+     counter aggregates in, so the trajectory records search effort
+     (label expansions, retries, ...) alongside wall time. *)
+  let metrics_fields =
+    if not config.Hmn_experiments.Runner.metrics then []
+    else begin
+      let snap = Metrics.snapshot () in
+      [
+        ( "metrics",
+          Json.Obj
+            [
+              ( "counters",
+                Json.Obj
+                  (List.map
+                     (fun (n, v) -> (n, Json.int v))
+                     snap.Metrics.counters) );
+              ( "gauge_maxima",
+                Json.Obj
+                  (List.map
+                     (fun (n, v) -> (n, Json.int v))
+                     snap.Metrics.gauge_maxima) );
+            ] );
+      ]
+    end
+  in
   let doc =
     Json.Obj
-      [
-        ("sweep_wall_s", Json.float wall_s);
-        ("jobs", Json.int config.Hmn_experiments.Runner.jobs);
-        ("reps", Json.int config.Hmn_experiments.Runner.reps);
-        ("max_tries", Json.int config.Hmn_experiments.Runner.max_tries);
-        ("base_seed", Json.int config.Hmn_experiments.Runner.base_seed);
-        ("mean_map_time_s", Json.Obj per_mapper);
-      ]
+      ([
+         ("schema_version", Json.int schema_version);
+         ("generated_at", Json.str (iso8601_now ()));
+         ("sweep_wall_s", Json.float wall_s);
+         ("jobs", Json.int config.Hmn_experiments.Runner.jobs);
+         ("reps", Json.int config.Hmn_experiments.Runner.reps);
+         ("max_tries", Json.int config.Hmn_experiments.Runner.max_tries);
+         ("base_seed", Json.int config.Hmn_experiments.Runner.base_seed);
+         ("mean_map_time_s", Json.Obj per_mapper);
+       ]
+      @ metrics_fields)
   in
   let oc = open_out path in
   output_string oc (Json.to_string ~pretty:true doc);
@@ -91,9 +132,9 @@ let part1 () =
   Printf.printf "(reps=%d, max_tries=%d, seed=%d, jobs=%d)\n\n"
     config.Hmn_experiments.Runner.reps config.Hmn_experiments.Runner.max_tries
     config.Hmn_experiments.Runner.base_seed config.Hmn_experiments.Runner.jobs;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Hmn_prelude.Clock.now_s () in
   let results = Hmn_experiments.Runner.run ~config () in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Hmn_prelude.Clock.elapsed_s t0 in
   Printf.printf "(sweep wall time: %.1f s, jobs=%d)\n\n" wall_s
     config.Hmn_experiments.Runner.jobs;
   write_sweep_json ~wall_s results;

@@ -3,6 +3,9 @@
    Subcommands:
      list          enumerate the available heuristics
      map           generate an instance, run a heuristic, print the mapping
+     profile       run one mapping with full instrumentation and report
+                   per-stage times, search-effort counters, and optionally
+                   a Chrome trace
      experiments   regenerate the paper's Tables 2-3, correlation, Figure 1
      figure1       only the Figure 1 sweep
      dot           emit the generated cluster or virtual topology as DOT *)
@@ -137,6 +140,133 @@ let map_cmd =
     Term.(
       const run $ seed_t $ cluster_t $ guests_t $ density_t $ workload_t
       $ heuristic_t $ verbose_t $ simulate_t $ save_t)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let module Metrics = Hmn_obs.Metrics in
+  let module Trace = Hmn_obs.Trace in
+  let module Pretty_table = Hmn_prelude.Pretty_table in
+  let heuristic_t =
+    Arg.(
+      value & opt string "HMN"
+      & info [ "heuristic" ] ~docv:"NAME" ~doc:"Heuristic to profile (see $(b,list)).")
+  in
+  let trace_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also write a Chrome trace_event JSON of every span (stages, \
+             virtual-link routing calls); open it in about:tracing or \
+             https://ui.perfetto.dev.")
+  in
+  let run seed cluster_kind guests density workload heuristic trace =
+    match Hmn_core.Registry.find heuristic with
+    | None ->
+      Printf.eprintf "unknown heuristic %s; try `hmn_cli list'\n" heuristic;
+      exit 2
+    | Some mapper ->
+      Metrics.enable ();
+      Metrics.reset ();
+      if trace <> None then Trace.enable ();
+      let problem = build_problem ~seed ~cluster_kind ~guests ~density ~workload in
+      Format.printf "%a@.@." Hmn_mapping.Problem.pp_summary problem;
+      let outcome =
+        mapper.Hmn_core.Mapper.run ~rng:(Hmn_rng.Rng.create (seed + 1)) problem
+      in
+      Format.printf "%s: %a@." mapper.Hmn_core.Mapper.name Hmn_core.Mapper.pp_outcome
+        outcome;
+      (match outcome.Hmn_core.Mapper.last_failure with
+      | Some f when Result.is_ok outcome.Hmn_core.Mapper.result ->
+        Printf.printf "last failed try: %s (%s)\n" f.Hmn_core.Mapper.stage
+          f.Hmn_core.Mapper.reason
+      | _ -> ());
+      print_newline ();
+      (* Per-stage wall time. Retrying baselines report no stage split;
+         say so instead of printing an empty table. *)
+      (match outcome.Hmn_core.Mapper.stage_seconds with
+      | [] ->
+        Printf.printf "no per-stage breakdown (%d tries, %.3f s total)\n\n"
+          outcome.Hmn_core.Mapper.tries outcome.Hmn_core.Mapper.elapsed_s
+      | stages ->
+        let total = outcome.Hmn_core.Mapper.elapsed_s in
+        let t =
+          Pretty_table.create
+            ~aligns:[ Pretty_table.Left; Right; Right ]
+            ~header:[ "stage"; "seconds"; "% of total" ]
+            ()
+        in
+        List.iter
+          (fun (stage, s) ->
+            Pretty_table.add_row t
+              [
+                stage;
+                Printf.sprintf "%.6f" s;
+                (if total > 0. then Printf.sprintf "%.1f" (100. *. s /. total)
+                 else "-");
+              ])
+          stages;
+        Pretty_table.add_row t
+          [ "total"; Printf.sprintf "%.6f" total; (if total > 0. then "100.0" else "-") ];
+        Pretty_table.print t;
+        print_newline ());
+      let snap = Metrics.snapshot () in
+      if snap.Metrics.counters <> [] then begin
+        let t =
+          Pretty_table.create
+            ~aligns:[ Pretty_table.Left; Right ]
+            ~header:[ "counter"; "value" ] ()
+        in
+        List.iter
+          (fun (name, v) -> Pretty_table.add_row t [ name; string_of_int v ])
+          snap.Metrics.counters;
+        Pretty_table.print t;
+        print_newline ()
+      end;
+      if snap.Metrics.gauge_maxima <> [] then begin
+        let t =
+          Pretty_table.create
+            ~aligns:[ Pretty_table.Left; Right ]
+            ~header:[ "gauge"; "max" ] ()
+        in
+        List.iter
+          (fun (name, v) -> Pretty_table.add_row t [ name; string_of_int v ])
+          snap.Metrics.gauge_maxima;
+        Pretty_table.print t;
+        print_newline ()
+      end;
+      List.iter
+        (fun (name, h) ->
+          Printf.printf "histogram %s: %d observations\n" name
+            h.Metrics.observations;
+          Array.iteri
+            (fun i n ->
+              if n > 0 then
+                if i < Array.length h.Metrics.bounds then
+                  Printf.printf "  <= %g: %d\n" h.Metrics.bounds.(i) n
+                else Printf.printf "  > %g: %d\n"
+                    h.Metrics.bounds.(Array.length h.Metrics.bounds - 1)
+                    n)
+            h.Metrics.bucket_counts)
+        snap.Metrics.histograms;
+      (match trace with
+      | None -> ()
+      | Some path ->
+        Trace.write ~path;
+        Printf.printf "wrote %s (%d spans; load in about:tracing or Perfetto)\n"
+          path (Trace.span_count ()));
+      if Result.is_error outcome.Hmn_core.Mapper.result then exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one instrumented mapping and report per-stage wall time plus \
+          the search-effort counters (A*Prune expansions and prune causes, \
+          DFS backtracks, migration moves, retries, residual operations).")
+    Term.(
+      const run $ seed_t $ cluster_t $ guests_t $ density_t $ workload_t
+      $ heuristic_t $ trace_t)
 
 (* ---- validate ---- *)
 
@@ -291,13 +421,27 @@ let experiments_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write per-cell results as CSV.")
   in
-  let run reps jobs csv =
+  let trace_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a Chrome trace_event JSON of the sweep (one timeline row \
+             per worker domain) and write it to $(docv); equivalent to \
+             $(b,HMN_TRACE).")
+  in
+  let run reps jobs csv trace =
     let config =
       let c = Hmn_experiments.Runner.default_config () in
       let c =
         match reps with
         | None -> c
         | Some reps -> { c with Hmn_experiments.Runner.reps }
+      in
+      let c =
+        match trace with
+        | None -> c
+        | Some _ -> { c with Hmn_experiments.Runner.trace }
       in
       match jobs with
       | None -> c
@@ -307,6 +451,9 @@ let experiments_cmd =
         exit 2
     in
     let results = Hmn_experiments.Runner.run ~config () in
+    (match config.Hmn_experiments.Runner.trace with
+    | Some path -> Printf.eprintf "wrote %s (load in about:tracing or Perfetto)\n" path
+    | None -> ());
     print_string (Hmn_experiments.Setup.render ());
     print_newline ();
     print_string (Hmn_experiments.Tables.table2 results);
@@ -331,7 +478,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's Tables 2-3 and the correlation result.")
-    Term.(const run $ reps_t $ jobs_t $ csv_t)
+    Term.(const run $ reps_t $ jobs_t $ csv_t $ trace_t)
 
 (* ---- figure1 ---- *)
 
@@ -418,6 +565,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "hmn_cli" ~doc)
           [
-            list_cmd; map_cmd; validate_cmd; fuzz_cmd; experiments_cmd;
-            figure1_cmd; ablation_cmd; dot_cmd;
+            list_cmd; map_cmd; profile_cmd; validate_cmd; fuzz_cmd;
+            experiments_cmd; figure1_cmd; ablation_cmd; dot_cmd;
           ]))

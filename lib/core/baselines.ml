@@ -44,32 +44,48 @@ let dfs_route_all ?rng ?(max_steps = default_dfs_steps) placement =
   with Routing_failed reason -> Error (Mapper.fail ~stage:"dfs-routing" ~reason)
 
 (* Retry loop shared by the three baselines: [attempt] produces a
-   mapping or a failure; the last failure is reported when the try
-   budget runs out. *)
+   mapping or a failure. The failure of the most recent failed try is
+   kept in the outcome even when a later try succeeds — the paper
+   explains the baselines' behaviour by *where* the retries die (R burns
+   up to 100 000 tries), so that information must not be discarded.
+   With metrics enabled, every failed try also lands in a per-stage
+   counter and the consumed tries in a histogram. *)
 let with_retries ~max_tries ~attempt =
-  let start = Unix.gettimeofday () in
+  let module Metrics = Hmn_obs.Metrics in
+  let start = Hmn_prelude.Clock.now_s () in
+  let record_failure (f : Mapper.failure) =
+    if Metrics.enabled () then
+      Metrics.Counter.incr (Metrics.counter ("baseline.failures." ^ f.Mapper.stage))
+  in
+  let finish ~tries ~result ~last_failure =
+    if Metrics.enabled () then begin
+      Metrics.Counter.add (Metrics.counter "baseline.tries") tries;
+      Metrics.Histogram.observe
+        (Metrics.histogram "baseline.tries_per_run")
+        (float_of_int tries)
+    end;
+    {
+      Mapper.result;
+      elapsed_s = Hmn_prelude.Clock.elapsed_s start;
+      stage_seconds = [];
+      tries;
+      last_failure;
+    }
+  in
   let rec go tries last_failure =
-    if tries >= max_tries then
-      {
-        Mapper.result =
-          Error
-            (Option.value last_failure
-               ~default:
-                 (Mapper.fail ~stage:"retry" ~reason:"try budget exhausted"));
-        elapsed_s = Unix.gettimeofday () -. start;
-        stage_seconds = [];
-        tries;
-      }
+    if tries >= max_tries then begin
+      let failure =
+        Option.value last_failure
+          ~default:(Mapper.fail ~stage:"retry" ~reason:"try budget exhausted")
+      in
+      finish ~tries ~result:(Error failure) ~last_failure:(Some failure)
+    end
     else begin
       match attempt () with
-      | Ok mapping ->
-        {
-          Mapper.result = Ok mapping;
-          elapsed_s = Unix.gettimeofday () -. start;
-          stage_seconds = [];
-          tries = tries + 1;
-        }
-      | Error failure -> go (tries + 1) (Some failure)
+      | Ok mapping -> finish ~tries:(tries + 1) ~result:(Ok mapping) ~last_failure
+      | Error failure ->
+        record_failure failure;
+        go (tries + 1) (Some failure)
     end
   in
   go 0 None
@@ -117,6 +133,7 @@ let hosting_search ?(max_tries = default_max_tries) () =
             elapsed_s;
             stage_seconds = [ ("hosting", elapsed_s) ];
             tries = 1;
+            last_failure = Some failure;
           }
         | Ok placement, hosting_s ->
           let outcome =

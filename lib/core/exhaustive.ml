@@ -75,5 +75,5 @@ let mapper =
             | Ok (link_map, _) -> Ok (Mapping.make ~placement ~link_map))
         in
         let result, elapsed_s = Mapper.time run_once in
-        { Mapper.result; elapsed_s; stage_seconds = []; tries = 1 });
+        Mapper.single_try ~result ~elapsed_s);
   }

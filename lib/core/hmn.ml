@@ -1,4 +1,5 @@
 module Mapping = Hmn_mapping.Mapping
+module Trace = Hmn_obs.Trace
 
 type stage_report = {
   hosting_s : float;
@@ -8,8 +9,13 @@ type stage_report = {
   networking_stats : Networking.stats option;
 }
 
+(* Each stage runs inside both a timing wrapper (always) and a trace
+   span (one branch when tracing is off), so the flat stage_seconds list
+   and the Chrome trace describe the same windows. *)
+let staged name f = Trace.with_span ~cat:"stage" name (fun () -> Mapper.time f)
+
 let run_stages ~migrate problem =
-  let hosting_result, hosting_s = Mapper.time (fun () -> Hosting.run problem) in
+  let hosting_result, hosting_s = staged "hosting" (fun () -> Hosting.run problem) in
   match hosting_result with
   | Error f ->
     ( {
@@ -17,6 +23,7 @@ let run_stages ~migrate problem =
         elapsed_s = hosting_s;
         stage_seconds = [ ("hosting", hosting_s) ];
         tries = 1;
+        last_failure = Some f;
       },
       {
         hosting_s;
@@ -28,12 +35,12 @@ let run_stages ~migrate problem =
   | Ok placement ->
     let migration_stats, migration_s =
       if migrate then
-        let s, t = Mapper.time (fun () -> Migration.run placement) in
+        let s, t = staged "migration" (fun () -> Migration.run placement) in
         (Some s, t)
       else (None, 0.)
     in
     let networking_result, networking_s =
-      Mapper.time (fun () -> Networking.run placement)
+      staged "networking" (fun () -> Networking.run placement)
     in
     let stage_seconds =
       ("hosting", hosting_s)
@@ -47,7 +54,8 @@ let run_stages ~migrate problem =
       | Ok (link_map, stats) ->
         (Ok (Mapping.make ~placement ~link_map), Some stats)
     in
-    ( { Mapper.result; elapsed_s; stage_seconds; tries = 1 },
+    let last_failure = match result with Error f -> Some f | Ok _ -> None in
+    ( { Mapper.result; elapsed_s; stage_seconds; tries = 1; last_failure },
       { hosting_s; migration_s; networking_s; migration_stats; networking_stats } )
 
 let run_detailed problem = run_stages ~migrate:true problem

@@ -8,6 +8,7 @@ type outcome = {
   elapsed_s : float;
   stage_seconds : (string * float) list;
   tries : int;
+  last_failure : failure option;
 }
 
 type t = {
@@ -18,10 +19,18 @@ type t = {
 
 let fail ~stage ~reason = { stage; reason }
 
-let time f =
-  let start = Unix.gettimeofday () in
-  let x = f () in
-  (x, Unix.gettimeofday () -. start)
+let single_try ~result ~elapsed_s =
+  {
+    result;
+    elapsed_s;
+    stage_seconds = [];
+    tries = 1;
+    last_failure = (match result with Error f -> Some f | Ok _ -> None);
+  }
+
+(* Monotonic, not wall-clock: an NTP step during a mapping must not
+   produce a negative (or inflated) elapsed time. *)
+let time f = Hmn_prelude.Clock.time f
 
 let pp_outcome ppf o =
   (match o.result with

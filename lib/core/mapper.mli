@@ -14,6 +14,10 @@ type outcome = {
   stage_seconds : (string * float) list;
       (** per-stage wall time, in execution order *)
   tries : int;  (** attempts consumed by retrying mappers; 1 otherwise *)
+  last_failure : failure option;
+      (** the most recent failed try, also kept when a retrying mapper
+          eventually succeeded — equal to the [Error] payload when
+          [result] is an error, [None] only when no try ever failed *)
 }
 
 type t = {
@@ -25,8 +29,13 @@ type t = {
 
 val fail : stage:string -> reason:string -> failure
 
+val single_try :
+  result:(Hmn_mapping.Mapping.t, failure) result -> elapsed_s:float -> outcome
+(** Outcome of a mapper that runs exactly once: no stage breakdown,
+    [tries = 1], [last_failure] derived from [result]. *)
+
 val time : (unit -> 'a) -> 'a * float
-(** Runs the thunk and returns its result with the wall-clock seconds
-    it took. *)
+(** Runs the thunk and returns its result with the seconds it took, on
+    the monotonic clock ({!Hmn_prelude.Clock}). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -52,7 +52,7 @@ let run ?max_moves placement =
   let n_guests = Virtual_env.n_guests problem.Problem.venv in
   let max_moves = Option.value max_moves ~default:(16 * n_guests) in
   let lbf_before = Objective.load_balance_factor placement in
-  let moves = ref 0 in
+  let moves = ref 0 and tried = ref 0 in
   let try_round () =
     let current = Objective.load_balance_factor placement in
     match most_loaded_host_with_guests placement hosts with
@@ -73,6 +73,7 @@ let run ?max_moves placement =
         while (not !moved) && !i < Array.length targets do
           let target = targets.(!i) in
           incr i;
+          incr tried;
           match Objective.load_balance_after_migration placement ~guest ~host:target with
           | Some lbf' when lbf' < current -. improvement_eps -> (
             match Placement.migrate placement ~guest ~host:target with
@@ -86,4 +87,9 @@ let run ?max_moves placement =
   in
   let rec loop () = if !moves < max_moves && try_round () then loop () in
   loop ();
+  let module Metrics = Hmn_obs.Metrics in
+  if Metrics.enabled () then begin
+    Metrics.Counter.add (Metrics.counter "migration.moves_tried") !tried;
+    Metrics.Counter.add (Metrics.counter "migration.moves_accepted") !moves
+  end;
   { moves = !moves; lbf_before; lbf_after = Objective.load_balance_factor placement }

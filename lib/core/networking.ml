@@ -4,6 +4,8 @@ module Problem = Hmn_mapping.Problem
 module Link_map = Hmn_mapping.Link_map
 module Path = Hmn_routing.Path
 module Astar_prune = Hmn_routing.Astar_prune
+module Metrics = Hmn_obs.Metrics
+module Trace = Hmn_obs.Trace
 
 type stats = {
   routed : int;
@@ -56,12 +58,26 @@ let run ?router placement =
         end
         else begin
           let spec = Virtual_env.vlink venv vlink in
-          match
+          let route () =
             router
               ~residual:(Link_map.residual link_map)
               ~latency_tables ~src:hs ~dst:hd
               ~bandwidth_mbps:spec.Hmn_vnet.Vlink.bandwidth_mbps
               ~latency_ms:spec.Hmn_vnet.Vlink.latency_ms ()
+          in
+          match
+            (* Argument strings are only built when tracing is on; the
+               span itself is one branch otherwise. *)
+            if Trace.enabled () then
+              Trace.with_span ~cat:"routing" "route-vlink"
+                ~args:
+                  [
+                    ("vlink", string_of_int vlink);
+                    ("src_host", string_of_int hs);
+                    ("dst_host", string_of_int hd);
+                  ]
+                route
+            else route ()
           with
           | None ->
             raise
@@ -77,5 +93,9 @@ let run ?router placement =
             | Error msg -> raise (Networking_failed msg))
         end)
       (Hosting.sorted_vlinks problem);
+    if Metrics.enabled () then begin
+      Metrics.Counter.add (Metrics.counter "networking.vlinks_routed") !stats.routed;
+      Metrics.Counter.add (Metrics.counter "networking.intra_host") !stats.intra_host
+    end;
     Ok (link_map, !stats)
   with Networking_failed reason -> Error (Mapper.fail ~stage:"networking" ~reason)

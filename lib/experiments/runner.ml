@@ -12,6 +12,8 @@ type config = {
   verbose : bool;
   jobs : int;
   validate : bool;
+  metrics : bool;
+  trace : string option;
 }
 
 let env_int name default =
@@ -31,6 +33,8 @@ let default_config () =
     verbose = Sys.getenv_opt "HMN_VERBOSE" <> None;
     jobs = env_int "HMN_JOBS" (Domain_pool.default_jobs ());
     validate = Sys.getenv_opt "HMN_VALIDATE" <> None;
+    metrics = Sys.getenv_opt "HMN_METRICS" <> None;
+    trace = Sys.getenv_opt "HMN_TRACE";
   }
 
 type cell = {
@@ -93,15 +97,32 @@ type instance_result = {
 }
 
 let run_instance config scenarios (scenario_idx, cluster, rep) =
+  let module Trace = Hmn_obs.Trace in
   let scenario = scenarios.(scenario_idx) in
   let seed = instance_seed config ~scenario_idx ~cluster ~rep in
+  let in_instance_span f =
+    if Trace.enabled () then
+      Trace.with_span ~cat:"sweep" "instance"
+        ~args:
+          [
+            ("scenario", Scenario.label scenario);
+            ("cluster", Scenario.cluster_label cluster);
+            ("rep", string_of_int rep);
+          ]
+        f
+    else f ()
+  in
+  in_instance_span @@ fun () ->
   let problem = Scenario.build scenario cluster ~seed in
   let corr = Hmn_emulation.Correlate.create () in
   let records =
     List.map
       (fun mapper ->
         let rng = mapper_rng ~seed ~mapper_name:mapper.Mapper.name in
-        let outcome = mapper.Mapper.run ~rng problem in
+        let outcome =
+          Trace.with_span ~cat:"mapper" mapper.Mapper.name (fun () ->
+              mapper.Mapper.run ~rng problem)
+        in
         if config.verbose then
           Printf.eprintf "[%s %s rep %d] %s: %s\n%!" (Scenario.label scenario)
             (Scenario.cluster_label cluster) rep mapper.Mapper.name
@@ -146,6 +167,8 @@ let run_instance config scenarios (scenario_idx, cluster, rep) =
 
 let run ?config () =
   let config = match config with Some c -> c | None -> default_config () in
+  if config.metrics then Hmn_obs.Metrics.enable ();
+  if config.trace <> None then Hmn_obs.Trace.enable ();
   let scenarios = Array.of_list Scenario.paper_scenarios in
   let clusters = [ Scenario.Torus; Scenario.Switched ] in
   (* Canonical instance order: scenario-major, then cluster, then rep —
@@ -196,6 +219,9 @@ let run ?config () =
         inst.i_records;
       Hmn_emulation.Correlate.append correlation inst.i_corr)
     per_instance;
+  (* The pool has been shut down by now, so the per-domain trace
+     buffers are quiescent and safe to merge. *)
+  Option.iter (fun path -> Hmn_obs.Trace.write ~path) config.trace;
   { config; scenarios; cells; correlation }
 
 let cell results ~scenario ~cluster ~mapper =

@@ -31,6 +31,16 @@ type config = {
           {!Hmn_validate.Validator} and abort the sweep (with the full
           violation report) on the first invalid one — the sweep's
           self-check, enabled by setting [HMN_VALIDATE] *)
+  metrics : bool;
+      (** enable the {!Hmn_obs.Metrics} registry for the sweep
+          (counters/histograms from every stage, merged across worker
+          domains); set by [HMN_METRICS]. Off by default so the hot
+          paths pay only the inert-sink branch. *)
+  trace : string option;
+      (** when [Some path], record {!Hmn_obs.Trace} spans (every sweep
+          instance, mapper run, stage and routed virtual link) and
+          write the Chrome trace_event JSON there after the sweep; set
+          by [HMN_TRACE=path]. *)
 }
 
 val default_config : unit -> config
@@ -40,7 +50,8 @@ val default_config : unit -> config
     [HMN_REPS=30 HMN_MAX_TRIES=100000] reproduces the paper's scale.
     [jobs] comes from [HMN_JOBS], defaulting to
     [Domain.recommended_domain_count () - 1] (floor 1); [validate] is
-    true when [HMN_VALIDATE] is set (to anything).
+    true when [HMN_VALIDATE] is set (to anything); [metrics] when
+    [HMN_METRICS] is set; [trace] from [HMN_TRACE].
     See EXPERIMENTS.md. *)
 
 type cell = {

@@ -1,0 +1,262 @@
+(* Handles carry a [live] flag instead of consulting the global switch
+   on every update: updates stay a single branch on a field the caller
+   already has in cache, and flipping the switch mid-run cannot tear a
+   measurement in half. *)
+
+type counter = {
+  mutable count : int;
+  c_live : bool;
+}
+
+type gauge = {
+  mutable last : int;
+  mutable max_v : int;
+  g_live : bool;
+}
+
+type histogram = {
+  bounds : float array;
+  buckets : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  mutable observations : int;
+  h_live : bool;
+}
+
+let inert_counter = { count = 0; c_live = false }
+let inert_gauge = { last = 0; max_v = 0; g_live = false }
+
+let inert_histogram =
+  { bounds = [||]; buckets = [| 0 |]; observations = 0; h_live = false }
+
+type collector = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+(* ---- global state ---- *)
+
+let switch = Atomic.make false
+let enable () = Atomic.set switch true
+let disable () = Atomic.set switch false
+let enabled () = Atomic.get switch
+
+(* Every collector ever created, under a mutex taken only at collector
+   creation (once per domain) and at snapshot/reset time — never on a
+   metric update. *)
+let registry_mutex = Mutex.create ()
+let registry : collector list ref = ref []
+
+let fresh_collector () =
+  let c =
+    {
+      counters = Hashtbl.create 32;
+      gauges = Hashtbl.create 8;
+      histograms = Hashtbl.create 8;
+    }
+  in
+  Mutex.lock registry_mutex;
+  registry := c :: !registry;
+  Mutex.unlock registry_mutex;
+  c
+
+(* The calling domain's private collector, created on first use. *)
+let dls_key : collector Domain.DLS.key = Domain.DLS.new_key fresh_collector
+let my_collector () = Domain.DLS.get dls_key
+
+(* ---- handle creation ---- *)
+
+let counter name =
+  if not (enabled ()) then inert_counter
+  else begin
+    let c = my_collector () in
+    match Hashtbl.find_opt c.counters name with
+    | Some h -> h
+    | None ->
+      let h = { count = 0; c_live = true } in
+      Hashtbl.add c.counters name h;
+      h
+  end
+
+let gauge name =
+  if not (enabled ()) then inert_gauge
+  else begin
+    let c = my_collector () in
+    match Hashtbl.find_opt c.gauges name with
+    | Some h -> h
+    | None ->
+      let h = { last = 0; max_v = 0; g_live = true } in
+      Hashtbl.add c.gauges name h;
+      h
+  end
+
+let default_bounds = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6 |]
+
+let histogram ?(bounds = default_bounds) name =
+  if not (enabled ()) then inert_histogram
+  else begin
+    if Array.length bounds = 0 then
+      invalid_arg "Metrics.histogram: empty bounds";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && not (bounds.(i - 1) < b) then
+          invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+      bounds;
+    let c = my_collector () in
+    match Hashtbl.find_opt c.histograms name with
+    | Some h -> h
+    | None ->
+      let h =
+        {
+          bounds = Array.copy bounds;
+          buckets = Array.make (Array.length bounds + 1) 0;
+          observations = 0;
+          h_live = true;
+        }
+      in
+      Hashtbl.add c.histograms name h;
+      h
+  end
+
+(* ---- updates ---- *)
+
+module Counter = struct
+  let incr c = if c.c_live then c.count <- c.count + 1
+  let add c n = if c.c_live then c.count <- c.count + n
+end
+
+module Gauge = struct
+  let observe g v =
+    if g.g_live then begin
+      g.last <- v;
+      if v > g.max_v then g.max_v <- v
+    end
+end
+
+module Histogram = struct
+  (* First bucket whose upper edge admits [v]; linear scan — bucket
+     counts are small (default 7) and the arrays are contiguous. *)
+  let bucket_of bounds v =
+    let n = Array.length bounds in
+    let i = ref 0 in
+    while !i < n && v > bounds.(!i) do
+      incr i
+    done;
+    !i
+
+  let observe h v =
+    if h.h_live then begin
+      let b = bucket_of h.bounds v in
+      h.buckets.(b) <- h.buckets.(b) + 1;
+      h.observations <- h.observations + 1
+    end
+end
+
+(* ---- aggregation ---- *)
+
+type histogram_snapshot = {
+  bounds : float array;
+  bucket_counts : int array;
+  observations : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauge_maxima : (string * int) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+let sorted_bindings tbl =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) tbl
+
+(* Integer sums and maxima are associative and commutative over exact
+   values, so the merged result is independent of both the number of
+   collectors and the order they registered in — jobs=1 and jobs=N
+   sweeps aggregate byte-identically. *)
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let collectors = !registry in
+  Mutex.unlock registry_mutex;
+  let counters = Hashtbl.create 64 in
+  let gauges = Hashtbl.create 16 in
+  let histograms = Hashtbl.create 16 in
+  List.iter
+    (fun (c : collector) ->
+      Hashtbl.iter
+        (fun name h ->
+          let prev = Option.value (Hashtbl.find_opt counters name) ~default:0 in
+          Hashtbl.replace counters name (prev + h.count))
+        c.counters;
+      Hashtbl.iter
+        (fun name h ->
+          let prev = Option.value (Hashtbl.find_opt gauges name) ~default:0 in
+          Hashtbl.replace gauges name (Stdlib.max prev h.max_v))
+        c.gauges;
+      Hashtbl.iter
+        (fun name (h : histogram) ->
+          match Hashtbl.find_opt histograms name with
+          | None ->
+            Hashtbl.add histograms name
+              {
+                bounds = Array.copy h.bounds;
+                bucket_counts = Array.copy h.buckets;
+                observations = h.observations;
+              }
+          | Some acc ->
+            if acc.bounds <> h.bounds then
+              invalid_arg
+                ("Metrics.snapshot: histogram " ^ name
+               ^ " has mismatched bounds across domains");
+            Array.iteri
+              (fun i n -> acc.bucket_counts.(i) <- acc.bucket_counts.(i) + n)
+              h.buckets;
+            Hashtbl.replace histograms name
+              { acc with observations = acc.observations + h.observations })
+        c.histograms)
+    collectors;
+  let bindings tbl = sorted_bindings (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  {
+    counters = bindings counters;
+    gauge_maxima = bindings gauges;
+    histograms = bindings histograms;
+  }
+
+let reset () =
+  Mutex.lock registry_mutex;
+  let collectors = !registry in
+  Mutex.unlock registry_mutex;
+  List.iter
+    (fun (c : collector) ->
+      Hashtbl.iter (fun _ h -> h.count <- 0) c.counters;
+      Hashtbl.iter
+        (fun _ h ->
+          h.last <- 0;
+          h.max_v <- 0)
+        c.gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.fill h.buckets 0 (Array.length h.buckets) 0;
+          h.observations <- 0)
+        c.histograms)
+    collectors
+
+let render s =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "counter %s %d\n" name v))
+    s.counters;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "gauge-max %s %d\n" name v))
+    s.gauge_maxima;
+  List.iter
+    (fun (name, h) ->
+      Buffer.add_string buf (Printf.sprintf "histogram %s n=%d" name h.observations);
+      Array.iteri
+        (fun i n ->
+          if i < Array.length h.bounds then
+            Buffer.add_string buf (Printf.sprintf " le%g=%d" h.bounds.(i) n)
+          else Buffer.add_string buf (Printf.sprintf " inf=%d" n))
+        h.bucket_counts;
+      Buffer.add_char buf '\n')
+    s.histograms;
+  Buffer.contents buf

@@ -1,0 +1,90 @@
+(** Metrics registry: named counters, gauges, and fixed-bucket
+    histograms with O(1) updates, designed for the mapping hot paths.
+
+    {b Sink model.} Metrics are globally disabled by default. While
+    disabled, {!counter} / {!gauge} / {!histogram} hand out a shared
+    inert handle whose update functions test one [live] flag and return
+    — a hot loop pays a single predictable branch per update and no
+    allocation, lookup, or locking. Enabling must happen before the
+    instrumented code runs (the runner does it from [HMN_METRICS], the
+    [profile] subcommand programmatically); handles created while
+    disabled stay inert for their lifetime.
+
+    {b Per-domain collectors.} Every domain that touches a metric lazily
+    gets its own private collector (domain-local storage), so workers of
+    [Hmn_prelude.Domain_pool] never contend on shared state.
+    {!snapshot} merges all collectors ever created. Every merge
+    operation is commutative and order-insensitive over exact values —
+    integer sums for counters and histogram buckets, maxima for gauges —
+    so the merged aggregate is {e byte-identical} no matter how many
+    domains the work was spread over (the same discipline as
+    [Running.merge] in the experiment sweep).
+
+    Thread-safety: a handle must only be updated by the domain that
+    created it; {!snapshot} and {!reset} must be called while no other
+    domain is updating (e.g. after [Domain_pool.wait]). *)
+
+(** {2 Global switch} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** {2 Handles} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** The named counter of the calling domain's collector, created on
+    first use. Returns the inert handle while disabled. *)
+
+val gauge : string -> gauge
+
+val histogram : ?bounds:float array -> string -> histogram
+(** [bounds] are the upper-inclusive bucket edges, strictly increasing;
+    observations above the last edge land in an overflow bucket. The
+    bounds of the first creation win for a given name (they must agree
+    across domains, which they do when every site passes the same
+    literal). Default: powers of ten from 1 to 1e6. *)
+
+module Counter : sig
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+end
+
+module Gauge : sig
+  val observe : gauge -> int -> unit
+  (** Records the value; the gauge keeps the last and the maximum
+      observed. Merging keeps the maximum. *)
+end
+
+module Histogram : sig
+  val observe : histogram -> float -> unit
+end
+
+(** {2 Aggregation} *)
+
+type histogram_snapshot = {
+  bounds : float array;
+  bucket_counts : int array;  (** length [Array.length bounds + 1] *)
+  observations : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauge_maxima : (string * int) list;  (** sorted by name *)
+  histograms : (string * histogram_snapshot) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** Deterministic merge of every collector of every domain. *)
+
+val reset : unit -> unit
+(** Zeroes every metric in every collector (names and handles stay
+    valid). For tests and repeated [profile] runs. *)
+
+val render : snapshot -> string
+(** Sorted plain-text rendering, one metric per line — stable across
+    domain counts, usable for byte-comparison in tests. *)

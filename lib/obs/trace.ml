@@ -1,0 +1,115 @@
+module Clock = Hmn_prelude.Clock
+module Json = Hmn_prelude.Json
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;  (* since the session's time origin *)
+  dur_us : float;
+  tid : int;  (* domain id *)
+  args : (string * string) list;
+}
+
+type buffer = {
+  mutable events : event list;  (* newest first *)
+  mutable count : int;
+}
+
+let switch = Atomic.make false
+let enabled () = Atomic.get switch
+
+(* The origin is rebased on [enable] so a session's timestamps start
+   near zero; spans only ever read it, so a plain ref under the
+   publish-on-enable ordering of [Atomic.set] is enough. *)
+let origin = Atomic.make 0.
+
+let registry_mutex = Mutex.create ()
+let registry : buffer list ref = ref []
+
+let fresh_buffer () =
+  let b = { events = []; count = 0 } in
+  Mutex.lock registry_mutex;
+  registry := b :: !registry;
+  Mutex.unlock registry_mutex;
+  b
+
+let dls_key : buffer Domain.DLS.key = Domain.DLS.new_key fresh_buffer
+
+let enable () =
+  Atomic.set origin (Clock.now_s ());
+  Atomic.set switch true
+
+let disable () = Atomic.set switch false
+
+let record name cat args t0 t1 =
+  let b = Domain.DLS.get dls_key in
+  let o = Atomic.get origin in
+  b.events <-
+    {
+      name;
+      cat;
+      ts_us = (t0 -. o) *. 1e6;
+      dur_us = Float.max 0. (t1 -. t0) *. 1e6;
+      tid = (Domain.self () :> int);
+      args;
+    }
+    :: b.events;
+  b.count <- b.count + 1
+
+let with_span ?(cat = "hmn") ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = Clock.now_s () in
+    Fun.protect
+      ~finally:(fun () -> record name cat args t0 (Clock.now_s ()))
+      f
+  end
+
+let all_buffers () =
+  Mutex.lock registry_mutex;
+  let bs = !registry in
+  Mutex.unlock registry_mutex;
+  bs
+
+let span_count () = List.fold_left (fun acc b -> acc + b.count) 0 (all_buffers ())
+
+let clear () =
+  List.iter
+    (fun b ->
+      b.events <- [];
+      b.count <- 0)
+    (all_buffers ())
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("name", Json.str e.name);
+      ("cat", Json.str e.cat);
+      ("ph", Json.str "X");
+      ("ts", Json.float e.ts_us);
+      ("dur", Json.float e.dur_us);
+      ("pid", Json.int 1);
+      ("tid", Json.int e.tid);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.str v)) e.args));
+    ]
+
+let write ~path =
+  let events = List.concat_map (fun b -> b.events) (all_buffers ()) in
+  let events =
+    List.sort
+      (fun a b ->
+        let c = Float.compare a.ts_us b.ts_us in
+        if c <> 0 then c else Float.compare b.dur_us a.dur_us)
+      events
+  in
+  let doc =
+    Json.Obj
+      [
+        ("traceEvents", Json.Arr (List.map event_to_json events));
+        ("displayTimeUnit", Json.str "ms");
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,36 @@
+(** Span-based tracer emitting Chrome [trace_event] JSON.
+
+    Disabled by default: {!with_span} then costs one branch around the
+    traced thunk. When enabled, every span records its wall-clock
+    window ({!Hmn_prelude.Clock}, monotonic) and the id of the domain
+    it ran on, buffered in a per-domain vector so worker domains never
+    contend. {!write} merges the buffers into a single
+    [{"traceEvents": [...]}] document of complete ("ph":"X") events
+    that loads directly in [about:tracing] or {{:https://ui.perfetto.dev}Perfetto},
+    with one timeline row per domain.
+
+    {!write} and {!clear} must be called while no other domain is
+    recording (e.g. after the pool has been shut down). *)
+
+val enable : unit -> unit
+(** Starts recording; also resets the time origin, so spans of one
+    session start near ts=0. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()], recording a complete event around
+    it (also when [f] raises). [cat] is the Chrome trace category
+    (default ["hmn"]); [args] become the event's [args] object shown in
+    the viewer's detail pane. *)
+
+val span_count : unit -> int
+(** Number of buffered events across all domains. *)
+
+val write : path:string -> unit
+(** Writes the merged trace (events sorted by start time) as JSON. *)
+
+val clear : unit -> unit
+(** Drops all buffered events. *)

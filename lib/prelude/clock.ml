@@ -1,0 +1,10 @@
+external now_s : unit -> (float[@unboxed])
+  = "hmn_clock_monotonic_s" "hmn_clock_monotonic_s_unboxed"
+[@@noalloc]
+
+let elapsed_s t0 = Float.max 0. (now_s () -. t0)
+
+let time f =
+  let t0 = now_s () in
+  let x = f () in
+  (x, elapsed_s t0)

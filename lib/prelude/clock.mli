@@ -1,0 +1,18 @@
+(** Monotonic wall-clock timing.
+
+    [Unix.gettimeofday] follows the system's wall clock, which NTP can
+    step backwards mid-measurement; every elapsed-time measurement in
+    the code base goes through this module instead, which wraps
+    [clock_gettime(CLOCK_MONOTONIC)] and therefore never runs
+    backwards. The epoch is arbitrary (typically boot time): values are
+    only meaningful as differences. *)
+
+val now_s : unit -> float
+(** Seconds since an arbitrary fixed epoch; strictly non-decreasing. *)
+
+val elapsed_s : float -> float
+(** [elapsed_s t0] is [now_s () -. t0], clamped at [0.] for safety. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the
+    monotonic seconds it took. *)

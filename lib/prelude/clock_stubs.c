@@ -1,0 +1,22 @@
+/* Monotonic clock for Hmn_prelude.Clock.
+
+   CLOCK_MONOTONIC is immune to NTP steps and manual clock changes, so
+   deltas are always >= 0 — unlike Unix.gettimeofday, whose deltas can
+   go negative when the wall clock is stepped backwards mid-run. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+double hmn_clock_monotonic_s_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+CAMLprim value hmn_clock_monotonic_s(value unit)
+{
+  return caml_copy_double(hmn_clock_monotonic_s_unboxed(unit));
+}

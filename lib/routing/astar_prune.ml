@@ -2,6 +2,7 @@ module Graph = Hmn_graph.Graph
 module Cluster = Hmn_testbed.Cluster
 module Bitset = Hmn_dstruct.Bitset
 module Heap = Hmn_dstruct.Binary_heap
+module Metrics = Hmn_obs.Metrics
 
 type stats = {
   expanded : int;
@@ -64,9 +65,18 @@ let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
       labels.(v) <- (bottleneck, latency) :: rest
     in
     let generated = ref 0 and expanded = ref 0 in
+    (* Search-effort tallies, kept in locals on the hot path and flushed
+       to the metrics registry once per call (§5.2: search effort, not
+       just wall time, is the result). *)
+    let pruned_bandwidth = ref 0
+    and pruned_latency = ref 0
+    and pruned_dominated = ref 0
+    and heap_max = ref 0 in
     let push p =
       incr generated;
-      Heap.push heap p
+      Heap.push heap p;
+      let len = Heap.length heap in
+      if len > !heap_max then heap_max := len
     in
     let start_members = Bitset.create n in
     Bitset.add start_members src;
@@ -95,13 +105,16 @@ let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
             (* Prune: not enough residual bandwidth on this hop, or the
                latency budget cannot be met even via the cheapest
                completion. *)
-            if avail >= bandwidth_mbps && acc_latency +. ar.(neighbor) <= latency_ms
-            then begin
+            if avail < bandwidth_mbps then incr pruned_bandwidth
+            else if acc_latency +. ar.(neighbor) > latency_ms then
+              incr pruned_latency
+            else begin
               let bottleneck = Float.min p.bottleneck avail in
               if
-                (not prune_dominated)
-                || not (dominated neighbor ~bottleneck ~latency:acc_latency)
-              then begin
+                prune_dominated
+                && dominated neighbor ~bottleneck ~latency:acc_latency
+              then incr pruned_dominated
+              else begin
                 if prune_dominated then record neighbor ~bottleneck ~latency:acc_latency;
                 let members = Bitset.copy p.members in
                 Bitset.add members neighbor;
@@ -134,6 +147,18 @@ let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
         end
     in
     loop ();
+    if Metrics.enabled () then begin
+      Metrics.Counter.add (Metrics.counter "astar.labels_expanded") !expanded;
+      Metrics.Counter.add (Metrics.counter "astar.labels_generated") !generated;
+      Metrics.Counter.add (Metrics.counter "astar.pruned_bandwidth") !pruned_bandwidth;
+      Metrics.Counter.add (Metrics.counter "astar.pruned_latency") !pruned_latency;
+      Metrics.Counter.add (Metrics.counter "astar.pruned_dominated") !pruned_dominated;
+      Metrics.Gauge.observe (Metrics.gauge "astar.heap_max") !heap_max;
+      Metrics.Counter.incr
+        (Metrics.counter
+           (if Option.is_none !result then "astar.routes_failed"
+            else "astar.routes_found"))
+    end;
     match !result with
     | None -> None
     | Some path -> Some (path, { expanded = !expanded; generated = !generated })

@@ -1,6 +1,7 @@
 module Graph = Hmn_graph.Graph
 module Cluster = Hmn_testbed.Cluster
 module Bitset = Hmn_dstruct.Bitset
+module Metrics = Hmn_obs.Metrics
 
 let route ?rng ?(max_steps = max_int) ~residual ~src ~dst ~bandwidth_mbps
     ~latency_ms () =
@@ -15,7 +16,7 @@ let route ?rng ?(max_steps = max_int) ~residual ~src ~dst ~bandwidth_mbps
   if src = dst then Some (Path.trivial src)
   else begin
     let visited = Bitset.create n in
-    let steps = ref 0 in
+    let steps = ref 0 and backtracks = ref 0 in
     let exception Budget_exhausted in
     let neighbors u =
       let adj = Array.of_list (Graph.adj_list g u) in
@@ -43,7 +44,9 @@ let route ?rng ?(max_steps = max_int) ~residual ~src ~dst ~bandwidth_mbps
               Bitset.add visited v;
               (match go v lat (v :: rev_nodes) (eid :: rev_edges) with
               | Some _ as r -> found := r
-              | None -> Bitset.remove visited v)
+              | None ->
+                incr backtracks;
+                Bitset.remove visited v)
             end
           end
         done;
@@ -51,5 +54,20 @@ let route ?rng ?(max_steps = max_int) ~residual ~src ~dst ~bandwidth_mbps
       end
     in
     Bitset.add visited src;
-    try go src 0. [ src ] [] with Budget_exhausted -> None
+    let result =
+      try go src 0. [ src ] [] with
+      | Budget_exhausted ->
+        if Metrics.enabled () then
+          Metrics.Counter.incr (Metrics.counter "dfs.budget_exhausted");
+        None
+    in
+    if Metrics.enabled () then begin
+      Metrics.Counter.add (Metrics.counter "dfs.steps") !steps;
+      Metrics.Counter.add (Metrics.counter "dfs.backtracks") !backtracks;
+      Metrics.Counter.incr
+        (Metrics.counter
+           (if Option.is_none result then "dfs.routes_failed"
+            else "dfs.routes_found"))
+    end;
+    result
   end

@@ -1,5 +1,6 @@
 module Graph = Hmn_graph.Graph
 module Cluster = Hmn_testbed.Cluster
+module Metrics = Hmn_obs.Metrics
 
 type t = {
   cluster : Cluster.t;
@@ -39,6 +40,8 @@ let reserve_path t path bw =
         shortage := Some eid);
   match !shortage with
   | Some eid ->
+    if Metrics.enabled () then
+      Metrics.Counter.incr (Metrics.counter "residual.reserve_failures");
     Error
       (Printf.sprintf "edge %d: needs %.3f Mbps, only %.3f available" eid bw
          t.avail.(eid))
@@ -47,6 +50,8 @@ let reserve_path t path bw =
        a negative residual for later feasibility checks to trip over. *)
     Path.iter_edges path (fun eid ->
         t.avail.(eid) <- Float.max 0. (t.avail.(eid) -. bw));
+    if Metrics.enabled () then
+      Metrics.Counter.incr (Metrics.counter "residual.reserves");
     Ok ()
 
 let release_path t path bw =
@@ -57,7 +62,9 @@ let release_path t path bw =
       if next > cap +. tolerance then
         invalid_arg "Residual.release_path: release exceeds capacity";
       (* Clamp back to capacity so drift cannot accumulate upward. *)
-      t.avail.(eid) <- Float.min next cap)
+      t.avail.(eid) <- Float.min next cap);
+  if Metrics.enabled () then
+    Metrics.Counter.incr (Metrics.counter "residual.releases")
 
 let used t eid = capacity t eid -. t.avail.(eid)
 

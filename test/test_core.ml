@@ -334,6 +334,63 @@ let test_hs_does_not_retry_hosting () =
   | Error f -> Alcotest.(check string) "hosting stage" "hosting" f.Mapper.stage
   | Ok _ -> Alcotest.fail "expected failure"
 
+let test_last_failure_kept_on_success () =
+  (* Two default hosts (2048 MB), one big guest (1500) and two small
+     ones (800): whenever R draws the smalls first and spreads them
+     across both hosts, the big guest fits nowhere and the try is
+     retried — for such a seed a failed try precedes the eventual
+     success, and the outcome must still carry that last failed try. *)
+  let cluster = line_cluster 2 in
+  let guests =
+    [| guest ~mem:1500. "big"; guest ~mem:800. "s1"; guest ~mem:800. "s2" |]
+  in
+  let problem =
+    Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:(Graph.create ~n:3 ()))
+  in
+  let mapper = Baselines.random ~max_tries:50 () in
+  let rec find_retrying seed =
+    if seed > 200 then
+      Alcotest.fail "no seed produced a success after a failed try"
+    else
+      let outcome = run_mapper mapper ~seed problem in
+      if Result.is_ok outcome.Mapper.result && outcome.Mapper.tries > 1 then outcome
+      else find_retrying (seed + 1)
+  in
+  let outcome = find_retrying 0 in
+  match outcome.Mapper.last_failure with
+  | None -> Alcotest.fail "last_failure dropped on eventual success"
+  | Some f ->
+    Alcotest.(check string) "failed stage recorded" "random-placement" f.Mapper.stage
+
+let test_last_failure_absent_on_clean_success () =
+  (* A single roomy host cannot fail: first try succeeds and no failure
+     is recorded. *)
+  let problem =
+    Problem.make ~cluster:(line_cluster 1)
+      ~venv:(Venv.create ~guests:[| guest "only" |] ~graph:(Graph.create ~n:1 ()))
+  in
+  let outcome = run_mapper (Baselines.random ~max_tries:10 ()) ~seed:5 problem in
+  Alcotest.(check bool) "succeeded" true (Result.is_ok outcome.Mapper.result);
+  Alcotest.(check int) "first try" 1 outcome.Mapper.tries;
+  Alcotest.(check bool) "no failure recorded" true
+    (outcome.Mapper.last_failure = None)
+
+let test_last_failure_on_exhaustion () =
+  (* When the budget runs out, last_failure and the Error payload are
+     the same failure. *)
+  let cluster = line_cluster 2 in
+  let guests = [| guest ~mem:5000. "huge" |] in
+  let problem =
+    Problem.make ~cluster ~venv:(Venv.create ~guests ~graph:(Graph.create ~n:1 ()))
+  in
+  let outcome = run_mapper (Baselines.random ~max_tries:7 ()) ~seed:3 problem in
+  match (outcome.Mapper.result, outcome.Mapper.last_failure) with
+  | Error f, Some lf ->
+    Alcotest.(check string) "same stage" f.Mapper.stage lf.Mapper.stage;
+    Alcotest.(check string) "same reason" f.Mapper.reason lf.Mapper.reason
+  | Error _, None -> Alcotest.fail "last_failure missing on exhaustion"
+  | Ok _, _ -> Alcotest.fail "unmappable instance mapped"
+
 let test_dfs_route_all_valid () =
   let problem = random_problem ~seed:11 ~n_guests:40 in
   match Hosting.run problem with
@@ -748,6 +805,12 @@ let () =
             test_random_mapper_try_budget_exhausts;
           Alcotest.test_case "HS keeps hosting fixed" `Quick
             test_hs_does_not_retry_hosting;
+          Alcotest.test_case "last failure kept on success" `Quick
+            test_last_failure_kept_on_success;
+          Alcotest.test_case "last failure absent when clean" `Quick
+            test_last_failure_absent_on_clean_success;
+          Alcotest.test_case "last failure on exhaustion" `Quick
+            test_last_failure_on_exhaustion;
           Alcotest.test_case "DFS routing valid" `Quick test_dfs_route_all_valid;
         ] );
       ( "packing",

@@ -91,6 +91,8 @@ let mini_results =
          verbose = false;
          jobs = 1;
          validate = true;
+         metrics = false;
+         trace = None;
        }
      in
      Runner.run ~config ())
@@ -186,6 +188,8 @@ let test_jobs_determinism () =
       verbose = false;
       jobs;
       validate = false;
+      metrics = false;
+      trace = None;
     }
   in
   let seq = Runner.run ~config:(config 1) () in

@@ -1,0 +1,250 @@
+(* Tests for hmn_obs: registry semantics (counters, gauges, histogram
+   bucketing), the disabled-sink no-op contract, the monotonic clock,
+   the tracer's Chrome JSON output, and the cross-cutting determinism
+   guarantee — a metrics-enabled sweep yields byte-identical aggregates
+   at jobs=1 and jobs=4.
+
+   Metrics and Trace are global, so every test starts by forcing the
+   switch into the state it needs and resetting; names are kept unique
+   per test so leftovers from earlier tests cannot alias. *)
+
+module Metrics = Hmn_obs.Metrics
+module Trace = Hmn_obs.Trace
+module Clock = Hmn_prelude.Clock
+module Json = Hmn_prelude.Json
+module Runner = Hmn_experiments.Runner
+
+let find_counter snap name =
+  match List.assoc_opt name snap.Metrics.counters with
+  | Some n -> n
+  | None -> Alcotest.failf "counter %s not in snapshot" name
+
+(* ---- registry semantics ---- *)
+
+let test_counter_semantics () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let c = Metrics.counter "t.counter" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 40;
+  (* repeated lookup returns the same underlying cell *)
+  Metrics.Counter.incr (Metrics.counter "t.counter");
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "counter total" 43 (find_counter snap "t.counter");
+  Metrics.reset ();
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "reset zeroes" 0 (find_counter snap "t.counter");
+  (* the handle stays valid across reset *)
+  Metrics.Counter.incr c;
+  Alcotest.(check int) "handle survives reset" 1
+    (find_counter (Metrics.snapshot ()) "t.counter")
+
+let test_gauge_keeps_maximum () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let g = Metrics.gauge "t.gauge" in
+  Metrics.Gauge.observe g 3;
+  Metrics.Gauge.observe g 11;
+  Metrics.Gauge.observe g 7;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "max observed" 11
+    (List.assoc "t.gauge" snap.Metrics.gauge_maxima)
+
+let test_histogram_buckets () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let h = Metrics.histogram ~bounds:[| 1.; 2. |] "t.hist" in
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 1.0; 1.5; 3.0 ];
+  let snap = Metrics.snapshot () in
+  let hs = List.assoc "t.hist" snap.Metrics.histograms in
+  (* bounds are upper-inclusive: 0.5 and 1.0 -> le 1, 1.5 -> le 2,
+     3.0 -> overflow *)
+  Alcotest.(check (array (float 0.))) "bounds kept" [| 1.; 2. |] hs.Metrics.bounds;
+  Alcotest.(check (list int)) "bucket counts" [ 2; 1; 1 ]
+    (Array.to_list hs.Metrics.bucket_counts);
+  Alcotest.(check int) "observation count" 4 hs.Metrics.observations
+
+let test_render_stable () =
+  Metrics.enable ();
+  Metrics.reset ();
+  Metrics.Counter.incr (Metrics.counter "t.render.b");
+  Metrics.Counter.add (Metrics.counter "t.render.a") 2;
+  let r = Metrics.render (Metrics.snapshot ()) in
+  let idx needle =
+    let n = String.length needle in
+    let rec find i =
+      if i + n > String.length r then Alcotest.failf "%S not rendered" needle
+      else if String.sub r i n = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "sorted by name" true (idx "t.render.a" < idx "t.render.b");
+  Alcotest.(check bool) "value rendered" true (idx "t.render.a 2" >= 0)
+
+(* ---- disabled sink ---- *)
+
+let test_disabled_is_inert () =
+  Metrics.enable ();
+  Metrics.reset ();
+  Metrics.disable ();
+  (* handles created while disabled are inert: no registration, no
+     counting — even if metrics are enabled later. *)
+  let c = Metrics.counter "t.inert" in
+  Metrics.Counter.incr c;
+  Metrics.Gauge.observe (Metrics.gauge "t.inert.g") 5;
+  Metrics.Histogram.observe (Metrics.histogram "t.inert.h") 1.0;
+  Metrics.enable ();
+  Metrics.Counter.add c 100;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int)) "no counter registered" None
+    (List.assoc_opt "t.inert" snap.Metrics.counters);
+  Alcotest.(check (option int)) "no gauge registered" None
+    (List.assoc_opt "t.inert.g" snap.Metrics.gauge_maxima);
+  Alcotest.(check bool) "no histogram registered" true
+    (List.assoc_opt "t.inert.h" snap.Metrics.histograms = None)
+
+(* ---- monotonic clock ---- *)
+
+let test_clock_monotonic () =
+  let t0 = Clock.now_s () in
+  (* burn a little time so the difference is strictly observable on any
+     reasonable clock resolution *)
+  let acc = ref 0. in
+  for i = 1 to 10_000 do
+    acc := !acc +. float_of_int i
+  done;
+  ignore (Sys.opaque_identity !acc);
+  let t1 = Clock.now_s () in
+  Alcotest.(check bool) "time advances" true (t1 >= t0);
+  Alcotest.(check bool) "elapsed non-negative" true (Clock.elapsed_s t0 >= 0.);
+  let x, dt = Clock.time (fun () -> 42) in
+  Alcotest.(check int) "time returns value" 42 x;
+  Alcotest.(check bool) "measured duration non-negative" true (dt >= 0.)
+
+(* ---- tracer ---- *)
+
+let test_trace_spans_and_json () =
+  Trace.enable ();
+  Trace.clear ();
+  let r =
+    Trace.with_span ~cat:"test" ~args:[ ("k", "v") ] "outer" (fun () ->
+        Trace.with_span "inner" (fun () -> 7))
+  in
+  Alcotest.(check int) "body result" 7 r;
+  Alcotest.(check int) "two spans buffered" 2 (Trace.span_count ());
+  let path = Filename.temp_file "hmn_trace" ".json" in
+  Trace.write ~path;
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (match Json.of_string text with
+  | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  | Ok doc ->
+    let open Json in
+    let events =
+      match
+        let* evs = member "traceEvents" doc in
+        to_list evs
+      with
+      | Ok evs -> evs
+      | Error e -> Alcotest.failf "traceEvents: %s" e
+    in
+    Alcotest.(check int) "two events" 2 (List.length events);
+    List.iter
+      (fun ev ->
+        let str_field f =
+          match
+            let* v = member f ev in
+            to_str v
+          with
+          | Ok s -> s
+          | Error e -> Alcotest.failf "field %s: %s" f e
+        in
+        Alcotest.(check string) "complete event" "X" (str_field "ph");
+        let num_field f =
+          match
+            let* v = member f ev in
+            to_float v
+          with
+          | Ok n -> n
+          | Error e -> Alcotest.failf "field %s: %s" f e
+        in
+        Alcotest.(check bool) "ts non-negative" true (num_field "ts" >= 0.);
+        Alcotest.(check bool) "dur non-negative" true (num_field "dur" >= 0.))
+      events);
+  Trace.disable ();
+  Trace.clear ()
+
+let test_trace_disabled_records_nothing () =
+  Trace.disable ();
+  Trace.clear ();
+  let r = Trace.with_span "ghost" (fun () -> 3) in
+  Alcotest.(check int) "body still runs" 3 r;
+  Alcotest.(check int) "nothing buffered" 0 (Trace.span_count ())
+
+(* ---- cross-domain determinism ---- *)
+
+(* The observability contract mirrors the sweep's: aggregates must not
+   depend on how the work was spread over domains. Run the same tiny
+   metrics-enabled sweep at jobs=1 and jobs=4 and byte-compare the
+   rendered registry. *)
+let test_metrics_jobs_determinism () =
+  let config jobs =
+    {
+      Runner.reps = 1;
+      max_tries = 5;
+      base_seed = 777;
+      app = Hmn_emulation.App.default;
+      simulate = false;
+      mappers =
+        List.filter
+          (fun m -> List.mem m.Hmn_core.Mapper.name [ "HMN"; "R" ])
+          (Hmn_core.Registry.paper ~max_tries:5 ());
+      verbose = false;
+      jobs;
+      validate = false;
+      metrics = true;
+      trace = None;
+    }
+  in
+  let rendered jobs =
+    Metrics.enable ();
+    Metrics.reset ();
+    ignore (Runner.run ~config:(config jobs) ());
+    Metrics.render (Metrics.snapshot ())
+  in
+  let seq = rendered 1 in
+  let par = rendered 4 in
+  Metrics.disable ();
+  Alcotest.(check bool) "counters were recorded" true
+    (String.length seq > 0 && String.contains seq '\n');
+  Alcotest.(check string) "aggregates identical across jobs" seq par
+
+let () =
+  Alcotest.run "hmn_obs"
+    [
+      ( "metrics registry",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "gauge keeps maximum" `Quick test_gauge_keeps_maximum;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "render stable" `Quick test_render_stable;
+          Alcotest.test_case "disabled sink is inert" `Quick test_disabled_is_inert;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "spans and JSON" `Quick test_trace_spans_and_json;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_trace_disabled_records_nothing;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 aggregates" `Quick
+            test_metrics_jobs_determinism;
+        ] );
+    ]

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Formatting gate: run `dune build @fmt` when ocamlformat is available.
+#
+# The CI/base image used for tier-1 does not ship ocamlformat, and dune
+# fails @fmt outright when the binary is missing — so this script skips
+# (exit 0) rather than failing in environments that cannot run the
+# check. Developer machines with ocamlformat installed get the real
+# check; pass --fix to also promote the formatted output.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v ocamlformat >/dev/null 2>&1; then
+  echo "check-fmt: ocamlformat not installed; skipping (tier-1 unaffected)" >&2
+  exit 0
+fi
+
+want=$(sed -n 's/^version *= *//p' .ocamlformat)
+have=$(ocamlformat --version 2>/dev/null || true)
+if [ -n "$want" ] && [ "$have" != "$want" ]; then
+  echo "check-fmt: ocamlformat $have != pinned $want; skipping" >&2
+  exit 0
+fi
+
+if [ "${1:-}" = "--fix" ]; then
+  exec dune build @fmt --auto-promote
+fi
+exec dune build @fmt
