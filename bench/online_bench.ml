@@ -1,0 +1,84 @@
+(* Online-service benchmark: run the fixed-seed tenant stream on the
+   paper's torus under each admission policy and record wall time plus
+   the deterministic session statistics in BENCH_online.json (path
+   override: HMN_BENCH_ONLINE_JSON), so the service's perf trajectory is
+   tracked across PRs alongside BENCH_sweep.json.
+
+   HMN_BENCH_FAST=1 shrinks the horizon to a smoke run; the tier-1 rule
+   in bench/dune uses that mode. *)
+
+module Json = Hmn_prelude.Json
+module Service = Hmn_online.Service
+module Session = Hmn_online.Session
+
+let fast = Sys.getenv_opt "HMN_BENCH_FAST" <> None
+let schema_version = 1
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let () =
+  let cluster =
+    Hmn_experiments.Scenario.build_cluster Hmn_experiments.Scenario.Torus
+      ~rng:(Hmn_rng.Rng.create 4242)
+  in
+  let config =
+    {
+      Service.default_config with
+      seed = 4242;
+      duration_s = (if fast then 900. else 3600.);
+      validate = false;
+    }
+  in
+  let policies = [ "HMN"; "R"; "HS" ] in
+  let cells =
+    List.map
+      (fun name ->
+        let policy =
+          match Hmn_online.Admission.find_policy name with
+          | Ok p -> p
+          | Error e -> failwith e
+        in
+        let t0 = Hmn_prelude.Clock.now_s () in
+        let s = Service.run ~cluster ~policy config in
+        let wall_s = Hmn_prelude.Clock.elapsed_s t0 in
+        Printf.printf "%-4s %6.2f s wall  %s" name wall_s
+          (Session.render_summary s);
+        print_newline ();
+        ( name,
+          Json.Obj
+            [
+              ("wall_s", Json.float wall_s);
+              ("arrivals", Json.int s.Session.arrivals);
+              ("acceptance", Json.float s.Session.acceptance);
+              ("mean_tenants", Json.float s.Session.mean_tenants);
+              ("mean_lbf", Json.float s.Session.mean_lbf);
+              ("mean_fragmentation", Json.float s.Session.mean_fragmentation);
+              ("defrag_moves", Json.int s.Session.defrag_moves);
+            ] ))
+      policies
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.int schema_version);
+        ("generated_at", Json.str (iso8601_now ()));
+        ("fast", Json.Bool fast);
+        ("seed", Json.int config.Service.seed);
+        ("duration_s", Json.float config.Service.duration_s);
+        ("policies", Json.Obj cells);
+      ]
+  in
+  let path =
+    Option.value
+      (Sys.getenv_opt "HMN_BENCH_ONLINE_JSON")
+      ~default:"BENCH_online.json"
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path

@@ -8,6 +8,9 @@
                    a Chrome trace
      experiments   regenerate the paper's Tables 2-3, correlation, Figure 1
      figure1       only the Figure 1 sweep
+     online        run the online tenant service (streaming arrivals and
+                   departures with admission control and defragmentation),
+                   or a policy-comparison report across load levels
      dot           emit the generated cluster or virtual topology as DOT *)
 
 open Cmdliner
@@ -526,6 +529,214 @@ let ablation_cmd =
        ~doc:"Run the Migration / routing-metric / topology ablation studies.")
     Term.(const run $ reps_t $ which_t)
 
+(* ---- online ---- *)
+
+let online_cmd =
+  let module Service = Hmn_online.Service in
+  let module Defrag = Hmn_online.Defrag in
+  let module Metrics = Hmn_obs.Metrics in
+  let policy_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:
+            "Admission policy (any registered heuristic; see $(b,list)). \
+             Repeatable with $(b,--report); default HMN, or HMN,R,HS for a \
+             report.")
+  in
+  let rate_t =
+    Arg.(
+      value & opt float (1. /. 30.)
+      & info [ "rate" ] ~docv:"FLOAT" ~doc:"Arrival rate, requests per simulated second.")
+  in
+  let holding_t =
+    Arg.(
+      value & opt float 600.
+      & info [ "holding" ] ~docv:"SECONDS" ~doc:"Mean tenant holding time (exponential).")
+  in
+  let duration_t =
+    Arg.(
+      value & opt float 3600.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Arrival horizon (simulated).")
+  in
+  let guests_lo_t =
+    Arg.(value & opt int 4 & info [ "guests-lo" ] ~docv:"INT" ~doc:"Minimum guests per tenant.")
+  in
+  let guests_hi_t =
+    Arg.(value & opt int 12 & info [ "guests-hi" ] ~docv:"INT" ~doc:"Maximum guests per tenant.")
+  in
+  let online_density_t =
+    Arg.(
+      value & opt float 0.3
+      & info [ "density" ] ~docv:"FLOAT" ~doc:"Virtual edge density within each tenant.")
+  in
+  let scale_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "scale" ] ~docv:"FRACTION"
+          ~doc:"Per-tenant feasibility calibration against the full cluster.")
+  in
+  let no_defrag_t =
+    Arg.(value & flag & info [ "no-defrag" ] ~doc:"Disable periodic defragmentation.")
+  in
+  let defrag_interval_t =
+    Arg.(
+      value & opt float 120.
+      & info [ "defrag-interval" ] ~docv:"SECONDS" ~doc:"Simulated seconds between defrag checks.")
+  in
+  let defrag_trigger_t =
+    Arg.(
+      value & opt float 1.0
+      & info [ "defrag-trigger" ] ~docv:"FACTOR"
+          ~doc:
+            "Defragment when the occupied LBF exceeds FACTOR times the empty \
+             cluster's LBF.")
+  in
+  let defrag_moves_t =
+    Arg.(
+      value & opt int 4
+      & info [ "defrag-moves" ] ~docv:"INT" ~doc:"Maximum migrations per defrag round.")
+  in
+  let validate_t =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Independently validate the full multi-tenant state after every \
+             arrival, departure, and defrag move (also forced by \
+             $(b,HMN_VALIDATE)).")
+  in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Fixed-seed CI mode: a pinned 3x4 torus and a short pinned \
+             workload, with validation forced on. Output is byte-identical \
+             across runs and machines.")
+  in
+  let report_t =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:"Run the policy-comparison grid instead of a single session.")
+  in
+  let loads_t =
+    Arg.(
+      value & opt (list float) Hmn_experiments.Online_report.default_loads
+      & info [ "loads" ] ~docv:"X,Y,..."
+          ~doc:"Offered-load multipliers for $(b,--report).")
+  in
+  let csv_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the report cells as CSV.")
+  in
+  let run seed cluster_kind workload policies rate holding duration guests_lo
+      guests_hi density scale no_defrag defrag_interval defrag_trigger
+      defrag_moves validate smoke report loads csv =
+    let profile =
+      match workload with
+      | Hmn_experiments.Scenario.High_level -> Hmn_vnet.Workload.high_level
+      | Hmn_experiments.Scenario.Low_level -> Hmn_vnet.Workload.low_level
+    in
+    let defrag =
+      if no_defrag then None
+      else
+        Some
+          {
+            Defrag.interval_s = defrag_interval;
+            trigger = defrag_trigger;
+            max_moves_per_round = defrag_moves;
+          }
+    in
+    let cluster, config =
+      if smoke then
+        (* pinned: small enough for CI, busy enough to exercise
+           admission, rejection, departures and defragmentation *)
+        ( Hmn_testbed.Cluster_gen.torus_cluster ~rows:3 ~cols:4
+            ~rng:(Hmn_rng.Rng.create 7) (),
+          {
+            Service.seed = 11;
+            arrival_rate_per_s = 1. /. 45.;
+            mean_holding_s = 300.;
+            duration_s = 1800.;
+            guests_lo = 3;
+            guests_hi = 6;
+            density = 0.3;
+            profile = Hmn_vnet.Workload.high_level;
+            scale_frac = 0.3;
+            defrag;
+            validate = true;
+          } )
+      else
+        ( Hmn_experiments.Scenario.build_cluster cluster_kind
+            ~rng:(Hmn_rng.Rng.create seed),
+          {
+            Service.seed;
+            arrival_rate_per_s = rate;
+            mean_holding_s = holding;
+            duration_s = duration;
+            guests_lo;
+            guests_hi;
+            density;
+            profile;
+            scale_frac = scale;
+            defrag;
+            validate;
+          } )
+    in
+    if Sys.getenv_opt "HMN_METRICS" <> None then Metrics.enable ();
+    try
+      if report then begin
+        let policies =
+          if policies = [] then Hmn_experiments.Online_report.default_policies
+          else policies
+        in
+        match
+          Hmn_experiments.Online_report.run ~policies ~loads ~cluster ~config ()
+        with
+        | Error msg ->
+          Printf.eprintf "hmn_cli online: %s\n" msg;
+          exit 2
+        | Ok results ->
+          print_string (Hmn_experiments.Online_report.table results);
+          (match csv with
+          | None -> ()
+          | Some file ->
+            let oc = open_out file in
+            output_string oc (Hmn_experiments.Online_report.csv results);
+            close_out oc;
+            Printf.printf "wrote %s\n" file)
+      end
+      else begin
+        let name = match policies with [] -> "HMN" | name :: _ -> name in
+        match Hmn_online.Admission.find_policy name with
+        | Error msg ->
+          Printf.eprintf "hmn_cli online: %s\n" msg;
+          exit 2
+        | Ok policy ->
+          let summary = Service.run ~cluster ~policy config in
+          print_string (Hmn_online.Session.render_summary summary)
+      end;
+      if Metrics.enabled () then print_string (Metrics.render (Metrics.snapshot ()))
+    with Service.Validation_failed msg ->
+      Printf.eprintf "hmn_cli online: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Drive a seeded stream of tenant arrivals and departures through the \
+          shared cluster with admission control and periodic \
+          defragmentation; $(b,--report) compares admission policies across \
+          offered-load levels.")
+    Term.(
+      const run $ seed_t $ cluster_t $ workload_t $ policy_t $ rate_t
+      $ holding_t $ duration_t $ guests_lo_t $ guests_hi_t $ online_density_t
+      $ scale_t $ no_defrag_t $ defrag_interval_t $ defrag_trigger_t
+      $ defrag_moves_t $ validate_t $ smoke_t $ report_t $ loads_t $ csv_t)
+
 (* ---- dot ---- *)
 
 let dot_cmd =
@@ -566,5 +777,5 @@ let () =
        (Cmd.group (Cmd.info "hmn_cli" ~doc)
           [
             list_cmd; map_cmd; profile_cmd; validate_cmd; fuzz_cmd;
-            experiments_cmd; figure1_cmd; ablation_cmd; dot_cmd;
+            experiments_cmd; figure1_cmd; ablation_cmd; online_cmd; dot_cmd;
           ]))

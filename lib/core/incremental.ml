@@ -13,7 +13,7 @@ type t = {
   latency_tables : Hmn_routing.Latency_table.t;
 }
 
-let create mapping =
+let create ?latency_tables mapping =
   (match Hmn_mapping.Constraints.check mapping with
   | [] -> ()
   | v :: _ ->
@@ -23,7 +23,10 @@ let create mapping =
   {
     mapping;
     latency_tables =
-      Hmn_routing.Latency_table.create (Mapping.problem mapping).Problem.cluster;
+      (match latency_tables with
+      | Some tables -> tables
+      | None ->
+        Hmn_routing.Latency_table.create (Mapping.problem mapping).Problem.cluster);
   }
 
 let mapping t = t.mapping
@@ -118,11 +121,45 @@ let move_guest t ~guest ~host =
         restore_links ();
         Error msg))
 
-let evacuate_host t ~host =
+let evacuate_host ?(rollback = true) t ~host =
   let placement = t.mapping.Mapping.placement in
+  let link_map = t.mapping.Mapping.link_map in
   let cluster = (Mapping.problem t.mapping).Problem.cluster in
   let hosts = Cluster.host_ids cluster in
   let moved = ref 0 in
+  (* Undo log for [rollback]: each entry is a guest that left [host]
+     together with its incident (vlink, path) snapshot taken just before
+     its move, most recent move first. Unwinding in LIFO order replays
+     the exact inverse state transitions, so every intermediate restore
+     is guaranteed to fit (each state was valid when first visited). *)
+  let undo = ref [] in
+  let unwind () =
+    List.iter
+      (fun (guest, old_links) ->
+        List.iter
+          (fun (vlink, _, _) ->
+            match Link_map.path_of link_map ~vlink with
+            | Some _ -> (
+              match Link_map.unassign link_map ~vlink with
+              | Ok () -> ()
+              | Error m -> failwith ("Incremental.evacuate_host: rollback: " ^ m))
+            | None -> ())
+          old_links;
+        (match Placement.migrate placement ~guest ~host with
+        | Ok () -> ()
+        | Error m ->
+          failwith ("Incremental.evacuate_host: rollback migrate: " ^ m));
+        List.iter
+          (fun (vlink, _, path) ->
+            match path with
+            | Some p -> (
+              match Link_map.assign link_map ~vlink p with
+              | Ok () -> ()
+              | Error m -> failwith ("Incremental.evacuate_host: rollback: " ^ m))
+            | None -> ())
+          old_links)
+      !undo
+  in
   let rec drain () =
     match Placement.guests_on placement ~host with
     | [] -> Ok !moved
@@ -148,15 +185,22 @@ let evacuate_host t ~host =
                "guest %d cannot leave host %d: no target accepts it with its links"
                guest host)
         | target :: rest -> (
+          let before = incident_links t guest in
           match move_guest t ~guest ~host:target with
           | Ok () ->
+            undo := (guest, before) :: !undo;
             incr moved;
             Ok ()
           | Error _ -> try_targets rest)
       in
       (match try_targets ordered with Ok () -> drain () | Error e -> Error e)
   in
-  drain ()
+  match drain () with
+  | Ok n -> Ok n
+  | Error e when rollback ->
+    unwind ();
+    Error (e ^ Printf.sprintf "; rolled back the %d guest(s) already moved" !moved)
+  | Error e -> Error e
 
 let rebalance ?max_moves t =
   let placement = t.mapping.Mapping.placement in

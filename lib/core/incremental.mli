@@ -12,11 +12,18 @@
 
 type t
 
-val create : Hmn_mapping.Mapping.t -> t
+val create : ?latency_tables:Hmn_routing.Latency_table.t -> Hmn_mapping.Mapping.t -> t
 (** Wraps a mapping. The mapping must be complete and valid
     ({!Hmn_mapping.Constraints.check} returns []); raises
     [Invalid_argument] otherwise. The handle owns the mapping: mutating
-    it elsewhere voids the guarantees. *)
+    it elsewhere voids the guarantees.
+
+    [latency_tables] shares a precomputed Dijkstra cache instead of
+    building a fresh one; it must have been built on a cluster with the
+    same graph structure and link latencies (bandwidths are free to
+    differ — the tables only read latencies). The online service passes
+    the full cluster's tables when it replays tenants onto residual
+    clusters, whose latencies are identical by construction. *)
 
 val mapping : t -> Hmn_mapping.Mapping.t
 
@@ -26,12 +33,18 @@ val move_guest : t -> guest:int -> host:int -> (unit, string) result
     be re-routed) the mapping is restored exactly and an explanation
     returned. *)
 
-val evacuate_host : t -> host:int -> (int, string) result
+val evacuate_host : ?rollback:bool -> t -> host:int -> (int, string) result
 (** Drains a host for maintenance: moves every resident guest to the
     feasible host currently yielding the best (lowest)
-    post-move load-balance factor. Returns the number of guests moved;
-    on failure the guests moved so far remain moved (the error names
-    the stuck guest). *)
+    post-move load-balance factor. Returns the number of guests moved.
+
+    On failure (some guest cannot leave — the error names it), the
+    default [rollback:true] unwinds the moves already made in LIFO
+    order, restoring every migrated guest to [host] {e with its original
+    link paths}, so a failed drain leaves the mapping exactly as found.
+    With [~rollback:false] the guests moved so far remain moved (the old
+    partial-drain semantics, useful when any progress towards an empty
+    host is welcome). *)
 
 val rebalance : ?max_moves:int -> t -> int
 (** The Migration stage on a live mapping: repeatedly moves the

@@ -1,0 +1,109 @@
+module Service = Hmn_online.Service
+module Session = Hmn_online.Session
+module Admission = Hmn_online.Admission
+module Pretty_table = Hmn_prelude.Pretty_table
+
+type cell = {
+  policy : string;
+  load : float;
+  summary : Session.summary;
+}
+
+type results = {
+  base_config : Service.config;
+  cells : cell list;  (** grouped by load, then policy, in input order *)
+}
+
+let default_policies = [ "HMN"; "R"; "HS" ]
+let default_loads = [ 0.5; 1.0; 2.0 ]
+
+let run ?(policies = default_policies) ?(loads = default_loads) ~cluster
+    ~config () =
+  if loads = [] then Error "no load levels given"
+  else if List.exists (fun l -> l <= 0.) loads then
+    Error "load levels must be positive"
+  else
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+          match Admission.find_policy name with
+          | Ok p -> resolve ((name, p) :: acc) rest
+          | Error e -> Error e)
+    in
+    match resolve [] policies with
+    | Error e -> Error e
+    | Ok resolved ->
+        let cells =
+          List.concat_map
+            (fun load ->
+              List.map
+                (fun (name, policy) ->
+                  let cfg =
+                    {
+                      config with
+                      Service.arrival_rate_per_s =
+                        config.Service.arrival_rate_per_s *. load;
+                    }
+                  in
+                  { policy = name; load; summary = Service.run ~cluster ~policy cfg })
+                resolved)
+            loads
+        in
+        Ok { base_config = config; cells }
+
+let table r =
+  let t =
+    Pretty_table.create
+      ~aligns:
+        [
+          Pretty_table.Right; Left; Right; Right; Right; Right; Right; Right;
+          Right;
+        ]
+      ~header:
+        [
+          "load"; "policy"; "arrivals"; "accept"; "tenants"; "lbf"; "frag";
+          "mem util"; "moves";
+        ]
+      ()
+  in
+  List.iter
+    (fun { policy; load; summary = s } ->
+      Pretty_table.add_row t
+        [
+          Printf.sprintf "%.2fx" load;
+          policy;
+          string_of_int s.Session.arrivals;
+          Printf.sprintf "%.3f" s.Session.acceptance;
+          Printf.sprintf "%.2f" s.Session.mean_tenants;
+          Printf.sprintf "%.1f" s.Session.mean_lbf;
+          Printf.sprintf "%.4f" s.Session.mean_fragmentation;
+          Printf.sprintf "%.3f" s.Session.mean_mem_utilization;
+          string_of_int s.Session.defrag_moves;
+        ])
+    r.cells;
+  "Online service: acceptance and balance by admission policy and offered load\n"
+  ^ Printf.sprintf
+      "(seed %d, base rate %.4f/s, mean holding %.0f s, horizon %.0f s, %d-%d \
+       guests)\n"
+      r.base_config.Service.seed r.base_config.Service.arrival_rate_per_s
+      r.base_config.Service.mean_holding_s r.base_config.Service.duration_s
+      r.base_config.Service.guests_lo r.base_config.Service.guests_hi
+  ^ Pretty_table.render t
+
+let csv r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "policy,load,seed,arrivals,admitted,rejected,acceptance,mean_tenants,peak_tenants,mean_guests,peak_guests,mean_lbf,final_lbf,mean_fragmentation,mean_mem_utilization,mean_bw_utilization,defrag_rounds,defrag_moves\n";
+  List.iter
+    (fun { policy; load; summary = s } ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "%s,%g,%d,%d,%d,%d,%.6f,%.6f,%d,%.6f,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n"
+           policy load s.Session.seed s.Session.arrivals s.Session.admitted
+           s.Session.rejected s.Session.acceptance s.Session.mean_tenants
+           s.Session.peak_tenants s.Session.mean_guests s.Session.peak_guests
+           s.Session.mean_lbf s.Session.final_lbf s.Session.mean_fragmentation
+           s.Session.mean_mem_utilization s.Session.mean_bw_utilization
+           s.Session.defrag_rounds s.Session.defrag_moves))
+    r.cells;
+  Buffer.contents b

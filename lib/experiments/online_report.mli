@@ -1,0 +1,44 @@
+(** Policy-comparison grid for the online testbed service: run the same
+    pre-generated request stream under several admission policies and
+    offered-load multipliers, and tabulate acceptance and balance.
+
+    Because {!Hmn_online.Service} draws the stream from the seed alone,
+    every cell with the same load faces the identical sequence of
+    requests — differences between rows are attributable to the policy,
+    exactly like the paper's Tables 2–3 attribute differences to the
+    heuristic. *)
+
+type cell = {
+  policy : string;
+  load : float;  (** multiplier on the base arrival rate *)
+  summary : Hmn_online.Session.summary;
+}
+
+type results = {
+  base_config : Hmn_online.Service.config;
+  cells : cell list;  (** grouped by load, then policy, in input order *)
+}
+
+val default_policies : string list
+(** HMN plus the R and HS baselines. *)
+
+val default_loads : float list
+(** 0.5x, 1.0x, 2.0x the base arrival rate. *)
+
+val run :
+  ?policies:string list ->
+  ?loads:float list ->
+  cluster:Hmn_testbed.Cluster.t ->
+  config:Hmn_online.Service.config ->
+  unit ->
+  (results, string) result
+(** Runs the full grid sequentially (each cell is itself a whole
+    simulated session). [Error] on an unknown policy name or an empty /
+    non-positive load list; a cell that raises (validation failure)
+    propagates. *)
+
+val table : results -> string
+(** Plain-text comparison table, one row per (load, policy). *)
+
+val csv : results -> string
+(** One line per cell with every summary field, for external plotting. *)

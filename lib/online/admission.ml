@@ -1,0 +1,26 @@
+module Mapper = Hmn_core.Mapper
+
+type verdict =
+  | Admitted of Hmn_mapping.Mapping.t * float
+  | Rejected of { stage : string; reason : string; elapsed_s : float }
+
+let try_admit ~occupancy ~policy ~venv ~rng =
+  let residual = Occupancy.residual_cluster occupancy in
+  let problem = Hmn_mapping.Problem.make ~cluster:residual ~venv in
+  match Hmn_mapping.Problem.obviously_infeasible problem with
+  | Some reason -> Rejected { stage = "screen"; reason; elapsed_s = 0. }
+  | None -> (
+      let outcome = policy.Mapper.run ~rng problem in
+      match outcome.result with
+      | Ok m -> Admitted (m, outcome.elapsed_s)
+      | Error f ->
+          Rejected
+            { stage = f.stage; reason = f.reason; elapsed_s = outcome.elapsed_s })
+
+let find_policy ?max_tries name =
+  match Hmn_core.Registry.find ?max_tries name with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown policy %S (available: %s)" name
+           (String.concat ", " (Hmn_core.Registry.names ())))

@@ -1,0 +1,29 @@
+(** Admission control: can this request be mapped onto what is left of
+    the cluster, and with which heuristic?
+
+    Any registered mapper ({!Hmn_core.Registry}) is an admission policy:
+    the arriving environment is mapped against the {e residual} cluster
+    (full capacities minus current occupancy), so a mapper that solves
+    the paper's offline problem needs no changes to serve online. *)
+
+type verdict =
+  | Admitted of Hmn_mapping.Mapping.t * float
+      (** the mapping onto the residual cluster, and the mapper's
+          wall-clock seconds (observability only — never part of the
+          deterministic summary) *)
+  | Rejected of { stage : string; reason : string; elapsed_s : float }
+
+val try_admit :
+  occupancy:Occupancy.t ->
+  policy:Hmn_core.Mapper.t ->
+  venv:Hmn_vnet.Virtual_env.t ->
+  rng:Hmn_rng.Rng.t ->
+  verdict
+(** Builds the residual cluster, screens with
+    {!Hmn_mapping.Problem.obviously_infeasible} (stage ["screen"]), then
+    runs the policy. The returned mapping's node and edge ids are the
+    shared cluster's (residual clusters preserve ids). *)
+
+val find_policy :
+  ?max_tries:int -> string -> (Hmn_core.Mapper.t, string) result
+(** Case-insensitive registry lookup; the error lists valid names. *)

@@ -1,0 +1,282 @@
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Node = Hmn_testbed.Node
+module Link = Hmn_testbed.Link
+module Graph = Hmn_graph.Graph
+module Venv = Hmn_vnet.Virtual_env
+module Path = Hmn_routing.Path
+
+type t = {
+  cluster : Cluster.t;
+  latency_tables : Hmn_routing.Latency_table.t;
+  mem_used : float array;  (* per node, MB *)
+  stor_used : float array;  (* per node, GB *)
+  mips_used : float array;  (* per node, MIPS *)
+  bw_used : float array;  (* per physical edge, Mbps *)
+  mutable tenants : Tenant.t list;  (* ascending id *)
+  mutable n_guests : int;
+  mutable n_vlinks : int;
+}
+
+let capacity_eps = 1e-6
+
+let create cluster =
+  let n = Cluster.n_nodes cluster in
+  let ne = Graph.n_edges (Cluster.graph cluster) in
+  let latency_tables = Hmn_routing.Latency_table.create cluster in
+  (* precomputed once: every residual cluster the service builds shares
+     this cache (latencies never change, only bandwidths) *)
+  Hmn_routing.Latency_table.precompute latency_tables;
+  {
+    cluster;
+    latency_tables;
+    mem_used = Array.make n 0.;
+    stor_used = Array.make n 0.;
+    mips_used = Array.make n 0.;
+    bw_used = Array.make ne 0.;
+    tenants = [];
+    n_guests = 0;
+    n_vlinks = 0;
+  }
+
+let cluster t = t.cluster
+let latency_tables t = t.latency_tables
+let tenants t = t.tenants
+let n_tenants t = List.length t.tenants
+let n_guests t = t.n_guests
+
+let find t ~id =
+  List.find_opt (fun (tn : Tenant.t) -> tn.id = id) t.tenants
+
+(* Per-edge float slack for the bandwidth guard, matching the
+   validator's aggregate tolerance: each tenant path reservation clamps
+   by at most [Residual.tolerance]. *)
+let bw_eps t =
+  Hmn_routing.Residual.tolerance *. float_of_int (t.n_vlinks + 1)
+
+let iter_usage (tn : Tenant.t) ~on_node ~on_edge =
+  let venv = tn.venv in
+  for g = 0 to Venv.n_guests venv - 1 do
+    on_node tn.hosts.(g) (Venv.demand venv g)
+  done;
+  for v = 0 to Venv.n_vlinks venv - 1 do
+    let bw = (Venv.vlink venv v).Hmn_vnet.Vlink.bandwidth_mbps in
+    Path.iter_edges tn.paths.(v) (fun eid -> on_edge eid bw)
+  done
+
+let apply t ~sign (tn : Tenant.t) =
+  iter_usage tn
+    ~on_node:(fun nid (d : Resources.t) ->
+      t.mem_used.(nid) <- t.mem_used.(nid) +. (sign *. d.mem_mb);
+      t.stor_used.(nid) <- t.stor_used.(nid) +. (sign *. d.stor_gb);
+      t.mips_used.(nid) <- t.mips_used.(nid) +. (sign *. d.mips))
+    ~on_edge:(fun eid bw -> t.bw_used.(eid) <- t.bw_used.(eid) +. (sign *. bw))
+
+(* Over-capacity scan of the running totals. Only an internal-bug guard:
+   admission maps against the residual cluster, so a violation here
+   means the service's bookkeeping (not the tenant) is wrong. *)
+let first_violation t =
+  let viol = ref None in
+  let n = Cluster.n_nodes t.cluster in
+  for nid = 0 to n - 1 do
+    if !viol = None && Cluster.is_host t.cluster nid then begin
+      let cap = Cluster.capacity t.cluster nid in
+      if t.mem_used.(nid) > cap.mem_mb +. capacity_eps then
+        viol := Some (Printf.sprintf "node %d memory over capacity" nid)
+      else if t.stor_used.(nid) > cap.stor_gb +. capacity_eps then
+        viol := Some (Printf.sprintf "node %d storage over capacity" nid)
+    end
+  done;
+  let eps = bw_eps t in
+  for eid = 0 to Array.length t.bw_used - 1 do
+    if !viol = None then begin
+      let cap = (Cluster.link t.cluster eid).Link.bandwidth_mbps in
+      if t.bw_used.(eid) > cap +. eps then
+        viol := Some (Printf.sprintf "edge %d bandwidth over capacity" eid)
+    end
+  done;
+  !viol
+
+let admit t (tn : Tenant.t) =
+  (match find t ~id:tn.id with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Occupancy.admit: tenant %d already resident" tn.id)
+  | None -> ());
+  apply t ~sign:1. tn;
+  (match first_violation t with
+  | Some reason ->
+      apply t ~sign:(-1.) tn;
+      invalid_arg ("Occupancy.admit: " ^ reason)
+  | None -> ());
+  t.tenants <-
+    List.merge
+      (fun (a : Tenant.t) (b : Tenant.t) -> compare a.id b.id)
+      [ tn ] t.tenants;
+  t.n_guests <- t.n_guests + Tenant.n_guests tn;
+  t.n_vlinks <- t.n_vlinks + Tenant.n_vlinks tn
+
+let release t ~id =
+  match find t ~id with
+  | None ->
+      invalid_arg (Printf.sprintf "Occupancy.release: no tenant %d" id)
+  | Some tn ->
+      apply t ~sign:(-1.) tn;
+      (* exact-release discipline: subtracting what was added can leave
+         only sub-tolerance float dust, which we sweep to zero *)
+      let sweep a =
+        Array.iteri
+          (fun i x ->
+            if x < 0. then
+              if x < -.capacity_eps then
+                invalid_arg
+                  (Printf.sprintf
+                     "Occupancy.release: tenant %d usage underflow (%g)" id x)
+              else a.(i) <- 0.)
+          a
+      in
+      sweep t.mem_used;
+      sweep t.stor_used;
+      sweep t.mips_used;
+      sweep t.bw_used;
+      t.tenants <-
+        List.filter (fun (x : Tenant.t) -> x.id <> id) t.tenants;
+      t.n_guests <- t.n_guests - Tenant.n_guests tn;
+      t.n_vlinks <- t.n_vlinks - Tenant.n_vlinks tn;
+      tn
+
+let replace t (tn' : Tenant.t) =
+  ignore (release t ~id:tn'.id);
+  admit t tn'
+
+let is_empty t =
+  t.tenants = []
+  && Array.for_all (fun x -> Float.abs x <= capacity_eps) t.mem_used
+  && Array.for_all (fun x -> Float.abs x <= capacity_eps) t.stor_used
+  && Array.for_all (fun x -> Float.abs x <= capacity_eps) t.mips_used
+  && Array.for_all (fun x -> Float.abs x <= capacity_eps) t.bw_used
+
+(* Smallest bandwidth [Link.make] accepts; far below any vlink demand
+   (the low-level profile's minimum is 0.087 Mbps), so a saturated edge
+   in the residual cluster is effectively unusable, as intended. *)
+let min_bandwidth = 1e-9
+
+let residual_cluster ?exclude t =
+  let n = Cluster.n_nodes t.cluster in
+  let ne = Array.length t.bw_used in
+  let own_mem = Array.make n 0. in
+  let own_stor = Array.make n 0. in
+  let own_mips = Array.make n 0. in
+  let own_bw = Array.make ne 0. in
+  let slack =
+    match exclude with
+    | None -> 0.
+    | Some id -> (
+        match find t ~id with
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Occupancy.residual_cluster: no tenant %d" id)
+        | Some tn ->
+            iter_usage tn
+              ~on_node:(fun nid (d : Resources.t) ->
+                own_mem.(nid) <- own_mem.(nid) +. d.mem_mb;
+                own_stor.(nid) <- own_stor.(nid) +. d.stor_gb;
+                own_mips.(nid) <- own_mips.(nid) +. d.mips)
+              ~on_edge:(fun eid bw -> own_bw.(eid) <- own_bw.(eid) +. bw);
+            (* absorbs summation-order drift so the excluded tenant is
+               guaranteed to fit back into the cluster it came from *)
+            1e-9)
+  in
+  let nodes =
+    Array.init n (fun i ->
+        let node = Cluster.node t.cluster i in
+        if not (Node.can_host node) then node
+        else
+          let cap = node.Node.capacity in
+          let mem =
+            Float.max 0. (cap.mem_mb -. (t.mem_used.(i) -. own_mem.(i)) +. slack)
+          in
+          let stor =
+            Float.max 0.
+              (cap.stor_gb -. (t.stor_used.(i) -. own_stor.(i)) +. slack)
+          in
+          (* residual CPU clamps at 0: Resources.make rejects negatives,
+             and a CPU-overcommitted host should attract nothing *)
+          let mips =
+            Float.max 0. (cap.mips -. (t.mips_used.(i) -. own_mips.(i)))
+          in
+          Node.host ~name:node.Node.name
+            ~capacity:(Resources.make ~mips ~mem_mb:mem ~stor_gb:stor))
+  in
+  let graph =
+    Graph.map_labels (Cluster.graph t.cluster) ~f:(fun ~eid (l : Link.t) ->
+        let avail = l.bandwidth_mbps -. (t.bw_used.(eid) -. own_bw.(eid)) in
+        Link.make
+          ~bandwidth_mbps:(Float.max min_bandwidth avail)
+          ~latency_ms:l.latency_ms)
+  in
+  Cluster.create ~nodes ~graph
+
+let residual_cpu t ~host =
+  (Cluster.capacity t.cluster host).Resources.mips -. t.mips_used.(host)
+
+let std_over_hosts t ~f =
+  let hosts = Cluster.host_ids t.cluster in
+  let n = float_of_int (Array.length hosts) in
+  let mean =
+    Array.fold_left (fun acc h -> acc +. f h) 0. hosts /. n
+  in
+  let var =
+    Array.fold_left
+      (fun acc h ->
+        let d = f h -. mean in
+        acc +. (d *. d))
+      0. hosts
+    /. n
+  in
+  sqrt var
+
+let lbf t = std_over_hosts t ~f:(fun h -> residual_cpu t ~host:h)
+
+let fragmentation t =
+  std_over_hosts t ~f:(fun h ->
+      let cap = (Cluster.capacity t.cluster h).Resources.mem_mb in
+      if cap <= 0. then 0.
+      else Float.max 0. (cap -. t.mem_used.(h)) /. cap)
+
+let mem_utilization t =
+  let hosts = Cluster.host_ids t.cluster in
+  let used, cap =
+    Array.fold_left
+      (fun (u, c) h ->
+        (u +. t.mem_used.(h), c +. (Cluster.capacity t.cluster h).Resources.mem_mb))
+      (0., 0.) hosts
+  in
+  if cap <= 0. then 0. else used /. cap
+
+let bw_utilization t =
+  let ne = Array.length t.bw_used in
+  if ne = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    let counted = ref 0 in
+    for eid = 0 to ne - 1 do
+      let cap = (Cluster.link t.cluster eid).Link.bandwidth_mbps in
+      if cap > 0. then begin
+        acc := !acc +. (t.bw_used.(eid) /. cap);
+        incr counted
+      end
+    done;
+    if !counted = 0 then 0. else !acc /. float_of_int !counted
+  end
+
+let stated_bw_available t eid =
+  Float.max 0.
+    ((Cluster.link t.cluster eid).Link.bandwidth_mbps -. t.bw_used.(eid))
+
+let validate t =
+  let tenants = List.map (fun (tn : Tenant.t) -> (tn.id, Tenant.view tn)) t.tenants in
+  Hmn_validate.Validator.check_tenants
+    ~stated_bw_available:(stated_bw_available t)
+    ~stated_residual_cpu:(fun h -> residual_cpu t ~host:h)
+    ~cluster:t.cluster ~tenants ()

@@ -1,0 +1,79 @@
+(** The live state of the shared cluster: which tenants are resident and
+    how much of every node and link they collectively consume.
+
+    Bookkeeping is incremental — admission adds each tenant's raw
+    demands, departure subtracts exactly the same values — and entirely
+    separate from the mapping library's own residual structures, so
+    {!Hmn_validate.Validator.check_tenants} (reachable via {!validate})
+    is a genuinely independent oracle over it. *)
+
+type t
+
+val create : Hmn_testbed.Cluster.t -> t
+(** An empty occupancy. Precomputes the Dijkstra latency tables once;
+    every residual cluster derived from this occupancy shares them. *)
+
+val cluster : t -> Hmn_testbed.Cluster.t
+val latency_tables : t -> Hmn_routing.Latency_table.t
+
+val tenants : t -> Tenant.t list
+(** Resident tenants, ascending id. *)
+
+val n_tenants : t -> int
+val n_guests : t -> int
+val find : t -> id:int -> Tenant.t option
+
+val admit : t -> Tenant.t -> unit
+(** Reserves the tenant's memory, storage, CPU and path bandwidth.
+    Raises [Invalid_argument] when the id is already resident or the
+    reservation would exceed any capacity beyond float tolerance — the
+    latter is a service bug (admission maps against the residual
+    cluster), not an expected outcome, and leaves the state unchanged. *)
+
+val release : t -> id:int -> Tenant.t
+(** Returns every resource the tenant held — exactly the values
+    {!admit} reserved — and removes it. Raises [Invalid_argument] on an
+    unknown id or if the subtraction drives any total negative beyond
+    tolerance (an accounting bug). *)
+
+val replace : t -> Tenant.t -> unit
+(** [release] the resident tenant with the same id, then [admit] the
+    replacement — the defragmentation commit. *)
+
+val is_empty : t -> bool
+(** No tenants and every usage total within float dust of zero. *)
+
+val residual_cluster : ?exclude:int -> t -> Hmn_testbed.Cluster.t
+(** The cluster as the next request sees it: same graph structure and
+    node/edge ids, same latencies, capacities net of current usage
+    (residual CPU clamped at 0, residual bandwidth at a negligible
+    positive floor). [exclude] additionally returns the excluded
+    tenant's own usage — the defragmentation replay view, with a tiny
+    capacity slack so the tenant is guaranteed to fit back. *)
+
+val residual_cpu : t -> host:int -> float
+(** Capacity MIPS minus resident demand; may be negative (CPU is
+    balanced, not gated). *)
+
+val lbf : t -> float
+(** Population standard deviation of residual CPU across hosts — Eq. 10
+    over the whole multi-tenant state. *)
+
+val fragmentation : t -> float
+(** Population standard deviation across hosts of the free-memory
+    fraction: 0 when every host is equally full, high when free memory
+    is concentrated on a few hosts. *)
+
+val mem_utilization : t -> float
+(** Aggregate resident memory over aggregate host memory. *)
+
+val bw_utilization : t -> float
+(** Mean used/capacity over physical links with positive capacity. *)
+
+val stated_bw_available : t -> int -> float
+(** The occupancy's own belief of an edge's remaining bandwidth, for
+    cross-checking against the validator's reconstruction. *)
+
+val validate : t -> Hmn_validate.Validator.multi_report
+(** Full independent validation of the composed state, including the
+    stated-vs-derived cross-checks. *)

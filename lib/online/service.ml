@@ -1,0 +1,163 @@
+module Engine = Hmn_simcore.Engine
+module Rng = Hmn_rng.Rng
+module Dist = Hmn_rng.Dist
+module Validator = Hmn_validate.Validator
+module Mapper = Hmn_core.Mapper
+
+type config = {
+  seed : int;
+  arrival_rate_per_s : float;
+  mean_holding_s : float;
+  duration_s : float;
+  guests_lo : int;
+  guests_hi : int;
+  density : float;
+  profile : Hmn_vnet.Workload.profile;
+  scale_frac : float;
+  defrag : Defrag.config option;
+  validate : bool;
+}
+
+let default_config =
+  {
+    seed = 42;
+    arrival_rate_per_s = 1. /. 30.;
+    mean_holding_s = 600.;
+    duration_s = 3600.;
+    guests_lo = 4;
+    guests_hi = 12;
+    density = 0.3;
+    profile = Hmn_vnet.Workload.high_level;
+    scale_frac = 0.25;
+    defrag = Some Defrag.default;
+    validate = false;
+  }
+
+type request = {
+  req_id : int;
+  at : float;
+  holding_s : float;
+  n_guests : int;
+  venv_seed : int;
+  mapper_seed : int;
+}
+
+(* The whole offered load — arrival instants, sizes, holding times, and
+   the seeds that will expand into environments — is drawn up front from
+   one stream. It depends only on [config], never on the policy, so
+   every policy faces the identical request sequence. *)
+let gen_requests config =
+  if config.arrival_rate_per_s <= 0. then
+    invalid_arg "Service: arrival rate must be positive";
+  if config.mean_holding_s <= 0. then
+    invalid_arg "Service: mean holding time must be positive";
+  if config.guests_lo < 1 || config.guests_hi < config.guests_lo then
+    invalid_arg "Service: bad guest-count range";
+  let rng = Rng.create config.seed in
+  let arrival = Dist.Exponential config.arrival_rate_per_s in
+  let holding = Dist.Exponential (1. /. config.mean_holding_s) in
+  let rec loop acc id t =
+    let t = t +. Dist.draw arrival rng in
+    if t > config.duration_s then List.rev acc
+    else
+      let req =
+        {
+          req_id = id;
+          at = t;
+          holding_s = Dist.draw holding rng;
+          n_guests = Rng.int_in rng ~lo:config.guests_lo ~hi:config.guests_hi;
+          venv_seed = Rng.int rng ~bound:0x3FFFFFFF;
+          mapper_seed = Rng.int rng ~bound:0x3FFFFFFF;
+        }
+      in
+      loop (req :: acc) (id + 1) t
+  in
+  loop [] 0 0.
+
+let env_validate () = Sys.getenv_opt "HMN_VALIDATE" <> None
+
+exception Validation_failed of string
+
+let run ~cluster ~policy config =
+  let occ = Occupancy.create cluster in
+  let session = Session.create ~policy:policy.Mapper.name ~seed:config.seed occ in
+  let engine = Engine.create () in
+  let requests = gen_requests config in
+  let empty_lbf = Occupancy.lbf occ in
+  let validating = config.validate || env_validate () in
+  let validate_or_die label =
+    if validating then begin
+      let r = Occupancy.validate occ in
+      if not (Validator.multi_ok r) then
+        raise
+          (Validation_failed
+             (Format.asprintf "online state invalid after %s:@\n%a" label
+                Validator.pp_multi_report r))
+    end
+  in
+  let on_arrival req e =
+    let now = Engine.now e in
+    Session.tick session ~now;
+    let venv =
+      Hmn_vnet.Venv_gen.generate
+        ~scale_to_fit:(cluster, config.scale_frac)
+        ~profile:config.profile ~n:req.n_guests ~density:config.density
+        ~rng:(Rng.create req.venv_seed) ()
+    in
+    match
+      Admission.try_admit ~occupancy:occ ~policy ~venv
+        ~rng:(Rng.create req.mapper_seed)
+    with
+    | Admitted (m, elapsed) ->
+        let tenant =
+          Tenant.of_mapping ~id:req.req_id ~arrived_at:now
+            ~holding_s:req.holding_s m
+        in
+        Occupancy.admit occ tenant;
+        Session.observe_arrival session ~admitted:true ~admit_seconds:elapsed;
+        Engine.schedule e ~delay:req.holding_s (fun e' ->
+            Session.tick session ~now:(Engine.now e');
+            ignore (Occupancy.release occ ~id:req.req_id);
+            Session.observe_departure session;
+            validate_or_die
+              (Printf.sprintf "the departure of tenant %d" req.req_id));
+        validate_or_die (Printf.sprintf "the arrival of tenant %d" req.req_id)
+    | Rejected { elapsed_s; _ } ->
+        Session.observe_arrival session ~admitted:false ~admit_seconds:elapsed_s
+  in
+  List.iter (fun req -> Engine.schedule_at engine ~time:req.at (on_arrival req))
+    requests;
+  (match config.defrag with
+  | None -> ()
+  | Some d ->
+      if d.interval_s <= 0. then
+        invalid_arg "Service: defrag interval must be positive";
+      let threshold = d.trigger *. empty_lbf in
+      let rec tick_defrag e =
+        let now = Engine.now e in
+        Session.tick session ~now;
+        if Occupancy.lbf occ > threshold then begin
+          let moves =
+            Defrag.round
+              ~on_move:(fun () -> validate_or_die "a defrag move")
+              ~occupancy:occ ~threshold ~max_moves:d.max_moves_per_round ()
+          in
+          Session.observe_defrag session ~moves
+        end;
+        (* stop rescheduling past the arrival horizon: after it only
+           departures remain, and rebalancing a draining cluster churns
+           migrations nobody will benefit from *)
+        if now +. d.interval_s <= config.duration_s then
+          Engine.schedule e ~delay:d.interval_s tick_defrag
+      in
+      if d.interval_s <= config.duration_s then
+        Engine.schedule_at engine ~time:d.interval_s tick_defrag);
+  Engine.run engine;
+  (* the queue drained: all departures fired, so the cluster must be
+     exactly empty — a cheap conservation check that runs even without
+     HMN_VALIDATE *)
+  if not (Occupancy.is_empty occ) then
+    raise
+      (Validation_failed
+         "cluster not empty after all tenants departed (leaked reservations)");
+  Session.finalize session ~now:(Float.max (Engine.now engine) config.duration_s)

@@ -1,0 +1,53 @@
+(** The online testbed service: a seeded stream of virtual-environment
+    requests — Poisson arrivals, exponential holding times, sizes drawn
+    by {!Hmn_vnet.Venv_gen} — driven through the discrete-event engine
+    against one shared cluster, with admission control on arrival, exact
+    release on departure, and optional periodic defragmentation.
+
+    Reproducibility: the request stream (arrival instants, holding
+    times, guest counts, per-request generator and mapper seeds) is
+    pre-drawn from [config.seed] alone, so every admission policy faces
+    the identical offered load, and a fixed [(cluster, config)] pair
+    yields a byte-identical {!Session.summary} rendering. Environments
+    are scaled against the {e full} cluster, keeping the offered load
+    independent of the occupancy trajectory. *)
+
+type config = {
+  seed : int;
+  arrival_rate_per_s : float;  (** Poisson arrival rate *)
+  mean_holding_s : float;  (** exponential residency mean *)
+  duration_s : float;  (** arrivals stop after this instant *)
+  guests_lo : int;  (** tenant size range, uniform inclusive *)
+  guests_hi : int;
+  density : float;  (** virtual-topology edge density *)
+  profile : Hmn_vnet.Workload.profile;
+  scale_frac : float;
+      (** per-tenant {!Hmn_vnet.Venv_gen.generate} calibration fraction,
+          applied against the full cluster *)
+  defrag : Defrag.config option;  (** [None] disables defragmentation *)
+  validate : bool;
+      (** validate the full multi-tenant state after every arrival,
+          departure, and defrag move; also forced on by the
+          [HMN_VALIDATE] environment variable *)
+}
+
+val default_config : config
+(** Seed 42; one arrival per 30 s for one simulated hour, mean holding
+    10 min; 4–12 guests at density 0.3, high-level profile scaled to
+    25% of the cluster; default defragmentation; validation off. *)
+
+exception Validation_failed of string
+(** Raised (when validating) with the pretty-printed
+    {!Hmn_validate.Validator.multi_report}, or unconditionally when the
+    cluster fails to drain back to empty after the last departure. *)
+
+val run :
+  cluster:Hmn_testbed.Cluster.t ->
+  policy:Hmn_core.Mapper.t ->
+  config ->
+  Session.summary
+(** Runs the full lifecycle: schedules every arrival up front, admits or
+    rejects each against the residual cluster, releases on departure,
+    defragments on the configured cadence while arrivals last, then
+    drains the queue (all departures fire) and closes the session at
+    [max duration_s last-event-time]. *)

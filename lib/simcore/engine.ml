@@ -58,4 +58,12 @@ let run ?(until = infinity) ?(max_events = max_int) t =
     | Some _ ->
       ignore (step t);
       incr executed
-  done
+  done;
+  (* When the run stopped at the horizon — queue empty, or the next
+     event strictly beyond [until] — the clock advances to [until], so
+     back-to-back [run ~until] windows tile simulated time and model
+     code can read "it is now [until]" even in quiet periods. A
+     [max_events] cutoff instead leaves the clock at the last executed
+     event so the caller can resume exactly where it stopped. *)
+  if (not !continue) && Float.is_finite until && t.clock < until then
+    t.clock <- until

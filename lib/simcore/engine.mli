@@ -37,4 +37,14 @@ val step : t -> bool
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Processes events until the queue empties, the clock passes
     [until], or [max_events] have run this call. The clock advances to
-    each event's timestamp as it fires. *)
+    each event's timestamp as it fires; an event scheduled exactly at
+    [until] still fires.
+
+    Boundary semantics: when the run stops at the horizon — the queue
+    emptied, or the next event lies strictly beyond [until] — and
+    [until] is finite, the clock is advanced to [until], so consecutive
+    [run ~until] windows tile simulated time ([now t = until] after the
+    call). When the run stops because [max_events] fired, the clock
+    stays at the last executed event's timestamp and the remaining
+    events stay queued. A horizon earlier than [now t] processes
+    nothing and leaves the clock unchanged. *)

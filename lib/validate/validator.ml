@@ -22,6 +22,7 @@ type violation =
   | Bandwidth_exceeded of { edge : int; used : float; capacity : float }
   | Residual_mismatch of { edge : int; stated : float; derived : float }
   | Objective_mismatch of { stated : float; derived : float }
+  | Cpu_accounting_mismatch of { host : int; stated : float; derived : float }
 
 type report = {
   violations : violation list;
@@ -268,6 +269,156 @@ let check m = check_view (view_of_mapping m)
 
 let is_valid m = (check m).violations = []
 
+(* ---- Multi-tenant validation (the online service's oracle) ---- *)
+
+type tenant_view = {
+  venv : Virtual_env.t;
+  t_host_of : int -> int option;
+  t_path_of : int -> Hmn_routing.Path.t option;
+}
+
+type multi_report = {
+  per_tenant : (int * violation list) list;
+  shared : violation list;
+  tenants_checked : int;
+  m_guests_checked : int;
+  m_vlinks_checked : int;
+}
+
+let multi_ok r = r.per_tenant = [] && r.shared = []
+
+let check_tenants ?stated_bw_available ?stated_residual_cpu ~cluster ~tenants () =
+  let g = Cluster.graph cluster in
+  let n_nodes = Cluster.n_nodes cluster in
+  let n_edges = Graph.n_edges g in
+  (* Shared accumulation: demands of every tenant summed against the
+     raw capacities — nothing is read from the service's own residual
+     bookkeeping, which is exactly what makes this an oracle for it. *)
+  let mem_used = Array.make n_nodes 0. in
+  let stor_used = Array.make n_nodes 0. in
+  let mips_used = Array.make n_nodes 0. in
+  let bw_used = Array.make n_edges 0. in
+  let total_guests = ref 0 and total_vlinks = ref 0 in
+  let per_tenant =
+    List.filter_map
+      (fun (tenant_id, tv) ->
+        let venv = tv.venv in
+        let n_guests = Virtual_env.n_guests venv in
+        let n_vlinks = Virtual_env.n_vlinks venv in
+        total_guests := !total_guests + n_guests;
+        total_vlinks := !total_vlinks + n_vlinks;
+        let violations = ref [] in
+        let report v = violations := v :: !violations in
+        for guest = 0 to n_guests - 1 do
+          match tv.t_host_of guest with
+          | None -> report (Unassigned_guest guest)
+          | Some node ->
+            if node < 0 || node >= n_nodes || not (Cluster.is_host cluster node)
+            then report (Guest_on_non_host { guest; node })
+            else begin
+              let d = Virtual_env.demand venv guest in
+              mem_used.(node) <- mem_used.(node) +. d.Resources.mem_mb;
+              stor_used.(node) <- stor_used.(node) +. d.Resources.stor_gb;
+              mips_used.(node) <- mips_used.(node) +. d.Resources.mips
+            end
+        done;
+        for vlink = 0 to n_vlinks - 1 do
+          let vs, vd = Virtual_env.endpoints venv vlink in
+          match (tv.t_host_of vs, tv.t_host_of vd) with
+          | None, _ | _, None -> ()  (* already reported as Unassigned_guest *)
+          | Some hs, Some hd -> (
+            match tv.t_path_of vlink with
+            | None -> if hs <> hd then report (Unmapped_vlink vlink)
+            | Some p -> (
+              match check_path_structure cluster ~vlink p with
+              | Error v -> report v
+              | Ok () ->
+                let nodes = p.Path.nodes in
+                let first = nodes.(0) and last = nodes.(Array.length nodes - 1) in
+                if not ((first = hs && last = hd) || (first = hd && last = hs))
+                then
+                  report
+                    (Endpoint_mismatch
+                       {
+                         vlink;
+                         reason =
+                           Printf.sprintf
+                             "path runs %d..%d but the guests are placed on %d \
+                              and %d"
+                             first last hs hd;
+                       })
+                else begin
+                  let spec = Virtual_env.vlink venv vlink in
+                  let latency = ref 0. in
+                  Path.iter_edges p (fun eid ->
+                      latency :=
+                        !latency
+                        +. (Cluster.link cluster eid).Hmn_testbed.Link.latency_ms);
+                  if !latency > spec.Hmn_vnet.Vlink.latency_ms +. capacity_eps then
+                    report
+                      (Latency_exceeded
+                         {
+                           vlink;
+                           actual = !latency;
+                           bound = spec.Hmn_vnet.Vlink.latency_ms;
+                         });
+                  Path.iter_edges p (fun eid ->
+                      bw_used.(eid) <-
+                        bw_used.(eid) +. spec.Hmn_vnet.Vlink.bandwidth_mbps)
+                end))
+        done;
+        match List.rev !violations with
+        | [] -> None
+        | vs -> Some (tenant_id, vs))
+      tenants
+  in
+  let shared = ref [] in
+  let report v = shared := v :: !shared in
+  Array.iter
+    (fun host ->
+      let cap = Cluster.capacity cluster host in
+      if mem_used.(host) > cap.Resources.mem_mb +. capacity_eps then
+        report
+          (Memory_exceeded
+             { host; used = mem_used.(host); capacity = cap.Resources.mem_mb });
+      if stor_used.(host) > cap.Resources.stor_gb +. capacity_eps then
+        report
+          (Storage_exceeded
+             { host; used = stor_used.(host); capacity = cap.Resources.stor_gb });
+      match stated_residual_cpu with
+      | None -> ()
+      | Some stated_cpu ->
+        let derived = (Cluster.capacity cluster host).Resources.mips -. mips_used.(host) in
+        let stated = stated_cpu host in
+        if not (Hmn_prelude.Float_ext.approx ~eps:1e-6 stated derived) then
+          report (Cpu_accounting_mismatch { host; stated; derived }))
+    (Cluster.host_ids cluster);
+  let bw_eps = Residual.tolerance *. float_of_int (!total_vlinks + 1) in
+  Array.iteri
+    (fun eid used ->
+      let cap = (Cluster.link cluster eid).Hmn_testbed.Link.bandwidth_mbps in
+      if used > cap +. bw_eps then
+        report (Bandwidth_exceeded { edge = eid; used; capacity = cap }))
+    bw_used;
+  (match stated_bw_available with
+  | None -> ()
+  | Some stated_avail ->
+    Array.iteri
+      (fun eid used ->
+        let cap = (Cluster.link cluster eid).Hmn_testbed.Link.bandwidth_mbps in
+        let derived = Float.max 0. (cap -. used) in
+        let stated = stated_avail eid in
+        if Float.abs (stated -. derived) > bw_eps then
+          report (Residual_mismatch { edge = eid; stated; derived }))
+      bw_used);
+  {
+    per_tenant;
+    shared = List.rev !shared;
+    tenants_checked = List.length tenants;
+    m_guests_checked = !total_guests;
+    m_vlinks_checked = !total_vlinks;
+  }
+
 let violation_label = function
   | Unassigned_guest _ -> "unassigned-guest"
   | Guest_on_non_host _ -> "guest-on-non-host"
@@ -281,6 +432,7 @@ let violation_label = function
   | Bandwidth_exceeded _ -> "bandwidth-exceeded"
   | Residual_mismatch _ -> "residual-mismatch"
   | Objective_mismatch _ -> "objective-mismatch"
+  | Cpu_accounting_mismatch _ -> "cpu-accounting-mismatch"
 
 let pp_violation ppf = function
   | Unassigned_guest g -> Format.fprintf ppf "guest %d is unassigned" g
@@ -311,6 +463,10 @@ let pp_violation ppf = function
   | Objective_mismatch { stated; derived } ->
     Format.fprintf ppf "load-balance factor mismatch: reported %.6f, Eq. 10 gives %.6f"
       stated derived
+  | Cpu_accounting_mismatch { host; stated; derived } ->
+    Format.fprintf ppf
+      "host %d residual-CPU drift: state says %.6f MIPS free, demands sum to %.6f"
+      host stated derived
 
 let pp_report ppf r =
   match r.violations with
@@ -321,3 +477,22 @@ let pp_report ppf r =
   | vs ->
     Format.fprintf ppf "%d violation(s):" (List.length vs);
     List.iter (fun v -> Format.fprintf ppf "@\n  %a" pp_violation v) vs
+
+let pp_multi_report ppf r =
+  if multi_ok r then
+    Format.fprintf ppf
+      "valid: %d tenants (%d guests, %d virtual links) re-checked against the \
+       shared cluster"
+      r.tenants_checked r.m_guests_checked r.m_vlinks_checked
+  else begin
+    Format.fprintf ppf "%d tenant-local and %d shared violation(s):"
+      (List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 r.per_tenant)
+      (List.length r.shared);
+    List.iter
+      (fun (tenant, vs) ->
+        List.iter
+          (fun v -> Format.fprintf ppf "@\n  tenant %d: %a" tenant pp_violation v)
+          vs)
+      r.per_tenant;
+    List.iter (fun v -> Format.fprintf ppf "@\n  shared: %a" pp_violation v) r.shared
+  end

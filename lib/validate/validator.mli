@@ -52,6 +52,10 @@ type violation =
   | Objective_mismatch of { stated : float; derived : float }
       (** The reported load-balance factor is not the one Eq. 10 gives
           for this placement. *)
+  | Cpu_accounting_mismatch of { host : int; stated : float; derived : float }
+      (** Multi-tenant check only: the online service's stated residual
+          CPU for a host disagrees with capacity minus the summed MIPS
+          demand of every tenant guest placed there. *)
 
 type report = {
   violations : violation list;  (** in discovery order; [[]] = valid *)
@@ -98,3 +102,54 @@ val pp_report : Format.formatter -> report -> unit
 val violation_label : violation -> string
 (** Short class name, e.g. ["residual-mismatch"] — stable keys for the
     fuzzer's summaries. *)
+
+(** {2 Multi-tenant validation}
+
+    The online testbed service ({!Hmn_online}) runs many virtual
+    environments on one shared cluster. [check_tenants] is the oracle
+    for that composed state: it re-derives every per-host and per-edge
+    load by summing the raw demands of {e all} tenants' guests and
+    routed links against the cluster's raw capacities — sharing no code
+    or state with the service's own occupancy bookkeeping — and
+    cross-checks the service's stated residual bandwidth and residual
+    CPU when provided. *)
+
+(** One tenant reduced to the raw facts the multi-tenant check consumes.
+    Guest and vlink ids are tenant-local; node/edge ids are the shared
+    cluster's. *)
+type tenant_view = {
+  venv : Hmn_vnet.Virtual_env.t;
+  t_host_of : int -> int option;  (** tenant guest id → node id *)
+  t_path_of : int -> Hmn_routing.Path.t option;  (** tenant vlink id → path *)
+}
+
+type multi_report = {
+  per_tenant : (int * violation list) list;
+      (** tenants with structural violations (unassigned guests, broken
+          or latency-violating paths), tagged by tenant id; only
+          offending tenants appear *)
+  shared : violation list;
+      (** aggregate violations of the shared cluster: summed memory /
+          storage / bandwidth over capacity, and stated-state drift *)
+  tenants_checked : int;
+  m_guests_checked : int;
+  m_vlinks_checked : int;
+}
+
+val check_tenants :
+  ?stated_bw_available:(int -> float) ->
+  ?stated_residual_cpu:(int -> float) ->
+  cluster:Hmn_testbed.Cluster.t ->
+  tenants:(int * tenant_view) list ->
+  unit ->
+  multi_report
+(** [check_tenants ~cluster ~tenants ()] re-checks the composed
+    multi-tenant state. [stated_bw_available] (edge id → Mbps) and
+    [stated_residual_cpu] (host id → MIPS) additionally cross-check the
+    service's live accounting against the reconstruction
+    ({!Residual_mismatch} / {!Cpu_accounting_mismatch}). Never
+    raises. *)
+
+val multi_ok : multi_report -> bool
+
+val pp_multi_report : Format.formatter -> multi_report -> unit

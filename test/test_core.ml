@@ -577,6 +577,99 @@ let test_incremental_evacuate () =
   Alcotest.(check int) "host empty" 0 (Placement.n_guests_on placement ~host);
   Alcotest.(check int) "still valid" 0 (List.length (Constraints.check mapping))
 
+(* A drain that must get stuck: h0 holds a small guest (fits anywhere)
+   and a big guest (fits only h0), joined by a virtual link. The small
+   guest moves, the big one cannot leave. *)
+let stuck_evacuation_handle () =
+  let mem = [| 4096.; 512.; 512. |] in
+  let hosts =
+    Array.init 3 (fun i ->
+        Node.host
+          ~name:(Printf.sprintf "h%d" i)
+          ~capacity:(Resources.make ~mips:2000. ~mem_mb:mem.(i) ~stor_gb:1000.))
+  in
+  let cluster = Hmn_testbed.Topology.line ~hosts ~link:Link.gigabit in
+  let guests =
+    [|
+      guest ~mem:200. "small";
+      guest ~mem:2000. "big" (* only h0 has this much memory *);
+    |]
+  in
+  let vgraph = Graph.create ~n:2 () in
+  ignore
+    (Graph.add_edge vgraph 0 1
+       (Vlink.make ~bandwidth_mbps:10. ~latency_ms:100.));
+  let venv = Venv.create ~guests ~graph:vgraph in
+  let problem = Problem.make ~cluster ~venv in
+  let placement = Placement.create problem in
+  List.iter
+    (fun g ->
+      match Placement.assign placement ~guest:g ~host:0 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ 0; 1 ];
+  let link_map = Hmn_mapping.Link_map.create problem in
+  (match Hmn_mapping.Link_map.assign link_map ~vlink:0 (Hmn_routing.Path.trivial 0) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Hmn_core.Incremental.create (Hmn_mapping.Mapping.make ~placement ~link_map)
+
+let test_incremental_evacuate_rollback () =
+  (* Default rollback: a failed drain leaves the mapping exactly as
+     found — both guests back on h0, the link back on its trivial
+     path. *)
+  let t = stuck_evacuation_handle () in
+  let mapping = Hmn_core.Incremental.mapping t in
+  let placement = mapping.Hmn_mapping.Mapping.placement in
+  let link_map = mapping.Hmn_mapping.Mapping.link_map in
+  (match Hmn_core.Incremental.evacuate_host t ~host:0 with
+  | Ok n -> Alcotest.failf "drain unexpectedly succeeded (%d moves)" n
+  | Error e ->
+    let contains_sub s sub =
+      let n = String.length s and m = String.length sub in
+      let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "error names the stuck guest" true
+      (contains_sub e "guest 1");
+    Alcotest.(check bool) "error mentions the rollback" true
+      (contains_sub e "rolled back"));
+  Alcotest.(check (option int)) "small guest restored" (Some 0)
+    (Placement.host_of placement ~guest:0);
+  Alcotest.(check (option int)) "big guest untouched" (Some 0)
+    (Placement.host_of placement ~guest:1);
+  (match Hmn_mapping.Link_map.path_of link_map ~vlink:0 with
+  | Some p ->
+    Alcotest.(check bool) "link back on the intra-host path" true
+      (Hmn_routing.Path.is_intra_host p)
+  | None -> Alcotest.fail "link lost its path");
+  Alcotest.(check int) "mapping exactly as found" 0
+    (List.length (Constraints.check mapping));
+  Alcotest.(check bool) "residual bandwidth fully restored" true
+    (let residual = Hmn_mapping.Link_map.residual link_map in
+     let g = Cluster.graph (Hmn_routing.Residual.cluster residual) in
+     List.for_all
+       (fun eid -> Hmn_routing.Residual.used residual eid <= 1e-9)
+       (List.init (Graph.n_edges g) Fun.id))
+
+let test_incremental_evacuate_no_rollback () =
+  (* rollback:false keeps the partial drain: the small guest stays
+     moved, the big one stays stuck on h0, and the mapping is still
+     valid. *)
+  let t = stuck_evacuation_handle () in
+  let mapping = Hmn_core.Incremental.mapping t in
+  let placement = mapping.Hmn_mapping.Mapping.placement in
+  (match Hmn_core.Incremental.evacuate_host ~rollback:false t ~host:0 with
+  | Ok n -> Alcotest.failf "drain unexpectedly succeeded (%d moves)" n
+  | Error _ -> ());
+  (match Placement.host_of placement ~guest:0 with
+  | Some h -> Alcotest.(check bool) "small guest stays moved" true (h <> 0)
+  | None -> Alcotest.fail "small guest lost");
+  Alcotest.(check (option int)) "big guest still on h0" (Some 0)
+    (Placement.host_of placement ~guest:1);
+  Alcotest.(check int) "partial state still valid" 0
+    (List.length (Constraints.check mapping))
+
 let test_incremental_rebalance () =
   (* Build a deliberately unbalanced valid mapping: place everything
      with the consolidating packer, then rebalance. *)
@@ -830,6 +923,10 @@ let () =
           Alcotest.test_case "move guest" `Quick test_incremental_move_guest;
           Alcotest.test_case "move rollback" `Quick test_incremental_move_rollback;
           Alcotest.test_case "evacuate host" `Quick test_incremental_evacuate;
+          Alcotest.test_case "evacuate rollback" `Quick
+            test_incremental_evacuate_rollback;
+          Alcotest.test_case "evacuate without rollback" `Quick
+            test_incremental_evacuate_no_rollback;
           Alcotest.test_case "rebalance" `Quick test_incremental_rebalance;
           Alcotest.test_case "rejects invalid" `Quick test_incremental_rejects_invalid;
         ] );

@@ -159,6 +159,69 @@ let prop_roundtrip_many_seeds =
           && Hmn_prelude.Float_ext.approx (Mapping.objective mapping)
                (Mapping.objective mapping')))
 
+(* encode -> decode -> re-encode must be the identity on the JSON tree:
+   the codec is canonical (decoders rebuild exactly the state the
+   encoder will serialise again, with no float drift since no text
+   formatting is involved on this path). *)
+let prop_reencode_fixpoint =
+  QCheck.Test.make ~name:"bundle re-encode is structurally equal" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      let problem = sample_problem ~seed:(seed + 1000) ~guests:25 () in
+      match (Hmn_core.Hmn.run problem).Hmn_core.Mapper.result with
+      | Error _ -> true
+      | Ok mapping -> (
+        let j = Codec.bundle_to_json mapping in
+        match Codec.bundle_of_json j with
+        | Error _ -> false
+        | Ok mapping' -> Codec.bundle_to_json mapping' = j))
+
+(* Over-capacity tampering: shrink every physical link to a bandwidth no
+   inter-host path can afford. The bundle loader re-reserves every path
+   through the Link_map, so the forgery must fail decoding (or, if it
+   ever decoded, the constraints check). *)
+let tamper_link_bandwidths ~bw json =
+  let map_obj f = function
+    | Json.Obj fields -> Json.Obj (List.map f fields)
+    | _ -> Alcotest.fail "expected an object"
+  in
+  map_obj
+    (function
+      | "problem", problem ->
+        ( "problem",
+          map_obj
+            (function
+              | "cluster", cluster ->
+                ( "cluster",
+                  map_obj
+                    (function
+                      | "links", Json.Arr links ->
+                        ( "links",
+                          Json.Arr
+                            (List.map
+                               (map_obj (function
+                                 | "bandwidth_mbps", _ ->
+                                   ("bandwidth_mbps", Json.float bw)
+                                 | field -> field))
+                               links) )
+                      | field -> field)
+                    cluster )
+              | field -> field)
+            problem )
+      | field -> field)
+    json
+
+let test_rejects_tampered_bandwidth () =
+  let mapping = sample_mapping () in
+  Alcotest.(check bool) "has inter-host links" true (Mapping.total_hops mapping > 0);
+  let tampered = tamper_link_bandwidths ~bw:1e-6 (Codec.bundle_to_json mapping) in
+  let rejected =
+    match Codec.bundle_of_json tampered with
+    | Error _ -> true
+    | Ok mapping' -> not (Constraints.is_valid mapping')
+  in
+  Alcotest.(check bool) "over-capacity bundle rejected" true rejected
+
 let () =
   Alcotest.run "hmn_io"
     [
@@ -175,6 +238,12 @@ let () =
           Alcotest.test_case "wrong format" `Quick test_rejects_wrong_format;
           Alcotest.test_case "tampered placement" `Quick test_rejects_tampered_placement;
           Alcotest.test_case "overdrawn paths" `Quick test_rejects_overdrawn_paths;
+          Alcotest.test_case "tampered bandwidth" `Quick
+            test_rejects_tampered_bandwidth;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip_many_seeds ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip_many_seeds;
+          QCheck_alcotest.to_alcotest prop_reencode_fixpoint;
+        ] );
     ]

@@ -1,0 +1,347 @@
+(* Tests for hmn_online: occupancy bookkeeping round-trips exactly, the
+   multi-tenant validator catches crafted cross-tenant violations, the
+   service is deterministic for a fixed seed, rejects under overload,
+   drains back to an empty cluster, and defragmentation lowers the
+   occupied LBF while keeping the state valid. *)
+
+module Graph = Hmn_graph.Graph
+module Cluster = Hmn_testbed.Cluster
+module Cluster_gen = Hmn_testbed.Cluster_gen
+module Node = Hmn_testbed.Node
+module Link = Hmn_testbed.Link
+module Resources = Hmn_testbed.Resources
+module Guest = Hmn_vnet.Guest
+module Vlink = Hmn_vnet.Vlink
+module Virtual_env = Hmn_vnet.Virtual_env
+module Workload = Hmn_vnet.Workload
+module Path = Hmn_routing.Path
+module Rng = Hmn_rng.Rng
+module Validator = Hmn_validate.Validator
+module Registry = Hmn_core.Registry
+module Tenant = Hmn_online.Tenant
+module Occupancy = Hmn_online.Occupancy
+module Admission = Hmn_online.Admission
+module Defrag = Hmn_online.Defrag
+module Service = Hmn_online.Service
+
+let policy name =
+  match Registry.find name with
+  | Some p -> p
+  | None -> Alcotest.fail ("no policy " ^ name)
+
+(* A ring of four hosts with alternating CPU, so the empty cluster has a
+   nonzero LBF and a deliberately skewed placement a much larger one. *)
+let ring_cluster () =
+  let g = Graph.create ~n:4 () in
+  let mk () = Link.make ~bandwidth_mbps:100. ~latency_ms:5. in
+  ignore (Graph.add_edge g 0 1 (mk ()));
+  ignore (Graph.add_edge g 1 2 (mk ()));
+  ignore (Graph.add_edge g 2 3 (mk ()));
+  ignore (Graph.add_edge g 3 0 (mk ()));
+  let nodes =
+    Array.init 4 (fun i ->
+        Node.host
+          ~name:(Printf.sprintf "h%d" i)
+          ~capacity:
+            (Resources.make
+               ~mips:(if i mod 2 = 0 then 1000. else 2000.)
+               ~mem_mb:1024. ~stor_gb:100.))
+  in
+  Cluster.create ~nodes ~graph:g
+
+(* A single-guest tenant pinned to [host], no virtual links. *)
+let solo_tenant ~id ~host ~mips ~mem =
+  let venv =
+    Virtual_env.create
+      ~guests:
+        [|
+          Guest.make
+            ~name:(Printf.sprintf "t%d-vm0" id)
+            ~demand:(Resources.make ~mips ~mem_mb:mem ~stor_gb:1.);
+        |]
+      ~graph:(Graph.create ~n:1 ())
+  in
+  {
+    Tenant.id;
+    venv;
+    hosts = [| host |];
+    paths = [||];
+    arrived_at = 0.;
+    holding_s = 1.;
+  }
+
+let torus ~seed = Cluster_gen.torus_cluster ~rows:3 ~cols:4 ~rng:(Rng.create seed) ()
+
+(* --- occupancy ------------------------------------------------------ *)
+
+let test_occupancy_round_trip () =
+  let cluster = torus ~seed:5 in
+  let occ = Occupancy.create cluster in
+  let venv =
+    Hmn_vnet.Venv_gen.generate
+      ~scale_to_fit:(cluster, 0.3)
+      ~profile:Workload.high_level ~n:5 ~density:0.4 ~rng:(Rng.create 11) ()
+  in
+  (match
+     Admission.try_admit ~occupancy:occ ~policy:(policy "HMN") ~venv
+       ~rng:(Rng.create 1)
+   with
+  | Admission.Admitted (m, _) ->
+      let tn = Tenant.of_mapping ~id:0 ~arrived_at:0. ~holding_s:10. m in
+      Occupancy.admit occ tn;
+      Alcotest.(check int) "one tenant" 1 (Occupancy.n_tenants occ);
+      Alcotest.(check int) "five guests" 5 (Occupancy.n_guests occ);
+      Alcotest.(check bool) "occupied state validates" true
+        (Validator.multi_ok (Occupancy.validate occ));
+      (* the residual cluster lost the tenant's memory *)
+      let residual = Occupancy.residual_cluster occ in
+      let total_full = (Cluster.total_capacity cluster).Resources.mem_mb in
+      let total_res = (Cluster.total_capacity residual).Resources.mem_mb in
+      let demand = (Virtual_env.total_demand venv).Resources.mem_mb in
+      Alcotest.(check (float 1e-6))
+        "residual memory = full - demand" (total_full -. demand) total_res;
+      ignore (Occupancy.release occ ~id:0);
+      Alcotest.(check bool) "empty after release" true (Occupancy.is_empty occ)
+  | Admission.Rejected { reason; _ } ->
+      Alcotest.fail ("admission unexpectedly rejected: " ^ reason))
+
+let test_occupancy_admit_guard () =
+  let occ = Occupancy.create (ring_cluster ()) in
+  (* 900 MB fits a 1024 MB host once, not twice *)
+  Occupancy.admit occ (solo_tenant ~id:0 ~host:0 ~mips:10. ~mem:900.);
+  Alcotest.check_raises "second 900 MB tenant on h0 rejected"
+    (Invalid_argument "Occupancy.admit: node 0 memory over capacity")
+    (fun () ->
+      Occupancy.admit occ (solo_tenant ~id:1 ~host:0 ~mips:10. ~mem:900.));
+  (* the failed admit must not have leaked any usage *)
+  ignore (Occupancy.release occ ~id:0);
+  Alcotest.(check bool) "empty again" true (Occupancy.is_empty occ)
+
+(* --- multi-tenant validator ----------------------------------------- *)
+
+let mk_venv_pair ~mem ~bw =
+  (* two guests, one vlink *)
+  let g = Graph.create ~n:2 () in
+  ignore (Graph.add_edge g 0 1 (Vlink.make ~bandwidth_mbps:bw ~latency_ms:50.));
+  Virtual_env.create
+    ~guests:
+      (Array.init 2 (fun i ->
+           Guest.make
+             ~name:(Printf.sprintf "vm%d" i)
+             ~demand:(Resources.make ~mips:50. ~mem_mb:mem ~stor_gb:1.)))
+    ~graph:g
+
+let two_host_cluster () =
+  let g = Graph.create ~n:2 () in
+  let e01 = Graph.add_edge g 0 1 (Link.make ~bandwidth_mbps:100. ~latency_ms:5.) in
+  let nodes =
+    Array.init 2 (fun i ->
+        Node.host
+          ~name:(Printf.sprintf "h%d" i)
+          ~capacity:(Resources.make ~mips:1000. ~mem_mb:1024. ~stor_gb:100.))
+  in
+  (Cluster.create ~nodes ~graph:g, e01)
+
+let spanning_view ~e01 venv =
+  (* guest 0 on host 0, guest 1 on host 1, vlink over the single link *)
+  {
+    Validator.venv;
+    t_host_of = (fun g -> if g = 0 then Some 0 else Some 1);
+    t_path_of = (fun _ -> Some (Path.make ~nodes:[ 0; 1 ] ~edges:[ e01 ]));
+  }
+
+let labels vs = List.map Validator.violation_label vs
+
+let test_check_tenants_shared_overflow () =
+  let cluster, e01 = two_host_cluster () in
+  (* each tenant alone fits; two of them overflow both memory (2 x 600
+     on each 1024 MB host) and bandwidth (2 x 60 on the 100 Mbps link) *)
+  let venv = mk_venv_pair ~mem:600. ~bw:60. in
+  let view = spanning_view ~e01 venv in
+  let r =
+    Validator.check_tenants ~cluster ~tenants:[ (0, view); (1, view) ] ()
+  in
+  Alcotest.(check bool) "not ok" false (Validator.multi_ok r);
+  Alcotest.(check (list string)) "no per-tenant violations" []
+    (List.concat_map (fun (_, vs) -> labels vs) r.Validator.per_tenant);
+  let shared = labels r.Validator.shared in
+  Alcotest.(check bool) "memory overflow on both hosts" true
+    (List.length (List.filter (( = ) "memory-exceeded") shared) = 2);
+  Alcotest.(check bool) "bandwidth overflow on the link" true
+    (List.mem "bandwidth-exceeded" shared);
+  (* one tenant alone is fine *)
+  Alcotest.(check bool) "single tenant ok" true
+    (Validator.multi_ok
+       (Validator.check_tenants ~cluster ~tenants:[ (0, view) ] ()))
+
+let test_check_tenants_structural_and_stated () =
+  let cluster, e01 = two_host_cluster () in
+  let venv = mk_venv_pair ~mem:100. ~bw:10. in
+  let unassigned =
+    {
+      Validator.venv;
+      t_host_of = (fun g -> if g = 0 then Some 0 else None);
+      t_path_of = (fun _ -> None);
+    }
+  in
+  (* with an endpoint unassigned the vlink check is skipped by design *)
+  let r = Validator.check_tenants ~cluster ~tenants:[ (7, unassigned) ] () in
+  (match r.Validator.per_tenant with
+  | [ (7, vs) ] ->
+      Alcotest.(check (list string)) "unassigned guest" [ "unassigned-guest" ]
+        (labels vs)
+  | _ -> Alcotest.fail "expected tenant 7 in per_tenant");
+  let unmapped =
+    {
+      Validator.venv;
+      t_host_of = (fun g -> Some (if g = 0 then 0 else 1));
+      t_path_of = (fun _ -> None);
+    }
+  in
+  let r1 = Validator.check_tenants ~cluster ~tenants:[ (8, unmapped) ] () in
+  (match r1.Validator.per_tenant with
+  | [ (8, vs) ] ->
+      Alcotest.(check (list string)) "unmapped vlink" [ "unmapped-vlink" ]
+        (labels vs)
+  | _ -> Alcotest.fail "expected tenant 8 in per_tenant");
+  (* stated accounting drift: residual CPU off by 1 MIPS on host 0 *)
+  let ok_view = spanning_view ~e01 venv in
+  let r2 =
+    Validator.check_tenants
+      ~stated_residual_cpu:(fun h -> if h = 0 then 951. else 950.)
+      ~cluster
+      ~tenants:[ (0, ok_view) ]
+      ()
+  in
+  Alcotest.(check (list string)) "cpu drift caught"
+    [ "cpu-accounting-mismatch" ] (labels r2.Validator.shared)
+
+(* --- defrag --------------------------------------------------------- *)
+
+let test_defrag_round_lowers_lbf () =
+  let occ = Occupancy.create (ring_cluster ()) in
+  let empty_lbf = Occupancy.lbf occ in
+  (* four 200-MIPS tenants all crowded onto host 0 *)
+  for id = 0 to 3 do
+    Occupancy.admit occ (solo_tenant ~id ~host:0 ~mips:200. ~mem:100.)
+  done;
+  let before = Occupancy.lbf occ in
+  Alcotest.(check bool) "skewed placement is imbalanced" true
+    (before > empty_lbf);
+  let validations = ref 0 in
+  let moves =
+    Defrag.round
+      ~on_move:(fun () ->
+        incr validations;
+        Alcotest.(check bool) "state valid after each move" true
+          (Validator.multi_ok (Occupancy.validate occ)))
+      ~occupancy:occ ~threshold:empty_lbf ~max_moves:8 ()
+  in
+  let after = Occupancy.lbf occ in
+  Alcotest.(check bool) "at least one move" true (moves >= 1);
+  Alcotest.(check int) "hook fired per move" moves !validations;
+  Alcotest.(check bool) "lbf improved" true (after < before);
+  Alcotest.(check int) "no tenant lost" 4 (Occupancy.n_tenants occ)
+
+(* --- service -------------------------------------------------------- *)
+
+let small_config =
+  {
+    Service.default_config with
+    seed = 97;
+    arrival_rate_per_s = 1. /. 60.;
+    mean_holding_s = 240.;
+    duration_s = 1200.;
+    guests_lo = 3;
+    guests_hi = 6;
+    scale_frac = 0.3;
+    validate = true;
+  }
+
+let test_service_deterministic () =
+  let run () =
+    Service.run ~cluster:(torus ~seed:5) ~policy:(policy "HMN") small_config
+  in
+  let a = run () and b = run () in
+  Alcotest.(check string) "byte-identical rendering"
+    (Hmn_online.Session.render_summary a)
+    (Hmn_online.Session.render_summary b);
+  Alcotest.(check bool) "some arrivals happened" true (a.arrivals > 0);
+  Alcotest.(check int) "all admitted tenants departed" a.admitted a.departures
+
+let test_service_rejects_under_overload () =
+  (* large tenants arriving far faster than they leave on a small
+     cluster: the residual must run out and admissions fail *)
+  let config =
+    {
+      small_config with
+      seed = 31;
+      arrival_rate_per_s = 1. /. 5.;
+      mean_holding_s = 2000.;
+      duration_s = 600.;
+      guests_lo = 8;
+      guests_hi = 12;
+      scale_frac = 0.45;
+    }
+  in
+  let s = Service.run ~cluster:(torus ~seed:5) ~policy:(policy "HMN") config in
+  Alcotest.(check bool) "some rejected" true (s.rejected > 0);
+  Alcotest.(check bool) "acceptance below 1" true (s.acceptance < 1.);
+  Alcotest.(check bool) "but not everything rejected" true (s.admitted > 0)
+
+let test_service_defrag_engaged () =
+  let config =
+    {
+      small_config with
+      seed = 13;
+      defrag =
+        Some { Defrag.interval_s = 90.; trigger = 0.; max_moves_per_round = 4 };
+    }
+  in
+  let s = Service.run ~cluster:(torus ~seed:5) ~policy:(policy "R") config in
+  (* trigger 0 means every periodic check with a nonempty cluster runs a
+     round; validation (validate = true) gates every move *)
+  Alcotest.(check bool) "defrag rounds ran" true (s.defrag_rounds > 0)
+
+let test_service_policy_independent_load () =
+  (* the offered stream is pre-generated: every policy must see the same
+     arrival count *)
+  let run name =
+    Service.run ~cluster:(torus ~seed:5) ~policy:(policy name)
+      { small_config with validate = false }
+  in
+  let hmn = run "HMN" and r = run "R" and hs = run "HS" in
+  Alcotest.(check int) "same arrivals HMN/R" hmn.arrivals r.arrivals;
+  Alcotest.(check int) "same arrivals HMN/HS" hmn.arrivals hs.arrivals
+
+let () =
+  Alcotest.run "hmn_online"
+    [
+      ( "occupancy",
+        [
+          Alcotest.test_case "admit/release round trip" `Quick
+            test_occupancy_round_trip;
+          Alcotest.test_case "admit guard" `Quick test_occupancy_admit_guard;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "shared overflow" `Quick
+            test_check_tenants_shared_overflow;
+          Alcotest.test_case "structural and stated" `Quick
+            test_check_tenants_structural_and_stated;
+        ] );
+      ( "defrag",
+        [
+          Alcotest.test_case "round lowers lbf" `Quick
+            test_defrag_round_lowers_lbf;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "deterministic" `Quick test_service_deterministic;
+          Alcotest.test_case "rejects under overload" `Quick
+            test_service_rejects_under_overload;
+          Alcotest.test_case "defrag engaged" `Quick test_service_defrag_engaged;
+          Alcotest.test_case "policy-independent load" `Quick
+            test_service_policy_independent_load;
+        ] );
+    ]

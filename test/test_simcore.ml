@@ -65,6 +65,56 @@ let test_run_until () =
   Engine.run e;
   Alcotest.(check int) "all fired" 4 !count
 
+let test_until_boundary () =
+  (* An event scheduled exactly at [until] fires. *)
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule_at e ~time:t (fun _ -> fired := t :: !fired))
+    [ 1.; 2.; 3. ];
+  Engine.run ~until:2. e;
+  Alcotest.(check (list (float 0.))) "event at until fires" [ 1.; 2. ]
+    (List.rev !fired);
+  Alcotest.(check (float 0.)) "clock at until" 2. (Engine.now e);
+  Alcotest.(check int) "later event pending" 1 (Engine.pending e)
+
+let test_until_queue_drains_early () =
+  (* The queue empties before [until]: the clock still advances to the
+     horizon, so consecutive windows tile simulated time. *)
+  let e = Engine.create () in
+  Engine.schedule_at e ~time:1. (fun _ -> ());
+  Engine.run ~until:10. e;
+  Alcotest.(check (float 0.)) "clock advances to until" 10. (Engine.now e);
+  Alcotest.(check int) "nothing pending" 0 (Engine.pending e);
+  (* An empty run over a later window also lands on its horizon... *)
+  Engine.run ~until:20. e;
+  Alcotest.(check (float 0.)) "empty window advances too" 20. (Engine.now e);
+  (* ...but an infinite horizon never touches the clock. *)
+  Engine.run e;
+  Alcotest.(check (float 0.)) "infinite horizon leaves clock" 20. (Engine.now e);
+  (* A horizon in the past processes nothing and cannot move the clock
+     backwards. *)
+  Engine.run ~until:5. e;
+  Alcotest.(check (float 0.)) "past horizon is a no-op" 20. (Engine.now e)
+
+let test_max_events_mid_batch () =
+  (* A max_events cutoff mid-batch leaves the clock at the last executed
+     event, not at [until], and keeps the tail queued. *)
+  let e = Engine.create () in
+  let fired = ref 0 in
+  List.iter
+    (fun t -> Engine.schedule_at e ~time:t (fun _ -> incr fired))
+    [ 1.; 2.; 3.; 4. ];
+  Engine.run ~until:100. ~max_events:2 e;
+  Alcotest.(check int) "two fired" 2 !fired;
+  Alcotest.(check (float 0.)) "clock at last event" 2. (Engine.now e);
+  Alcotest.(check int) "rest pending" 2 (Engine.pending e);
+  (* Resuming with the same horizon finishes the batch and then lands on
+     the horizon. *)
+  Engine.run ~until:100. e;
+  Alcotest.(check int) "all fired" 4 !fired;
+  Alcotest.(check (float 0.)) "clock at horizon after resume" 100. (Engine.now e)
+
 let test_run_max_events () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -114,6 +164,10 @@ let () =
           Alcotest.test_case "relative schedule" `Quick test_schedule_relative;
           Alcotest.test_case "errors" `Quick test_schedule_errors;
           Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "until boundary" `Quick test_until_boundary;
+          Alcotest.test_case "until with early drain" `Quick
+            test_until_queue_drains_early;
+          Alcotest.test_case "max events mid-batch" `Quick test_max_events_mid_batch;
           Alcotest.test_case "max events" `Quick test_run_max_events;
           Alcotest.test_case "mid-run scheduling" `Quick
             test_events_scheduled_during_run;
