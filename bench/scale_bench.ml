@@ -1,0 +1,322 @@
+(* Cluster-size scaling bench.
+
+   Part 1 maps one deterministic instance per size along the
+   40 -> 400 -> 4000 host axis (25:1 guests, ~1.5 vlinks per guest)
+   with the scale pipeline and records per-stage wall time, the H/M/N
+   split, the objective, and the independent validator's verdict in
+   BENCH_scale.json (path override: HMN_BENCH_SCALE_JSON).
+
+   Part 2 quantifies what this PR's routing changes buy at the
+   400-host point by re-running the same placement against an in-bench
+   reconstruction of the pre-PR hot path: eager per-host
+   Dijkstra.distances_to latency tables and an adjacency-walking
+   A*Prune (Graph.iter_adj + Cluster.link + Residual.available per
+   arc) instead of the CSR slices and leaf-landmark tables.
+
+   HMN_BENCH_FAST=1 caps part 1 at 400 hosts (the tier-1 smoke rule
+   sets it); the full run includes the 4000-host / 100 000-guest
+   instance. *)
+
+module Scale = Hmn_experiments.Scale
+module Cluster = Hmn_testbed.Cluster
+module Graph = Hmn_graph.Graph
+module Bitset = Hmn_dstruct.Bitset
+module Heap = Hmn_dstruct.Binary_heap
+module Path = Hmn_routing.Path
+module Residual = Hmn_routing.Residual
+module Latency_table = Hmn_routing.Latency_table
+module Json = Hmn_prelude.Json
+module Clock = Hmn_prelude.Clock
+module Mapper = Hmn_core.Mapper
+module Hmn = Hmn_core.Hmn
+
+let fast = Sys.getenv_opt "HMN_BENCH_FAST" <> None
+
+let schema_version = 1
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* ---- part 1: the size axis ---- *)
+
+let sizes = if fast then [ 40; 400 ] else [ 40; 400; 4000 ]
+
+let size_point ~hosts =
+  let t0 = Clock.now_s () in
+  let r = Scale.run ~validate:true ~shape:Scale.Clos ~hosts () in
+  let wall_s = Clock.elapsed_s t0 in
+  let mapped = Result.is_ok r.Scale.outcome.Mapper.result in
+  Printf.printf "%5d hosts: %s  hosting=%.3fs migration=%.3fs networking=%.3fs\n%!"
+    r.Scale.n_hosts
+    (if mapped then "mapped" else "FAILED")
+    r.Scale.report.Hmn.hosting_s r.Scale.report.Hmn.migration_s
+    r.Scale.report.Hmn.networking_s;
+  let lbf =
+    match r.Scale.outcome.Mapper.result with
+    | Ok mapping -> Json.float (Hmn_mapping.Mapping.objective mapping)
+    | Error _ -> Json.Null
+  in
+  Json.Obj
+    [
+      ("shape", Json.str (Scale.shape_name r.Scale.shape));
+      ("hosts", Json.int r.Scale.n_hosts);
+      ("racks", Json.int r.Scale.n_racks);
+      ("guests", Json.int r.Scale.n_guests);
+      ("vlinks", Json.int r.Scale.n_vlinks);
+      ("mapped", Json.Bool mapped);
+      ("lbf", lbf);
+      ("valid", match r.Scale.valid with
+        | Some v -> Json.Bool v
+        | None -> Json.Null);
+      ("hosting_s", Json.float r.Scale.report.Hmn.hosting_s);
+      ("migration_s", Json.float r.Scale.report.Hmn.migration_s);
+      ("networking_s", Json.float r.Scale.report.Hmn.networking_s);
+      ("total_s", Json.float r.Scale.outcome.Mapper.elapsed_s);
+      ("wall_s", Json.float wall_s);
+    ]
+
+(* ---- part 2: pre-PR hot-path baseline at 400 hosts ---- *)
+
+(* The pre-PR Latency_table: one eager Dijkstra (and one O(nodes)
+   float table) per host destination, straight off the adjacency
+   representation. *)
+let old_precompute cluster =
+  let g = Cluster.graph cluster in
+  let weight eid = (Cluster.link cluster eid).Hmn_testbed.Link.latency_ms in
+  let tables = Hashtbl.create 64 in
+  Array.iter
+    (fun dst ->
+      Hashtbl.replace tables dst (Hmn_graph.Dijkstra.distances_to g ~weight ~dst))
+    (Cluster.host_ids cluster);
+  tables
+
+(* The pre-PR A*Prune hot loop, reconstructed verbatim: float-array
+   tables, Graph.iter_adj expansion, a Cluster.link record fetch and a
+   Residual.available call per arc. Metrics/stats plumbing is dropped;
+   the search order and results are identical to the shipped router. *)
+type partial = {
+  rev_nodes : int list;
+  rev_edges : int list;
+  last : int;
+  hops : int;
+  bottleneck : float;
+  acc_latency : float;
+  members : Bitset.t;
+}
+
+let compare_partial ar a b =
+  let c = Float.compare b.bottleneck a.bottleneck in
+  if c <> 0 then c
+  else
+    let proj p = p.acc_latency +. ar.(p.last) in
+    let c = Float.compare (proj a) (proj b) in
+    if c <> 0 then c else Int.compare a.hops b.hops
+
+let old_route ~tables ~residual ~src ~dst ~bandwidth_mbps ~latency_ms =
+  let cluster = Residual.cluster residual in
+  let g = Cluster.graph cluster in
+  let n = Graph.n_nodes g in
+  if src = dst then Some (Path.trivial src)
+  else begin
+    let ar = Hashtbl.find tables dst in
+    let heap = Heap.create ~cmp:(compare_partial ar) () in
+    let labels = Array.make n [] in
+    let dominated v ~bottleneck ~latency =
+      List.exists (fun (b, l) -> b >= bottleneck && l <= latency) labels.(v)
+    in
+    let record v ~bottleneck ~latency =
+      let current = labels.(v) in
+      let rest =
+        if List.exists (fun (b, l) -> b <= bottleneck && l >= latency) current
+        then
+          List.filter (fun (b, l) -> not (b <= bottleneck && l >= latency)) current
+        else current
+      in
+      labels.(v) <- (bottleneck, latency) :: rest
+    in
+    let start_members = Bitset.create n in
+    Bitset.add start_members src;
+    if ar.(src) <= latency_ms then begin
+      record src ~bottleneck:infinity ~latency:0.;
+      Heap.push heap
+        {
+          rev_nodes = [ src ];
+          rev_edges = [];
+          last = src;
+          hops = 1;
+          bottleneck = infinity;
+          acc_latency = 0.;
+          members = start_members;
+        }
+    end;
+    let result = ref None in
+    let expand p =
+      Graph.iter_adj g p.last (fun ~neighbor ~eid ->
+          if not (Bitset.mem p.members neighbor) then begin
+            let link = Cluster.link cluster eid in
+            let avail = Residual.available residual eid in
+            let acc_latency = p.acc_latency +. link.Hmn_testbed.Link.latency_ms in
+            if avail < bandwidth_mbps then ()
+            else if acc_latency +. ar.(neighbor) > latency_ms then ()
+            else begin
+              let bottleneck = Float.min p.bottleneck avail in
+              if dominated neighbor ~bottleneck ~latency:acc_latency then ()
+              else begin
+                record neighbor ~bottleneck ~latency:acc_latency;
+                let members = Bitset.copy p.members in
+                Bitset.add members neighbor;
+                Heap.push heap
+                  {
+                    rev_nodes = neighbor :: p.rev_nodes;
+                    rev_edges = eid :: p.rev_edges;
+                    last = neighbor;
+                    hops = p.hops + 1;
+                    bottleneck;
+                    acc_latency;
+                    members;
+                  }
+              end
+            end
+          end)
+    in
+    let rec loop () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some p ->
+        if p.last = dst then
+          result :=
+            Some
+              (Path.make ~nodes:(List.rev p.rev_nodes)
+                 ~edges:(List.rev p.rev_edges))
+        else begin
+          expand p;
+          loop ()
+        end
+    in
+    loop ();
+    !result
+  end
+
+let baseline_comparison () =
+  (* Same instance as part 1's 400-host point; Hosting + Migration run
+     once, then the identical placement is routed by both hot paths.
+     The two Networking wall times therefore differ only in table
+     precompute + per-arc expansion cost. *)
+  let problem = Scale.problem ~shape:Scale.Clos ~hosts:400 ~ratio:25 ~seed:42 in
+  let cluster = problem.Hmn_mapping.Problem.cluster in
+  let placement =
+    match Hmn_core.Hosting.run_sharded ~jobs:1 problem with
+    | Ok p ->
+      ignore (Hmn_core.Migration.run ~max_moves:(4 * Cluster.n_hosts cluster) p);
+      p
+    | Error f -> failwith ("baseline: hosting failed: " ^ f.Mapper.reason)
+  in
+  (* Precompute, head to head. *)
+  let t0 = Clock.now_s () in
+  let new_tables = Latency_table.create cluster in
+  Latency_table.precompute new_tables;
+  let precompute_new_s = Clock.elapsed_s t0 in
+  let t0 = Clock.now_s () in
+  let old_tables = old_precompute cluster in
+  let precompute_old_s = Clock.elapsed_s t0 in
+  (* Routing, head to head, from identical placements; best of two
+     runs each to keep allocator noise out of the ratio. The shipped
+     path also re-runs its (near-free) precompute inside
+     Networking.run; the baseline router receives its tables
+     pre-built, which only flatters the baseline. *)
+  let route_with ?router label =
+    let once () =
+      let p = Hmn_mapping.Placement.copy placement in
+      let t0 = Clock.now_s () in
+      (match Hmn_core.Networking.run ?router p with
+      | Ok _ -> ()
+      | Error f -> failwith ("baseline: networking failed: " ^ f.Mapper.reason));
+      Clock.elapsed_s t0
+    in
+    let s = Float.min (once ()) (once ()) in
+    Printf.printf "  networking (%s): %.3fs\n%!" label s;
+    s
+  in
+  let networking_new_s = route_with "csr+landmarks" in
+  let old_router ~residual ~latency_tables:_ ~src ~dst ~bandwidth_mbps
+      ~latency_ms () =
+    old_route ~tables:old_tables ~residual ~src ~dst ~bandwidth_mbps ~latency_ms
+  in
+  let networking_old_s = route_with ~router:old_router "adjacency baseline" in
+  Printf.printf
+    "  400 hosts: precompute %.4fs -> %.4fs (%.1fx), networking %.3fs -> %.3fs (%.2fx)\n%!"
+    precompute_old_s precompute_new_s
+    (precompute_old_s /. Float.max 1e-9 precompute_new_s)
+    networking_old_s networking_new_s
+    (networking_old_s /. Float.max 1e-9 networking_new_s);
+  Json.Obj
+    [
+      ("hosts", Json.int (Cluster.n_hosts cluster));
+      ("precompute_old_s", Json.float precompute_old_s);
+      ("precompute_new_s", Json.float precompute_new_s);
+      ("networking_old_s", Json.float networking_old_s);
+      ("networking_new_s", Json.float networking_new_s);
+      ( "precompute_speedup",
+        Json.float (precompute_old_s /. Float.max 1e-9 precompute_new_s) );
+      ( "networking_speedup",
+        Json.float (networking_old_s /. Float.max 1e-9 networking_new_s) );
+    ]
+
+(* Precompute-only head to head along the size axis: the old scheme is
+   one Dijkstra (and one O(nodes) table) per host, the new one one per
+   attachment switch — the gap widens with hosts-per-rack, and at 4000
+   hosts the old all-pairs tables alone are ~hosts x nodes x 8 bytes. *)
+let precompute_point ~hosts =
+  let rng = Hmn_rng.Rng.create 42 in
+  let cluster = Scale.cluster ~shape:Scale.Clos ~hosts ~rng in
+  let t0 = Clock.now_s () in
+  let tab = Latency_table.create cluster in
+  Latency_table.precompute tab;
+  let new_s = Clock.elapsed_s t0 in
+  let t0 = Clock.now_s () in
+  let old_tables = old_precompute cluster in
+  let old_s = Clock.elapsed_s t0 in
+  ignore (Hashtbl.length old_tables);
+  Printf.printf "  %5d hosts: precompute %.4fs -> %.4fs (%.1fx)\n%!"
+    (Cluster.n_hosts cluster) old_s new_s (old_s /. Float.max 1e-9 new_s);
+  Json.Obj
+    [
+      ("hosts", Json.int (Cluster.n_hosts cluster));
+      ("precompute_old_s", Json.float old_s);
+      ("precompute_new_s", Json.float new_s);
+      ("speedup", Json.float (old_s /. Float.max 1e-9 new_s));
+    ]
+
+let () =
+  print_endline "== scale bench: size axis ==";
+  let points = List.map (fun hosts -> size_point ~hosts) sizes in
+  print_endline "== scale bench: pre-PR hot-path baseline (400 hosts) ==";
+  let baseline = baseline_comparison () in
+  print_endline "== scale bench: precompute scaling ==";
+  let precompute_axis =
+    List.map (fun hosts -> precompute_point ~hosts) sizes
+  in
+  let path =
+    Option.value
+      (Sys.getenv_opt "HMN_BENCH_SCALE_JSON")
+      ~default:"BENCH_scale.json"
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.int schema_version);
+        ("generated_at", Json.str (iso8601_now ()));
+        ("fast", Json.Bool fast);
+        ("sizes", Json.Arr points);
+        ("baseline_400", baseline);
+        ("precompute_axis", Json.Arr precompute_axis);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path

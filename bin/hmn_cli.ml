@@ -737,6 +737,72 @@ let online_cmd =
       $ scale_t $ no_defrag_t $ defrag_interval_t $ defrag_trigger_t
       $ defrag_moves_t $ validate_t $ smoke_t $ report_t $ loads_t $ csv_t)
 
+(* ---- scale ---- *)
+
+let scale_cmd =
+  let module Scale = Hmn_experiments.Scale in
+  let hosts_t =
+    Arg.(
+      value & opt int 400
+      & info [ "hosts" ] ~docv:"INT"
+          ~doc:
+            "Target host count; the fabric geometry may round it up \
+             (fat-tree pod arithmetic, whole racks).")
+  in
+  let shape_t =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("clos", Scale.Clos); ("fat-tree", Scale.Fat_tree) ]) Scale.Clos
+      & info [ "shape" ] ~docv:"clos|fat-tree" ~doc:"Physical fabric family.")
+  in
+  let ratio_t =
+    Arg.(value & opt int 25 & info [ "ratio" ] ~docv:"INT" ~doc:"Guests per host.")
+  in
+  let jobs_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"INT"
+          ~doc:
+            "Worker domains for the per-rack Hosting fan-out (default: \
+             $(b,HMN_JOBS) or the machine's core count minus one). Any value \
+             produces a byte-identical summary; only wall time changes.")
+  in
+  let validate_t =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Re-check the mapping with the independent validator (also \
+             forced by $(b,HMN_VALIDATE)).")
+  in
+  let run seed hosts shape ratio jobs validate =
+    let validate = validate || Sys.getenv_opt "HMN_VALIDATE" <> None in
+    let jobs =
+      match jobs with
+      | Some _ -> jobs
+      | None -> Option.bind (Sys.getenv_opt "HMN_JOBS") int_of_string_opt
+    in
+    (match jobs with
+    | Some j when j < 1 ->
+      prerr_endline "hmn_cli: --jobs must be >= 1";
+      exit 2
+    | _ -> ());
+    let r = Scale.run ?jobs ~ratio ~seed ~validate ~shape ~hosts () in
+    print_string (Scale.render_summary r);
+    (* Timings are real wall clock — stderr only, so stdout stays
+       byte-diffable across runs and jobs counts. *)
+    prerr_string (Scale.render_timings r);
+    if Result.is_error r.Scale.outcome.Hmn_core.Mapper.result then exit 1;
+    if r.Scale.valid = Some false then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Map one large deterministic instance (40 to 4000 hosts) with the \
+          scale pipeline: two-level rack-sharded Hosting, capped Migration, \
+          CSR + landmark-table Networking.")
+    Term.(const run $ seed_t $ hosts_t $ shape_t $ ratio_t $ jobs_t $ validate_t)
+
 (* ---- dot ---- *)
 
 let dot_cmd =
@@ -777,5 +843,6 @@ let () =
        (Cmd.group (Cmd.info "hmn_cli" ~doc)
           [
             list_cmd; map_cmd; profile_cmd; validate_cmd; fuzz_cmd;
-            experiments_cmd; figure1_cmd; ablation_cmd; online_cmd; dot_cmd;
+            experiments_cmd; figure1_cmd; ablation_cmd; online_cmd; scale_cmd;
+            dot_cmd;
           ]))

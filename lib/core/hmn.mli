@@ -14,6 +14,18 @@ type stage_report = {
 val run : Hmn_mapping.Problem.t -> Mapper.outcome
 val run_detailed : Hmn_mapping.Problem.t -> Mapper.outcome * stage_report
 
+val run_sharded_detailed :
+  ?jobs:int ->
+  ?max_moves:int ->
+  Hmn_mapping.Problem.t ->
+  Mapper.outcome * stage_report
+(** The scale pipeline: {!Hosting.run_sharded} (two-level, rack
+    parallel) in place of the flat Hosting stage, then Migration —
+    cappable via [max_moves], which large clusters set well below the
+    [16 * guests] default — then Networking. Deterministic for every
+    [jobs] value; identical to {!run_detailed} on clusters without
+    rack structure (modulo the migration cap). *)
+
 val without_migration : Hmn_mapping.Problem.t -> Mapper.outcome
 (** Ablation: Hosting directly followed by Networking. Used by the
     benches to quantify what the Migration stage buys. *)

@@ -3,6 +3,8 @@ module Resources = Hmn_testbed.Resources
 module Virtual_env = Hmn_vnet.Virtual_env
 module Placement = Hmn_mapping.Placement
 module Problem = Hmn_mapping.Problem
+module Domain_pool = Hmn_prelude.Domain_pool
+module Metrics = Hmn_obs.Metrics
 
 let sorted_vlinks (problem : Problem.t) =
   let venv = problem.Problem.venv in
@@ -110,3 +112,314 @@ let run (problem : Problem.t) =
     done;
     Ok placement
   with Hosting_failed reason -> Error (Mapper.fail ~stage:"hosting" ~reason)
+
+(* ---- Hierarchical (sharded) hosting ---- *)
+
+(* Stage A: pack guests onto racks. The flat pass replayed with every
+   rack abstracted as one big host (aggregate residual resources, rack
+   list re-sorted by descending aggregate CPU after each assignment).
+   Aggregate feasibility does not imply per-host feasibility — stage B
+   surfaces such stragglers as leftovers and the serial repair pass
+   re-places them — but it holds for the vast majority of guests,
+   which is what keeps the per-rack subproblems independent. Returns
+   [None] when some guest fits no rack even in aggregate; the caller
+   then falls back to the flat pass for the exact failure message. *)
+let pack_racks (problem : Problem.t) sorted =
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let racks = Cluster.racks cluster in
+  let n_racks = Array.length racks in
+  (* Aggregate rack feasibility overestimates what per-host bin packing
+     inside the rack can realise: first-fit strands about half a mean
+     guest demand of slack on every host. Derate each rack by one mean
+     demand per host so stage B receives loads it can actually pack;
+     without this, ~8% of the guests of a well-utilised instance come
+     back as leftovers and the repair pass cannot absorb them. *)
+  let n_guests = Virtual_env.n_guests venv in
+  let mean_demand =
+    if n_guests = 0 then Resources.zero
+    else Resources.scale (1. /. float_of_int n_guests) (Virtual_env.total_demand venv)
+  in
+  let residual =
+    Array.map
+      (fun members ->
+        let cap =
+          Array.fold_left
+            (fun acc h -> Resources.add acc (Cluster.capacity cluster h))
+            Resources.zero members
+        in
+        Resources.sub cap
+          (Resources.scale (float_of_int (Array.length members)) mean_demand))
+      racks
+  in
+  let order = Array.init n_racks Fun.id in
+  let resort () =
+    Hmn_prelude.Array_ext.sort_by_desc
+      (fun r -> residual.(r).Resources.mips)
+      order
+  in
+  resort ();
+  let rack_of_guest = Array.make (Virtual_env.n_guests venv) (-1) in
+  let exception Pack_failed in
+  let assign guest rack =
+    rack_of_guest.(guest) <- rack;
+    residual.(rack) <- Resources.sub residual.(rack) (Virtual_env.demand venv guest);
+    resort ()
+  in
+  let fits guest rack =
+    Resources.fits_mem_stor
+      ~demand:(Virtual_env.demand venv guest)
+      ~avail:residual.(rack)
+  in
+  let first_fitting ?(from = 0) guest =
+    let rec scan k =
+      if k >= n_racks then raise Pack_failed
+      else
+        let idx = (from + k) mod n_racks in
+        if fits guest order.(idx) then idx else scan (k + 1)
+    in
+    scan 0
+  in
+  let assign_first_fitting ?from guest =
+    let idx = first_fitting ?from guest in
+    let rack = order.(idx) in
+    assign guest rack;
+    rack
+  in
+  let place_link vs vd =
+    match (rack_of_guest.(vs) >= 0, rack_of_guest.(vd) >= 0) with
+    | true, true -> ()
+    | false, false ->
+      let top = order.(0) in
+      let d =
+        Resources.add (Virtual_env.demand venv vs) (Virtual_env.demand venv vd)
+      in
+      if Resources.fits_mem_stor ~demand:d ~avail:residual.(top) then begin
+        assign vs top;
+        assign vd top
+      end
+      else begin
+        let cpu g = (Virtual_env.demand venv g).Resources.mips in
+        let first, second = if cpu vs >= cpu vd then (vs, vd) else (vd, vs) in
+        let rack_first = assign_first_fitting first in
+        let pos =
+          match
+            Hmn_prelude.Array_ext.find_index_opt (Int.equal rack_first) order
+          with
+          | Some p -> p
+          | None -> 0
+        in
+        ignore (assign_first_fitting ~from:(pos + 1) second)
+      end
+    | true, false | false, true ->
+      let placed, unplaced =
+        if rack_of_guest.(vs) >= 0 then (vs, vd) else (vd, vs)
+      in
+      let rack = rack_of_guest.(placed) in
+      if fits unplaced rack then assign unplaced rack
+      else ignore (assign_first_fitting unplaced)
+  in
+  match
+    Array.iter
+      (fun eid ->
+        let vs, vd = Virtual_env.endpoints venv eid in
+        place_link vs vd)
+      sorted;
+    for guest = 0 to Virtual_env.n_guests venv - 1 do
+      if rack_of_guest.(guest) < 0 then ignore (assign_first_fitting guest)
+    done
+  with
+  | () -> Some rack_of_guest
+  | exception Pack_failed -> None
+
+(* Stage B: one rack as an independent flat subproblem. Pure — fresh
+   private placement, read-only problem/sorted/rack_of_guest — so rack
+   tasks fan out over the domain pool without changing the result.
+   Intra-rack virtual links are processed in the global descending-
+   bandwidth order; guests that fit no host of their rack come back as
+   leftovers instead of failing the stage. *)
+let solve_rack (problem : Problem.t) ~sorted ~rack_of_guest ~rack ~members =
+  let venv = problem.Problem.venv in
+  let placement = Placement.create problem in
+  let hosts = Array.copy members in
+  let resort () =
+    Hmn_prelude.Array_ext.sort_by_desc
+      (fun h -> Placement.residual_cpu placement ~host:h)
+      hosts
+  in
+  resort ();
+  let leftovers = ref [] in
+  let given_up = Hashtbl.create 8 in
+  let give_up guest =
+    if not (Hashtbl.mem given_up guest) then begin
+      Hashtbl.add given_up guest ();
+      leftovers := guest :: !leftovers
+    end
+  in
+  let alive guest = not (Hashtbl.mem given_up guest) in
+  let assign guest host =
+    match Placement.assign placement ~guest ~host with
+    | Ok () -> resort ()
+    | Error _ -> give_up guest
+  in
+  let first_fitting ?(from = 0) guest =
+    let n = Array.length hosts in
+    let rec scan k =
+      if k >= n then None
+      else
+        let idx = (from + k) mod n in
+        if Placement.fits placement ~guest ~host:hosts.(idx) then Some idx
+        else scan (k + 1)
+    in
+    scan 0
+  in
+  let ensure guest =
+    if alive guest && not (Placement.is_assigned placement ~guest) then
+      match first_fitting guest with
+      | Some idx -> assign guest hosts.(idx)
+      | None -> give_up guest
+  in
+  let place_link vs vd =
+    match
+      (Placement.host_of placement ~guest:vs, Placement.host_of placement ~guest:vd)
+    with
+    | Some _, Some _ -> ()
+    | None, None when alive vs && alive vd ->
+      let d =
+        Resources.add (Virtual_env.demand venv vs) (Virtual_env.demand venv vd)
+      in
+      let top = hosts.(0) in
+      if
+        Resources.fits_mem_stor ~demand:d
+          ~avail:(Placement.residual placement ~host:top)
+      then begin
+        assign vs top;
+        assign vd top
+      end
+      else begin
+        let cpu g = (Virtual_env.demand venv g).Resources.mips in
+        let first, second = if cpu vs >= cpu vd then (vs, vd) else (vd, vs) in
+        match first_fitting first with
+        | None ->
+          give_up first;
+          ensure second
+        | Some idx ->
+          let host_first = hosts.(idx) in
+          assign first host_first;
+          let pos =
+            match
+              Hmn_prelude.Array_ext.find_index_opt (Int.equal host_first) hosts
+            with
+            | Some p -> p
+            | None -> 0
+          in
+          (match first_fitting ~from:(pos + 1) second with
+          | Some j -> assign second hosts.(j)
+          | None -> give_up second)
+      end
+    | Some host, None | None, Some host ->
+      let unplaced =
+        if Placement.is_assigned placement ~guest:vs then vd else vs
+      in
+      if alive unplaced then
+        if Placement.fits placement ~guest:unplaced ~host then
+          assign unplaced host
+        else ensure unplaced
+    | None, None ->
+      ensure vs;
+      ensure vd
+  in
+  Array.iter
+    (fun eid ->
+      let vs, vd = Virtual_env.endpoints venv eid in
+      if rack_of_guest.(vs) = rack && rack_of_guest.(vd) = rack then
+        place_link vs vd)
+    sorted;
+  for guest = 0 to Virtual_env.n_guests venv - 1 do
+    if rack_of_guest.(guest) = rack then ensure guest
+  done;
+  let assignments = ref [] in
+  Placement.iter_assigned placement (fun ~guest ~host ->
+      assignments := (guest, host) :: !assignments);
+  (* iter_assigned runs in ascending guest order, so the reversal is
+     ascending again — the canonical order the merge relies on. *)
+  (List.rev !assignments, List.sort Int.compare !leftovers)
+
+let run_sharded ?jobs (problem : Problem.t) =
+  let cluster = problem.Problem.cluster in
+  let racks = Cluster.racks cluster in
+  let n_racks = Array.length racks in
+  if n_racks <= 1 then run problem
+  else begin
+    let sorted = sorted_vlinks problem in
+    match pack_racks problem sorted with
+    | None -> run problem
+    | Some rack_of_guest ->
+      let solve rack =
+        solve_rack problem ~sorted ~rack_of_guest ~rack ~members:racks.(rack)
+      in
+      let rack_ids = Array.init n_racks Fun.id in
+      let jobs =
+        match jobs with Some j -> j | None -> Domain_pool.default_jobs ()
+      in
+      let solved =
+        if jobs <= 1 then Array.map solve rack_ids
+        else
+          Domain_pool.with_pool ~jobs (fun pool ->
+              Domain_pool.map_array pool solve rack_ids)
+      in
+      (* Canonical merge: racks in ascending id, assignments in
+         ascending guest id — independent of how the pool interleaved
+         the tasks, so the result is byte-identical for any [jobs]. *)
+      let placement = Placement.create problem in
+      let repair = ref [] in
+      Array.iter
+        (fun (assignments, leftovers) ->
+          List.iter
+            (fun (guest, host) ->
+              match Placement.assign placement ~guest ~host with
+              | Ok () -> ()
+              | Error _ -> repair := guest :: !repair)
+            assignments;
+          List.iter (fun g -> repair := g :: !repair) leftovers)
+        solved;
+      let repair = List.sort_uniq Int.compare !repair in
+      if Metrics.enabled () then begin
+        Metrics.Counter.incr (Metrics.counter "hosting.sharded.runs");
+        Metrics.Counter.add
+          (Metrics.counter "hosting.sharded.repaired")
+          (List.length repair)
+      end;
+      (* Serial repair pass over the merged placement for rack
+         leftovers: ascending guest id, same descending-residual-CPU
+         host discipline as the flat pass. Only here can the sharded
+         mode still fail. *)
+      let hosts = Array.copy (Cluster.host_ids cluster) in
+      let resort () =
+        Hmn_prelude.Array_ext.sort_by_desc
+          (fun h -> Placement.residual_cpu placement ~host:h)
+          hosts
+      in
+      resort ();
+      let rec place_all = function
+        | [] -> Ok placement
+        | guest :: rest -> (
+          match
+            Hmn_prelude.Array_ext.find_index_opt
+              (fun h -> Placement.fits placement ~guest ~host:h)
+              hosts
+          with
+          | Some idx -> (
+            match Placement.assign placement ~guest ~host:hosts.(idx) with
+            | Ok () ->
+              resort ();
+              place_all rest
+            | Error msg -> Error (Mapper.fail ~stage:"hosting" ~reason:msg))
+          | None ->
+            Error
+              (Mapper.fail ~stage:"hosting"
+                 ~reason:
+                   (Printf.sprintf "no host can receive guest %d (repair)" guest)))
+      in
+      place_all repair
+  end

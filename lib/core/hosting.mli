@@ -28,6 +28,23 @@
 
 val run : Hmn_mapping.Problem.t -> (Hmn_mapping.Placement.t, Mapper.failure) result
 
+val run_sharded :
+  ?jobs:int ->
+  Hmn_mapping.Problem.t ->
+  (Hmn_mapping.Placement.t, Mapper.failure) result
+(** Two-level hosting for racked clusters (fat-tree, Clos, switched):
+    stage A replays the flat pass at rack granularity (each rack one
+    aggregate pseudo-host), stage B solves every rack as an
+    independent subproblem — fanned over a domain pool when [jobs > 1]
+    (default {!Hmn_prelude.Domain_pool.default_jobs}) — and a serial
+    repair pass re-places the guests whose rack could not actually fit
+    them. The merge is canonical (ascending rack, then guest id), so
+    the resulting placement is byte-identical for every [jobs] value.
+    Falls back to {!run} when the cluster has no rack structure
+    ([Cluster.racks] empty or a single rack) or when rack packing
+    fails in aggregate. Keeps the flat pass's affinity property within
+    racks: high-bandwidth virtual links still co-locate. *)
+
 val sorted_vlinks : Hmn_mapping.Problem.t -> int array
 (** Virtual-link ids in descending [vbw] order (ties by id) — exposed
     because the Networking stage and tests use the same ordering. *)

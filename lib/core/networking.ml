@@ -12,6 +12,7 @@ type stats = {
   intra_host : int;
   expanded : int;
   generated : int;
+  precompute_s : float;
 }
 
 let run ?router placement =
@@ -24,7 +25,17 @@ let run ?router placement =
   (* Eager fill: every routed link targets a host, so from here on the
      table is a read-only lookup on the A*Prune hot path. *)
   Hmn_routing.Latency_table.precompute latency_tables;
-  let stats = ref { routed = 0; intra_host = 0; expanded = 0; generated = 0 } in
+  let stats =
+    ref
+      {
+        routed = 0;
+        intra_host = 0;
+        expanded = 0;
+        generated = 0;
+        precompute_s =
+          Hmn_routing.Latency_table.precompute_seconds latency_tables;
+      }
+  in
   let default_router ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms ()
       =
     match

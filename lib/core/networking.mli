@@ -17,6 +17,10 @@ type stats = {
   intra_host : int;  (** links whose endpoints share a host *)
   expanded : int;  (** total A\*Prune expansions *)
   generated : int;  (** total A\*Prune queue pushes *)
+  precompute_s : float;
+      (** wall time of the eager latency-table fill (landmark
+          Dijkstras) — kept out of the metrics registry, whose
+          aggregates must stay deterministic across job counts *)
 }
 
 val run :

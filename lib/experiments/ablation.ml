@@ -152,7 +152,7 @@ let topology_sweep ?(reps = 3) ?(seed = 7300) () =
       ( "hypercube 32",
         fun hosts -> Hmn_testbed.Topology.hypercube ~hosts:(Array.sub hosts 0 32) ~link:Setup.physical_link );
       ( "fat-tree k=4",
-        fun hosts -> Hmn_testbed.Topology.fat_tree ~hosts:(Array.sub hosts 0 16) ~k:4 ~link:Setup.physical_link );
+        fun hosts -> Hmn_testbed.Topology.fat_tree ~hosts:(Array.sub hosts 0 16) ~k:4 ~link:Setup.physical_link () );
     ]
   in
   let table =

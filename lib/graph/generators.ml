@@ -160,3 +160,109 @@ let gnp ~n ~p ~rng =
     done
   done;
   g
+
+(* ---- data-center fabrics ---- *)
+
+type tier = Access | Aggregation | Core
+
+type fabric = {
+  graph : unit Graph.t;
+  n_hosts : int;
+  n_racks : int;
+  rack_of_host : int array;
+  switch_names : string array;
+  edge_tiers : tier array;
+}
+
+let fat_tree ~k =
+  require (k >= 2 && k mod 2 = 0) "fat_tree: k must be even, >= 2";
+  let half = k / 2 in
+  let n_hosts = k * half * half in
+  let n_edge = k * half and n_agg = k * half and n_core = half * half in
+  let edge_base = n_hosts in
+  let agg_base = edge_base + n_edge in
+  let core_base = agg_base + n_agg in
+  let switch_names =
+    Array.concat
+      [
+        Array.init n_edge (Printf.sprintf "edge%d");
+        Array.init n_agg (Printf.sprintf "agg%d");
+        Array.init n_core (Printf.sprintf "core%d");
+      ]
+  in
+  let tiers = Hmn_dstruct.Dynarray.create () in
+  let graph = Graph.create ~n:(n_hosts + n_edge + n_agg + n_core) () in
+  let add u v tier =
+    ignore (Graph.add_edge graph u v ());
+    Hmn_dstruct.Dynarray.push tiers tier
+  in
+  (* One rack per edge switch: hosts [0 .. half-1] of pod 0's first
+     edge switch are rack 0, and so on — host ids are contiguous per
+     rack, so rack = host / half. *)
+  let rack_of_host = Array.init n_hosts (fun h -> h / half) in
+  for pod = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      let edge_sw = edge_base + (pod * half) + e in
+      (* Hosts under this edge switch. *)
+      for h = 0 to half - 1 do
+        let host = (pod * half * half) + (e * half) + h in
+        add host edge_sw Access
+      done;
+      (* Full bipartite edge-agg mesh within the pod. *)
+      for a = 0 to half - 1 do
+        add edge_sw (agg_base + (pod * half) + a) Aggregation
+      done
+    done;
+    (* Aggregation switch a of each pod connects to core switches
+       a*half .. a*half + half - 1. *)
+    for a = 0 to half - 1 do
+      let agg_sw = agg_base + (pod * half) + a in
+      for c = 0 to half - 1 do
+        add agg_sw (core_base + (a * half) + c) Core
+      done
+    done
+  done;
+  {
+    graph;
+    n_hosts;
+    n_racks = n_edge;
+    rack_of_host;
+    switch_names;
+    edge_tiers = Hmn_dstruct.Dynarray.to_array tiers;
+  }
+
+let clos ~spines ~leafs ~hosts_per_leaf =
+  require (spines >= 1) "clos: spines >= 1 required";
+  require (leafs >= 1) "clos: leafs >= 1 required";
+  require (hosts_per_leaf >= 1) "clos: hosts_per_leaf >= 1 required";
+  let n_hosts = leafs * hosts_per_leaf in
+  let leaf_base = n_hosts in
+  let spine_base = leaf_base + leafs in
+  let switch_names =
+    Array.append
+      (Array.init leafs (Printf.sprintf "leaf%d"))
+      (Array.init spines (Printf.sprintf "spine%d"))
+  in
+  let tiers = Hmn_dstruct.Dynarray.create () in
+  let graph = Graph.create ~n:(n_hosts + leafs + spines) () in
+  let add u v tier =
+    ignore (Graph.add_edge graph u v ());
+    Hmn_dstruct.Dynarray.push tiers tier
+  in
+  let rack_of_host = Array.init n_hosts (fun h -> h / hosts_per_leaf) in
+  for l = 0 to leafs - 1 do
+    for h = 0 to hosts_per_leaf - 1 do
+      add ((l * hosts_per_leaf) + h) (leaf_base + l) Access
+    done;
+    for s = 0 to spines - 1 do
+      add (leaf_base + l) (spine_base + s) Aggregation
+    done
+  done;
+  {
+    graph;
+    n_hosts;
+    n_racks = leafs;
+    rack_of_host;
+    switch_names;
+    edge_tiers = Hmn_dstruct.Dynarray.to_array tiers;
+  }

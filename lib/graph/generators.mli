@@ -56,3 +56,39 @@ val waxman :
 
 val expected_edges : n:int -> density:float -> int
 (** The edge-count target {!random_connected} aims for. *)
+
+(** {2 Data-center fabrics}
+
+    The hierarchical topologies the scale path specialises for. Unlike
+    the generators above they return a {!fabric} — the unit graph plus
+    the host/rack/tier structure the testbed layer needs to attach
+    per-tier link profiles and rack labels. *)
+
+type tier =
+  | Access  (** host → access (edge/leaf) switch *)
+  | Aggregation  (** access → aggregation (or leaf → spine) *)
+  | Core  (** aggregation → core *)
+
+type fabric = {
+  graph : unit Graph.t;
+  n_hosts : int;  (** hosts are nodes [0 .. n_hosts - 1] *)
+  n_racks : int;
+  rack_of_host : int array;
+      (** rack id per host; rack = the access switch the host hangs
+          off, host ids contiguous per rack *)
+  switch_names : string array;
+      (** names for nodes [n_hosts ..], in node order *)
+  edge_tiers : tier array;  (** tier per edge id *)
+}
+
+val fat_tree : k:int -> fabric
+(** k-ary fat-tree (Al-Fares/Leiserson-style data-center fabric): [k]
+    even, [k >= 2], [k^3/4] hosts. Each of the [k] pods has [k/2] edge
+    and [k/2] aggregation switches; [(k/2)^2] core switches join the
+    pods. One rack per edge switch ([k/2] hosts each). Node and edge
+    insertion order is the historical [Topology.fat_tree] order, which
+    keeps downstream tie-breaking stable. *)
+
+val clos : spines:int -> leafs:int -> hosts_per_leaf:int -> fabric
+(** Two-tier leaf-spine Clos: every leaf connects to every spine; one
+    rack per leaf. [leafs * hosts_per_leaf] hosts. *)

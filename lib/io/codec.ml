@@ -27,11 +27,14 @@ let resources_to_json (r : Resources.t) =
 
 let node_to_json (node : Node.t) =
   Obj
-    [
-      ("name", str node.Node.name);
-      ("kind", str (match node.Node.kind with Node.Host -> "host" | Node.Switch -> "switch"));
-      ("capacity", resources_to_json node.Node.capacity);
-    ]
+    ([
+       ("name", str node.Node.name);
+       ("kind", str (match node.Node.kind with Node.Host -> "host" | Node.Switch -> "switch"));
+       ("capacity", resources_to_json node.Node.capacity);
+     ]
+    (* Optional, and omitted when absent, so bundles from flat
+       topologies keep their historical bytes. *)
+    @ match node.Node.rack with None -> [] | Some r -> [ ("rack", int r) ])
 
 let edge_to_json ~u ~v fields = Obj ([ ("u", int u); ("v", int v) ] @ fields)
 
@@ -133,7 +136,13 @@ let node_of_json json =
   | "switch" -> Ok (Node.switch ~name)
   | "host" ->
     let* capacity = Result.bind (member "capacity" json) resources_of_json in
-    Ok (Node.host ~name ~capacity)
+    let* rack =
+      match member "rack" json with
+      | Error _ -> Ok None
+      | Ok j -> Result.map Option.some (to_int j)
+    in
+    let node = Node.host ~name ~capacity in
+    Ok (match rack with None -> node | Some r -> Node.with_rack node r)
   | other -> Error (Printf.sprintf "unknown node kind %S" other)
 
 let edge_endpoints json =

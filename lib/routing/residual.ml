@@ -28,6 +28,7 @@ let copy t = { t with avail = Array.copy t.avail }
 let cluster t = t.cluster
 
 let available t eid = t.avail.(eid)
+let availabilities t = t.avail
 
 let reserve_path t path bw =
   if bw < 0. then invalid_arg "Residual.reserve_path: negative bandwidth";

@@ -16,6 +16,12 @@ val cluster : t -> Hmn_testbed.Cluster.t
 val available : t -> int -> float
 (** Remaining bandwidth (Mbps) of a physical edge id. *)
 
+val availabilities : t -> float array
+(** The live per-edge-id residual array itself — a read-only view for
+    the routing hot loop (A\*Prune indexes it next to the cluster's
+    CSR arrays). Owned by [t]: do not mutate; reserve/release on [t]
+    are visible through it. *)
+
 val tolerance : float
 (** Floating-point slack ([1e-6] Mbps) applied symmetrically by
     {!reserve_path} and {!release_path}, so that after arbitrarily many

@@ -6,7 +6,9 @@ type t
 
 val create : nodes:Node.t array -> graph:Link.t Hmn_graph.Graph.t -> t
 (** Raises [Invalid_argument] when the node array length differs from
-    the graph's node count, or the graph is directed. *)
+    the graph's node count, or the graph is directed. Eagerly builds
+    the CSR routing view and the flat per-edge latency/bandwidth
+    arrays — O(nodes + links), paid once per cluster. *)
 
 val graph : t -> Link.t Hmn_graph.Graph.t
 val n_nodes : t -> int
@@ -27,6 +29,36 @@ val total_capacity : t -> Resources.t
 
 val link : t -> int -> Link.t
 (** Label of a physical link by edge id. *)
+
+(** {2 Routing hot-path views}
+
+    All owned by the cluster: do not mutate. *)
+
+val csr : t -> Hmn_graph.Csr.t
+(** Compact-sparse-row view of {!graph}, same successor order as
+    [Graph.iter_adj]. *)
+
+val link_latencies : t -> float array
+(** [latency_ms] per edge id — [Csr.dijkstra_from]'s weight array and
+    A\*Prune's per-hop cost, without touching the boxed labels. *)
+
+val link_bandwidths : t -> float array
+(** [bandwidth_mbps] per edge id. *)
+
+(** {2 Racks}
+
+    Available when {e every} host node carries a {!Node.rack} label
+    (fat-tree / Clos / switched builders); empty otherwise. Rack ids
+    are densified to [0 .. n_racks - 1] in ascending label order. *)
+
+val racks : t -> int array array
+(** [racks t.(r)] is rack [r]'s host ids, ascending; [[||]] when the
+    cluster is not (fully) rack-labelled. Owned by the cluster. *)
+
+val n_racks : t -> int
+
+val rack_of_node : t -> int -> int option
+(** Dense rack id of a node ([None] for switches and unracked hosts). *)
 
 val is_connected : t -> bool
 

@@ -30,3 +30,13 @@ let torus_cluster ?vmm ?profile ?(link = Link.gigabit) ~rows ~cols ~rng () =
 let switched_cluster ?vmm ?profile ?(link = Link.gigabit) ?(ports = 64) ~n ~rng () =
   let hosts = gen_hosts ?vmm ?profile ~n ~rng () in
   Topology.switched ~hosts ~ports ~link
+
+let fat_tree_cluster ?vmm ?profile ?(link = Link.gigabit) ?agg_link ?core_link ~k
+    ~rng () =
+  let hosts = gen_hosts ?vmm ?profile ~n:(k * (k / 2) * (k / 2)) ~rng () in
+  Topology.fat_tree ?agg_link ?core_link ~hosts ~k ~link ()
+
+let clos_cluster ?vmm ?profile ?(link = Link.gigabit) ?uplink ~racks
+    ~hosts_per_rack ~spines ~rng () =
+  let hosts = gen_hosts ?vmm ?profile ~n:(racks * hosts_per_rack) ~rng () in
+  Topology.clos ?uplink ~hosts ~hosts_per_rack ~spines ~link ()

@@ -48,3 +48,30 @@ val switched_cluster :
   Cluster.t
 (** Random hosts behind cascaded [ports]-port switches (default 64,
     the paper's second cluster). *)
+
+val fat_tree_cluster :
+  ?vmm:Vmm.t ->
+  ?profile:host_profile ->
+  ?link:Link.t ->
+  ?agg_link:Link.t ->
+  ?core_link:Link.t ->
+  k:int ->
+  rng:Hmn_rng.Rng.t ->
+  unit ->
+  Cluster.t
+(** [k^3/4] random hosts on a k-ary fat-tree ({!Topology.fat_tree}),
+    rack-labelled per edge switch. *)
+
+val clos_cluster :
+  ?vmm:Vmm.t ->
+  ?profile:host_profile ->
+  ?link:Link.t ->
+  ?uplink:Link.t ->
+  racks:int ->
+  hosts_per_rack:int ->
+  spines:int ->
+  rng:Hmn_rng.Rng.t ->
+  unit ->
+  Cluster.t
+(** [racks * hosts_per_rack] random hosts on a leaf-spine Clos
+    ({!Topology.clos}), rack-labelled per leaf. *)

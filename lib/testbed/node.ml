@@ -4,12 +4,19 @@ type t = {
   name : string;
   kind : kind;
   capacity : Resources.t;
+  rack : int option;
 }
 
-let host ~name ~capacity = { name; kind = Host; capacity }
-let switch ~name = { name; kind = Switch; capacity = Resources.zero }
+let host ~name ~capacity = { name; kind = Host; capacity; rack = None }
+let switch ~name = { name; kind = Switch; capacity = Resources.zero; rack = None }
 
 let can_host t = t.kind = Host
+let rack t = t.rack
+
+let with_rack t rack =
+  if t.kind <> Host then invalid_arg "Node.with_rack: switches have no rack";
+  if rack < 0 then invalid_arg "Node.with_rack: negative rack id";
+  { t with rack = Some rack }
 
 let pp ppf t =
   match t.kind with

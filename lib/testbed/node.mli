@@ -14,10 +14,21 @@ type t = {
   capacity : Resources.t;
       (** usable capacity (already net of VMM overhead for hosts; zero
           for switches) *)
+  rack : int option;
+      (** physical placement group (the access switch a host hangs
+          off) — [None] for switches and for flat topologies like the
+          torus. The hierarchical Hosting mode shards by this. *)
 }
 
 val host : name:string -> capacity:Resources.t -> t
+(** No rack label; attach one with {!with_rack}. *)
+
 val switch : name:string -> t
 
 val can_host : t -> bool
+val rack : t -> int option
+
+val with_rack : t -> int -> t
+(** Raises [Invalid_argument] on a switch or a negative rack id. *)
+
 val pp : Format.formatter -> t -> unit

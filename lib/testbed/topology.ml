@@ -61,57 +61,77 @@ let hypercube ~hosts ~link =
   done;
   Cluster.create ~nodes:(Array.copy hosts) ~graph
 
-let fat_tree ~hosts ~k ~link =
-  if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
-  let half = k / 2 in
-  let n_hosts = k * half * half in
-  if Array.length hosts <> n_hosts then
-    invalid_arg "Topology.fat_tree: host count must be k^3/4";
-  if not (all_hosts hosts) then invalid_arg "Topology.fat_tree: non-host node given";
-  let n_edge = k * half and n_agg = k * half and n_core = half * half in
-  let edge_base = n_hosts in
-  let agg_base = edge_base + n_edge in
-  let core_base = agg_base + n_agg in
+(* Attach a link profile per tier and rack labels per host to a
+   data-center fabric from [Generators]. Node ids, names, and edge
+   insertion order are the fabric's, so clusters built this way are
+   byte-compatible with the historical hand-rolled builders. *)
+let of_fabric ~hosts ~tier_link ~who (fabric : Generators.fabric) =
+  if Array.length hosts <> fabric.Generators.n_hosts then
+    invalid_arg ("Topology." ^ who ^ ": host count does not match the fabric");
+  if not (all_hosts hosts) then
+    invalid_arg ("Topology." ^ who ^ ": non-host node given");
   let nodes =
-    Array.concat
-      [
-        hosts;
-        Array.init n_edge (fun i -> Node.switch ~name:(Printf.sprintf "edge%d" i));
-        Array.init n_agg (fun i -> Node.switch ~name:(Printf.sprintf "agg%d" i));
-        Array.init n_core (fun i -> Node.switch ~name:(Printf.sprintf "core%d" i));
-      ]
+    Array.append
+      (Array.mapi
+         (fun i h -> Node.with_rack h fabric.Generators.rack_of_host.(i))
+         hosts)
+      (Array.map (fun name -> Node.switch ~name) fabric.Generators.switch_names)
   in
-  let graph = Graph.create ~n:(Array.length nodes) () in
-  for pod = 0 to k - 1 do
-    for e = 0 to half - 1 do
-      let edge_sw = edge_base + (pod * half) + e in
-      (* Hosts under this edge switch. *)
-      for h = 0 to half - 1 do
-        let host = (pod * half * half) + (e * half) + h in
-        ignore (Graph.add_edge graph host edge_sw link)
-      done;
-      (* Full bipartite edge-agg mesh within the pod. *)
-      for a = 0 to half - 1 do
-        ignore (Graph.add_edge graph edge_sw (agg_base + (pod * half) + a) link)
-      done
-    done;
-    (* Aggregation switch a of each pod connects to core switches
-       a*half .. a*half + half - 1. *)
-    for a = 0 to half - 1 do
-      let agg_sw = agg_base + (pod * half) + a in
-      for c = 0 to half - 1 do
-        ignore (Graph.add_edge graph agg_sw (core_base + (a * half) + c) link)
-      done
-    done
-  done;
+  let graph =
+    Graph.map_labels fabric.Generators.graph ~f:(fun ~eid () ->
+        tier_link fabric.Generators.edge_tiers.(eid))
+  in
   Cluster.create ~nodes ~graph
+
+let fat_tree ?agg_link ?core_link ~hosts ~k ~link () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topology.fat_tree: k must be even, >= 2";
+  if Array.length hosts <> k * (k / 2) * (k / 2) then
+    invalid_arg "Topology.fat_tree: host count must be k^3/4";
+  let agg_link = Option.value agg_link ~default:link in
+  let core_link = Option.value core_link ~default:link in
+  let tier_link = function
+    | Generators.Access -> link
+    | Generators.Aggregation -> agg_link
+    | Generators.Core -> core_link
+  in
+  of_fabric ~hosts ~tier_link ~who:"fat_tree" (Generators.fat_tree ~k)
+
+let clos ?uplink ~hosts ~hosts_per_rack ~spines ~link () =
+  let n = Array.length hosts in
+  if hosts_per_rack < 1 then invalid_arg "Topology.clos: hosts_per_rack >= 1 required";
+  if n = 0 || n mod hosts_per_rack <> 0 then
+    invalid_arg "Topology.clos: host count must be a multiple of hosts_per_rack";
+  let uplink = Option.value uplink ~default:link in
+  let tier_link = function Generators.Access -> link | _ -> uplink in
+  of_fabric ~hosts ~tier_link ~who:"clos"
+    (Generators.clos ~spines ~leafs:(n / hosts_per_rack) ~hosts_per_leaf:hosts_per_rack)
 
 let switched ~hosts ~ports ~link =
   if not (all_hosts hosts) then invalid_arg "Topology.switched: non-host node given";
   let h = Array.length hosts in
   let s = switches_needed ~n_hosts:h ~ports in
+  (* Fill switches with hosts in order, respecting per-switch free
+     ports: interior switches lose two ports to the chain, end switches
+     one (or none when s = 1). The switch a host lands on is its rack. *)
+  let free_ports i =
+    if s = 1 then ports
+    else if i = 0 || i = s - 1 then ports - 1
+    else ports - 2
+  in
+  let switch_of_host = Array.make h 0 in
+  let next_host = ref 0 in
+  for i = 0 to s - 1 do
+    let quota = ref (free_ports i) in
+    while !quota > 0 && !next_host < h do
+      switch_of_host.(!next_host) <- i;
+      incr next_host;
+      decr quota
+    done
+  done;
+  assert (!next_host = h);
   let nodes =
-    Array.append hosts
+    Array.append
+      (Array.mapi (fun i host -> Node.with_rack host switch_of_host.(i)) hosts)
       (Array.init s (fun i -> Node.switch ~name:(Printf.sprintf "sw%d" i)))
   in
   let graph = Graph.create ~n:(h + s) () in
@@ -119,22 +139,7 @@ let switched ~hosts ~ports ~link =
   for i = 0 to s - 2 do
     ignore (Graph.add_edge graph (h + i) (h + i + 1) link)
   done;
-  (* Fill switches with hosts in order, respecting per-switch free
-     ports: interior switches lose two ports to the chain, end switches
-     one (or none when s = 1). *)
-  let free_ports i =
-    if s = 1 then ports
-    else if i = 0 || i = s - 1 then ports - 1
-    else ports - 2
-  in
-  let next_host = ref 0 in
-  for i = 0 to s - 1 do
-    let quota = ref (free_ports i) in
-    while !quota > 0 && !next_host < h do
-      ignore (Graph.add_edge graph !next_host (h + i) link);
-      incr next_host;
-      decr quota
-    done
+  for host = 0 to h - 1 do
+    ignore (Graph.add_edge graph host (h + switch_of_host.(host)) link)
   done;
-  assert (!next_host = h);
   Cluster.create ~nodes ~graph

@@ -21,7 +21,9 @@ val switched : hosts:Node.t array -> ports:int -> link:Link.t -> Cluster.t
     used: a chain of [s] switches offers [s * ports - 2 * (s - 1)]
     host ports. Hosts fill switches in order. Requires [ports >= 3]
     and at least 1 host. Switch nodes are appended after the host
-    nodes, so host ids are [0 .. n_hosts - 1]. *)
+    nodes, so host ids are [0 .. n_hosts - 1]. Each host is
+    rack-labelled with the switch it hangs off, so the sharded Hosting
+    mode applies here too. *)
 
 val switches_needed : n_hosts:int -> ports:int -> int
 (** Number of switches {!switched} will chain. *)
@@ -34,10 +36,37 @@ val hypercube : hosts:Node.t array -> link:Link.t -> Cluster.t
 (** d-dimensional hypercube: requires a power-of-two host count; hosts
     whose ids differ in exactly one bit are adjacent. *)
 
-val fat_tree : hosts:Node.t array -> k:int -> link:Link.t -> Cluster.t
-(** k-ary fat-tree (Al-Fahoum/Leiserson-style data-center fabric): [k]
-    even, [k >= 2], exactly [k^3 / 4] hosts. Each of the [k] pods has
-    [k/2] edge and [k/2] aggregation switches; [(k/2)^2] core switches
-    join the pods. Hosts are nodes [0 .. k^3/4 - 1]; switches are
-    appended after them. The fabric provides many equal-cost paths, a
-    good stress test for the Networking stage's bottleneck routing. *)
+val fat_tree :
+  ?agg_link:Link.t ->
+  ?core_link:Link.t ->
+  hosts:Node.t array ->
+  k:int ->
+  link:Link.t ->
+  unit ->
+  Cluster.t
+(** k-ary fat-tree over {!Hmn_graph.Generators.fat_tree}: [k] even,
+    [k >= 2], exactly [k^3 / 4] hosts. Each of the [k] pods has [k/2]
+    edge and [k/2] aggregation switches; [(k/2)^2] core switches join
+    the pods. Hosts are nodes [0 .. k^3/4 - 1]; switches are appended
+    after them; each host is rack-labelled with its edge switch. [link]
+    cables the host tier and, by default, the whole fabric; [agg_link]
+    / [core_link] override the edge–aggregation and aggregation–core
+    tiers (the usual oversubscription knobs). The fabric provides many
+    equal-cost paths, a good stress test for the Networking stage's
+    bottleneck routing. *)
+
+val clos :
+  ?uplink:Link.t ->
+  hosts:Node.t array ->
+  hosts_per_rack:int ->
+  spines:int ->
+  link:Link.t ->
+  unit ->
+  Cluster.t
+(** Two-tier leaf-spine Clos over {!Hmn_graph.Generators.clos}: the
+    hosts are split into racks of [hosts_per_rack] (the count must
+    divide evenly), one leaf switch per rack, every leaf cabled to
+    every one of the [spines] spine switches. [link] cables the
+    host–leaf tier; [uplink] (default [link]) the leaf–spine tier —
+    give it more bandwidth to keep the fabric's bisection ahead of the
+    rack access capacity. Hosts carry their rack label. *)

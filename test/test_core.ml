@@ -260,8 +260,9 @@ let test_hmn_end_to_end_valid () =
       (report.Hmn.migration_stats <> None);
     Alcotest.(check bool) "networking ran" true
       (report.Hmn.networking_stats <> None);
-    Alcotest.(check bool) "stage times recorded" true
-      (List.length outcome.Mapper.stage_seconds = 3)
+    Alcotest.(check (list string)) "stage times recorded"
+      [ "hosting"; "migration"; "networking"; "networking/precompute" ]
+      (List.map fst outcome.Mapper.stage_seconds)
 
 let test_hmn_beats_or_ties_no_migration () =
   (* The Migration stage can only improve the placement objective. *)
@@ -847,6 +848,71 @@ let prop_migration_never_worsens =
         let stats = Migration.run p in
         stats.Migration.lbf_after <= stats.Migration.lbf_before +. 1e-9)
 
+(* ---- sharded Hosting properties ---- *)
+
+(* A rack-labelled leaf-spine instance sized like one "rack" of the
+   scale path: 4 racks of 5 hosts, thin guests, ~1.5 vlinks/guest. *)
+let racked_problem ~seed ~ratio =
+  let rng = Hmn_rng.Rng.create seed in
+  let cluster =
+    Hmn_testbed.Cluster_gen.clos_cluster ~racks:4 ~hosts_per_rack:5 ~spines:2
+      ~rng ()
+  in
+  let n = ratio * Cluster.n_hosts cluster in
+  let venv =
+    Hmn_vnet.Venv_gen.generate
+      ~scale_to_fit:(cluster, 0.8)
+      ~profile:Hmn_vnet.Workload.low_level ~n
+      ~density:(3. /. float_of_int (n - 1))
+      ~rng ()
+  in
+  Problem.make ~cluster ~venv
+
+let placements_equal a b =
+  let pa = Placement.problem a in
+  let n = Hmn_vnet.Virtual_env.n_guests pa.Problem.venv in
+  let ok = ref true in
+  for guest = 0 to n - 1 do
+    if Placement.host_of a ~guest <> Placement.host_of b ~guest then ok := false
+  done;
+  !ok
+
+let prop_sharded_hosting_jobs_invariant =
+  QCheck.Test.make
+    ~name:"sharded Hosting: identical placements at jobs=1 and jobs=3" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      let problem = racked_problem ~seed:(seed + 9100) ~ratio:8 in
+      match
+        ( Hosting.run_sharded ~jobs:1 problem,
+          Hosting.run_sharded ~jobs:3 problem )
+      with
+      | Ok a, Ok b -> Placement.all_assigned a && placements_equal a b
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_sharded_pipeline_mappings_valid =
+  QCheck.Test.make
+    ~name:"sharded pipeline mappings satisfy Eqs. (1)-(9) on racked clusters"
+    ~count:10 QCheck.small_nat
+    (fun seed ->
+      let problem = racked_problem ~seed:(seed + 9200) ~ratio:8 in
+      let outcome, _ = Hmn.run_sharded_detailed ~jobs:2 problem in
+      match outcome.Mapper.result with
+      | Error _ -> true (* failing is allowed; returning junk is not *)
+      | Ok mapping -> Constraints.is_valid mapping)
+
+let prop_sharded_falls_back_to_flat_on_unracked =
+  QCheck.Test.make
+    ~name:"sharded Hosting equals flat Hosting on unracked clusters" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      let problem = random_problem ~seed:(seed + 9300) ~n_guests:60 in
+      match (Hosting.run_sharded ~jobs:3 problem, Hosting.run problem) with
+      | Ok a, Ok b -> placements_equal a b
+      | Error a, Error b -> a.Mapper.stage = b.Mapper.stage
+      | _ -> false)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "hmn_core"
@@ -952,5 +1018,11 @@ let () =
           q prop_migration_never_worsens;
           q prop_hmn_within_factor_of_opt;
           q prop_incremental_random_ops_stay_valid;
+        ] );
+      ( "sharded",
+        [
+          q prop_sharded_hosting_jobs_invariant;
+          q prop_sharded_pipeline_mappings_valid;
+          q prop_sharded_falls_back_to_flat_on_unracked;
         ] );
     ]

@@ -544,6 +544,109 @@ let prop_bfs_hops_vs_dijkstra_unit =
       done;
       !ok)
 
+(* ---- CSR view & fabric properties ---- *)
+
+module Csr = Hmn_graph.Csr
+
+let prop_csr_matches_adjacency =
+  QCheck.Test.make
+    ~name:"CSR slices replay Graph adjacency: order, edge ids, degrees" ~count:100
+    QCheck.(triple seed_gen (int_range 1 40) (float_range 0. 1.))
+    (fun (seed, n, density) ->
+      let rng = Hmn_rng.Rng.create seed in
+      let g = Gen.random_connected ~n ~density ~rng in
+      let csr = Csr.of_graph g in
+      let ok =
+        ref
+          (Csr.n_nodes csr = n
+          && Csr.n_edges csr = Graph.n_edges g
+          && Csr.n_arcs csr = 2 * Graph.n_edges g)
+      in
+      for u = 0 to n - 1 do
+        if Csr.adj_list csr u <> Graph.adj_list g u then ok := false;
+        if Csr.degree csr u <> Graph.degree g u then ok := false;
+        (match (Csr.sole_neighbor csr u, Graph.adj_list g u) with
+        | Some (nb, eid), [ (nb', eid') ] ->
+          if (nb, eid) <> (nb', eid') then ok := false
+        | None, [ _ ] | Some _, ([] | _ :: _ :: _) -> ok := false
+        | None, _ -> ())
+      done;
+      !ok)
+
+let prop_csr_directed_outgoing_only =
+  QCheck.Test.make ~name:"CSR holds outgoing arcs only on directed graphs"
+    ~count:100 seed_gen
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 100) in
+      let n = 10 in
+      let g = Graph.create ~kind:Graph.Directed ~n () in
+      for _ = 1 to 25 do
+        let u = Hmn_rng.Rng.int rng ~bound:n in
+        let v = Hmn_rng.Rng.int rng ~bound:n in
+        if u <> v then ignore (Graph.add_edge g u v ())
+      done;
+      let csr = Csr.of_graph g in
+      let ok = ref (Csr.n_arcs csr = Graph.n_edges g) in
+      for u = 0 to n - 1 do
+        if Csr.adj_list csr u <> Graph.adj_list g u then ok := false
+      done;
+      !ok)
+
+let prop_csr_dijkstra_bit_identical =
+  QCheck.Test.make
+    ~name:"CSR Dijkstra is bit-identical to the adjacency Dijkstra" ~count:50
+    seed_gen
+    (fun seed ->
+      let rng = Hmn_rng.Rng.create (seed + 200) in
+      let g = random_weighted_graph ~n:15 ~rng in
+      let w = Array.init (Graph.n_edges g) (Graph.label g) in
+      let csr = Csr.of_graph g in
+      Csr.dijkstra_from csr ~weight:w ~src:0
+      = (Dijkstra.run g ~weight:(weight g) ~src:0).Dijkstra.dist)
+
+let prop_fabric_invariants =
+  QCheck.Test.make
+    ~name:"fat-tree/clos fabrics: host count, leaf hosts, contiguous racks"
+    ~count:30
+    QCheck.(
+      pair (int_range 1 4) (triple (int_range 1 4) (int_range 1 5) (int_range 1 6)))
+    (fun (half_k, (spines, leafs, hosts_per_leaf)) ->
+      let check (f : Gen.fabric) ~hosts ~racks =
+        let n = Graph.n_nodes f.Gen.graph in
+        f.Gen.n_hosts = hosts && f.Gen.n_racks = racks
+        && Array.length f.Gen.rack_of_host = hosts
+        && Array.length f.Gen.switch_names = n - hosts
+        && Array.length f.Gen.edge_tiers = Graph.n_edges f.Gen.graph
+        && Traversal.is_connected f.Gen.graph
+        (* every host is a leaf behind exactly one Access cable *)
+        && Array.for_all
+             (fun h -> Graph.degree f.Gen.graph h = 1)
+             (Array.init hosts Fun.id)
+        && Array.fold_left
+             (fun acc t -> if t = Gen.Access then acc + 1 else acc)
+             0 f.Gen.edge_tiers
+           = hosts
+        (* rack ids 0..racks-1, ascending, no gaps *)
+        && f.Gen.rack_of_host.(0) = 0
+        && f.Gen.rack_of_host.(hosts - 1) = racks - 1
+        &&
+        let ok = ref true in
+        Array.iteri
+          (fun i r ->
+            if
+              i > 0
+              && (r < f.Gen.rack_of_host.(i - 1)
+                 || r > f.Gen.rack_of_host.(i - 1) + 1)
+            then ok := false)
+          f.Gen.rack_of_host;
+        !ok
+      in
+      let k = 2 * half_k in
+      check (Gen.fat_tree ~k) ~hosts:(k * k * k / 4) ~racks:(k * k / 2)
+      && check
+           (Gen.clos ~spines ~leafs ~hosts_per_leaf)
+           ~hosts:(leafs * hosts_per_leaf) ~racks:leafs)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "hmn_graph"
@@ -617,5 +720,12 @@ let () =
           q prop_bfs_hops_vs_dijkstra_unit;
           q prop_yen_matches_astar_prune;
           q prop_yen_paths_loopless_sorted;
+        ] );
+      ( "csr",
+        [
+          q prop_csr_matches_adjacency;
+          q prop_csr_directed_outgoing_only;
+          q prop_csr_dijkstra_bit_identical;
+          q prop_fabric_invariants;
         ] );
     ]

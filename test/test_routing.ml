@@ -247,12 +247,18 @@ let test_latency_table () =
   let cluster, _, _, _, _ = small_cluster () in
   let tables = Latency_table.create cluster in
   let ar = Latency_table.to_destination tables ~dst:3 in
-  Alcotest.(check (float 1e-9)) "dst itself" 0. ar.(3);
-  Alcotest.(check (float 1e-9)) "adjacent" 5. ar.(2);
-  Alcotest.(check (float 1e-9)) "0 via 2" 10. ar.(0);
+  Alcotest.(check (float 1e-9)) "dst itself" 0. (Latency_table.get ar 3);
+  Alcotest.(check (float 1e-9)) "adjacent" 5. (Latency_table.get ar 2);
+  Alcotest.(check (float 1e-9)) "0 via 2" 10. (Latency_table.get ar 0);
   ignore (Latency_table.to_destination tables ~dst:3);
   Alcotest.(check int) "cache hit" 1 (Latency_table.hits tables);
-  Alcotest.(check int) "one miss" 1 (Latency_table.misses tables)
+  Alcotest.(check int) "one miss" 1 (Latency_table.misses tables);
+  (* Node 3 is a leaf (sole cable to host 2), so its table must come
+     from the landmark scheme, not its own Dijkstra. *)
+  Alcotest.(check int) "derived via landmark" 1 (Latency_table.derived tables);
+  Alcotest.(check int) "one dijkstra" 1 (Latency_table.dijkstras tables);
+  let full = Latency_table.to_array ar in
+  Alcotest.(check (float 1e-9)) "to_array agrees" 10. full.(0)
 
 (* ---- Astar_prune ---- *)
 
@@ -485,6 +491,40 @@ let prop_dijkstra_route_is_minimal_latency =
         if src = dst then Path.is_intra_host p
         else Hmn_prelude.Float_ext.approx (Path.total_latency cluster p) best)
 
+let prop_landmark_tables_equal_direct_dijkstra =
+  QCheck.Test.make
+    ~name:"leaf-landmark tables are bit-identical to per-destination Dijkstra"
+    ~count:20
+    QCheck.(pair small_nat (int_range 2 3))
+    (fun (seed, half_k) ->
+      let k = 2 * half_k in
+      let rng = Hmn_rng.Rng.create (seed + 7000) in
+      (* Random host resources; per-tier latencies drawn from dyadic
+         values so every path latency is an exact float and bit
+         equality is the right check. *)
+      let lat () = [| 1.25; 2.5; 5.; 10. |].(Hmn_rng.Rng.int rng ~bound:4) in
+      let link = Link.make ~bandwidth_mbps:1000. ~latency_ms:(lat ()) in
+      let agg_link = Link.make ~bandwidth_mbps:10_000. ~latency_ms:(lat ()) in
+      let core_link = Link.make ~bandwidth_mbps:10_000. ~latency_ms:(lat ()) in
+      let cluster =
+        Hmn_testbed.Cluster_gen.fat_tree_cluster ~link ~agg_link ~core_link ~k
+          ~rng ()
+      in
+      let tables = Latency_table.create cluster in
+      Latency_table.precompute tables;
+      let g = Cluster.graph cluster in
+      let weight eid = (Cluster.link cluster eid).Link.latency_ms in
+      (* First access switch: exercises the non-leaf fallback too. *)
+      let switch = Cluster.n_hosts cluster in
+      Array.for_all
+        (fun dst ->
+          let tab = Latency_table.to_destination tables ~dst in
+          Latency_table.to_array tab
+          = Hmn_graph.Dijkstra.distances_to g ~weight ~dst)
+        (Array.append (Cluster.host_ids cluster) [| switch |])
+      (* one Dijkstra per access-switch landmark, plus the switch dst *)
+      && Latency_table.dijkstras tables = Cluster.n_racks cluster + 1)
+
 (* ---- Dfs_route ---- *)
 
 let test_dfs_finds_feasible () =
@@ -594,5 +634,6 @@ let () =
           q prop_astar_dominance_preserves_width;
           q prop_dfs_paths_always_valid;
           q prop_dijkstra_route_is_minimal_latency;
+          q prop_landmark_tables_equal_direct_dijkstra;
         ] );
     ]

@@ -176,7 +176,7 @@ let test_topology_hypercube () =
     (fun () -> ignore (Topology.hypercube ~hosts:(some_hosts 12) ~link:Link.gigabit))
 
 let test_topology_fat_tree () =
-  let cluster = Topology.fat_tree ~hosts:(some_hosts 16) ~k:4 ~link:Link.gigabit in
+  let cluster = Topology.fat_tree ~hosts:(some_hosts 16) ~k:4 ~link:Link.gigabit () in
   let g = Cluster.graph cluster in
   (* k=4: 16 hosts + 8 edge + 8 agg + 4 core = 36 nodes. *)
   Alcotest.(check int) "nodes" 36 (Cluster.n_nodes cluster);
@@ -194,10 +194,10 @@ let test_topology_fat_tree () =
   let hops = Hmn_graph.Traversal.bfs_hops g ~src:0 in
   Alcotest.(check int) "cross-pod distance" 6 hops.(15);
   Alcotest.check_raises "odd k" (Invalid_argument "Topology.fat_tree: k must be even, >= 2")
-    (fun () -> ignore (Topology.fat_tree ~hosts:(some_hosts 16) ~k:3 ~link:Link.gigabit));
+    (fun () -> ignore (Topology.fat_tree ~hosts:(some_hosts 16) ~k:3 ~link:Link.gigabit ()));
   Alcotest.check_raises "wrong host count"
     (Invalid_argument "Topology.fat_tree: host count must be k^3/4") (fun () ->
-      ignore (Topology.fat_tree ~hosts:(some_hosts 10) ~k:4 ~link:Link.gigabit))
+      ignore (Topology.fat_tree ~hosts:(some_hosts 10) ~k:4 ~link:Link.gigabit ()))
 
 let test_topology_line_ring () =
   let line = Topology.line ~hosts:(some_hosts 4) ~link:Link.gigabit in
