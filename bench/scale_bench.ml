@@ -13,7 +13,13 @@
    A*Prune (Graph.iter_adj + Cluster.link + Residual.available per
    arc) instead of the CSR slices and leaf-landmark tables.
 
-   HMN_BENCH_FAST=1 caps part 1 at 400 hosts (the tier-1 smoke rule
+   Part 3 is the routing micro-axis: per size, the same placement is
+   routed by the retained list-based A*Prune (PR 5's engine), by the
+   arena engine (bit-identical results), and by the arena engine with
+   the opt-in path cache + tree fast path, recording routes/s,
+   labels/route and cache/fast-path hit rates.
+
+   HMN_BENCH_FAST=1 caps the axes at 400 hosts (the tier-1 smoke rule
    sets it); the full run includes the 4000-host / 100 000-guest
    instance. *)
 
@@ -32,7 +38,9 @@ module Hmn = Hmn_core.Hmn
 
 let fast = Sys.getenv_opt "HMN_BENCH_FAST" <> None
 
-let schema_version = 1
+(* v2: adds the routing micro-axis (routes/s, labels/route, cache hit
+   rate, arena/accelerator speedups vs the retained list engine). *)
+let schema_version = 2
 
 let iso8601_now () =
   let tm = Unix.gmtime (Unix.time ()) in
@@ -265,6 +273,187 @@ let baseline_comparison () =
         Json.float (networking_old_s /. Float.max 1e-9 networking_new_s) );
     ]
 
+(* ---- part 3: routing micro-axis ---- *)
+
+(* The engine this PR replaces, retained as the bench baseline: same
+   CSR slices and leaf-landmark tables (so precompute and search order
+   are identical), but per-label cons-lists, a copied membership bitset
+   per generated label, and list-based Pareto sets — the allocation
+   profile the arena engine eliminates. *)
+let list_compare tab a b =
+  let c = Float.compare b.bottleneck a.bottleneck in
+  if c <> 0 then c
+  else
+    let proj p = p.acc_latency +. Latency_table.get tab p.last in
+    let c = Float.compare (proj a) (proj b) in
+    if c <> 0 then c else Int.compare a.hops b.hops
+
+let list_route ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms =
+  let cluster = Residual.cluster residual in
+  let n = Graph.n_nodes (Cluster.graph cluster) in
+  if src = dst then Some (Path.trivial src)
+  else begin
+    let tab = Latency_table.to_destination latency_tables ~dst in
+    let ar x = Latency_table.get tab x in
+    let heap = Heap.create ~cmp:(list_compare tab) () in
+    let csr = Cluster.csr cluster in
+    let offsets = Hmn_graph.Csr.offsets csr
+    and neighbors = Hmn_graph.Csr.neighbors csr
+    and edge_ids = Hmn_graph.Csr.edge_ids csr in
+    let latencies = Cluster.link_latencies cluster in
+    let avails = Residual.availabilities residual in
+    let labels = Array.make n [] in
+    let dominated v ~bottleneck ~latency =
+      List.exists (fun (b, l) -> b >= bottleneck && l <= latency) labels.(v)
+    in
+    let record v ~bottleneck ~latency =
+      let current = labels.(v) in
+      let rest =
+        if List.exists (fun (b, l) -> b <= bottleneck && l >= latency) current
+        then
+          List.filter (fun (b, l) -> not (b <= bottleneck && l >= latency)) current
+        else current
+      in
+      labels.(v) <- (bottleneck, latency) :: rest
+    in
+    let start_members = Bitset.create n in
+    Bitset.add start_members src;
+    if ar src <= latency_ms then begin
+      record src ~bottleneck:infinity ~latency:0.;
+      Heap.push heap
+        {
+          rev_nodes = [ src ];
+          rev_edges = [];
+          last = src;
+          hops = 1;
+          bottleneck = infinity;
+          acc_latency = 0.;
+          members = start_members;
+        }
+    end;
+    let result = ref None in
+    let expand p =
+      let u = p.last in
+      for k = offsets.(u) to offsets.(u + 1) - 1 do
+        let neighbor = neighbors.(k) in
+        if not (Bitset.mem p.members neighbor) then begin
+          let eid = edge_ids.(k) in
+          let avail = avails.(eid) in
+          let acc_latency = p.acc_latency +. latencies.(eid) in
+          if avail < bandwidth_mbps then ()
+          else if acc_latency +. ar neighbor > latency_ms then ()
+          else begin
+            let bottleneck = Float.min p.bottleneck avail in
+            if dominated neighbor ~bottleneck ~latency:acc_latency then ()
+            else begin
+              record neighbor ~bottleneck ~latency:acc_latency;
+              let members = Bitset.copy p.members in
+              Bitset.add members neighbor;
+              Heap.push heap
+                {
+                  rev_nodes = neighbor :: p.rev_nodes;
+                  rev_edges = eid :: p.rev_edges;
+                  last = neighbor;
+                  hops = p.hops + 1;
+                  bottleneck;
+                  acc_latency;
+                  members;
+                }
+            end
+          end
+        end
+      done
+    in
+    let rec loop () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some p ->
+        if p.last = dst then
+          result :=
+            Some
+              (Path.make ~nodes:(List.rev p.rev_nodes)
+                 ~edges:(List.rev p.rev_edges))
+        else begin
+          expand p;
+          loop ()
+        end
+    in
+    loop ();
+    !result
+  end
+
+(* One size point of the routing micro-axis: Hosting + Migration run
+   once, then the identical placement is routed three ways — the
+   retained list engine, the arena engine (bit-identical results), and
+   the arena engine with the opt-in path cache + tree fast path. Best
+   of two runs each. *)
+let routing_point ~hosts =
+  let problem = Scale.problem ~shape:Scale.Clos ~hosts ~ratio:25 ~seed:42 in
+  let cluster = problem.Hmn_mapping.Problem.cluster in
+  let placement =
+    match Hmn_core.Hosting.run_sharded problem with
+    | Ok p ->
+      ignore (Hmn_core.Migration.run ~max_moves:(4 * Cluster.n_hosts cluster) p);
+      p
+    | Error f -> failwith ("routing axis: hosting failed: " ^ f.Mapper.reason)
+  in
+  let time_run ?router ?(route_cache = false) ?(tree_fast_path = false) () =
+    let once () =
+      let p = Hmn_mapping.Placement.copy placement in
+      let t0 = Clock.now_s () in
+      match Hmn_core.Networking.run ?router ~route_cache ~tree_fast_path p with
+      | Ok (_, s) -> (Clock.elapsed_s t0, s)
+      | Error f ->
+        failwith ("routing axis: networking failed: " ^ f.Mapper.reason)
+    in
+    let s1, st1 = once () in
+    let s2, st2 = once () in
+    if s1 <= s2 then (s1, st1) else (s2, st2)
+  in
+  let list_router ~residual ~latency_tables ~src ~dst ~bandwidth_mbps
+      ~latency_ms () =
+    list_route ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms
+  in
+  let list_s, _ = time_run ~router:list_router () in
+  let arena_s, arena_st = time_run () in
+  let accel_s, accel_st = time_run ~route_cache:true ~tree_fast_path:true () in
+  let routed = arena_st.Hmn_core.Networking.routed in
+  let per_route total = float_of_int total /. float_of_int (max 1 routed) in
+  let labels_per_route = per_route arena_st.Hmn_core.Networking.generated in
+  let cache_hit_rate = per_route accel_st.Hmn_core.Networking.cache_hits in
+  let fast_path_rate = per_route accel_st.Hmn_core.Networking.fast_path in
+  Printf.printf
+    "  %5d hosts: networking list=%.3fs arena=%.3fs (%.2fx) accel=%.3fs \
+     (%.2fx)\n\
+    \             %d routes, %.0f routes/s arena, %.1f labels/route, cache \
+     %.1f%%, fast path %.1f%%\n\
+     %!"
+    (Cluster.n_hosts cluster) list_s arena_s
+    (list_s /. Float.max 1e-9 arena_s)
+    accel_s
+    (list_s /. Float.max 1e-9 accel_s)
+    routed
+    (float_of_int routed /. Float.max 1e-9 arena_s)
+    labels_per_route (100. *. cache_hit_rate) (100. *. fast_path_rate);
+  Json.Obj
+    [
+      ("hosts", Json.int (Cluster.n_hosts cluster));
+      ("routes", Json.int routed);
+      ("intra_host", Json.int arena_st.Hmn_core.Networking.intra_host);
+      ("networking_list_s", Json.float list_s);
+      ("networking_arena_s", Json.float arena_s);
+      ("networking_accel_s", Json.float accel_s);
+      ("arena_speedup", Json.float (list_s /. Float.max 1e-9 arena_s));
+      ("accel_speedup", Json.float (list_s /. Float.max 1e-9 accel_s));
+      ( "routes_per_s_arena",
+        Json.float (float_of_int routed /. Float.max 1e-9 arena_s) );
+      ( "routes_per_s_accel",
+        Json.float (float_of_int routed /. Float.max 1e-9 accel_s) );
+      ("labels_per_route", Json.float labels_per_route);
+      ("cache_hit_rate", Json.float cache_hit_rate);
+      ("fast_path_rate", Json.float fast_path_rate);
+    ]
+
 (* Precompute-only head to head along the size axis: the old scheme is
    one Dijkstra (and one O(nodes) table) per host, the new one one per
    attachment switch — the gap widens with hosts-per-rack, and at 4000
@@ -295,6 +484,8 @@ let () =
   let points = List.map (fun hosts -> size_point ~hosts) sizes in
   print_endline "== scale bench: pre-PR hot-path baseline (400 hosts) ==";
   let baseline = baseline_comparison () in
+  print_endline "== scale bench: routing micro-axis ==";
+  let routing_axis = List.map (fun hosts -> routing_point ~hosts) sizes in
   print_endline "== scale bench: precompute scaling ==";
   let precompute_axis =
     List.map (fun hosts -> precompute_point ~hosts) sizes
@@ -312,6 +503,7 @@ let () =
         ("fast", Json.Bool fast);
         ("sizes", Json.Arr points);
         ("baseline_400", baseline);
+        ("routing_axis", Json.Arr routing_axis);
         ("precompute_axis", Json.Arr precompute_axis);
       ]
   in

@@ -775,7 +775,16 @@ let scale_cmd =
             "Re-check the mapping with the independent validator (also \
              forced by $(b,HMN_VALIDATE)).")
   in
-  let run seed hosts shape ratio jobs validate =
+  let routing_counters_t =
+    Arg.(
+      value & flag
+      & info [ "routing-counters" ]
+          ~doc:
+            "Append one deterministic line of Networking search-effort \
+             counters (labels expanded/generated, cache and fast-path hits) \
+             to the summary; CI pins it to catch engine drift.")
+  in
+  let run seed hosts shape ratio jobs validate routing_counters =
     let validate = validate || Sys.getenv_opt "HMN_VALIDATE" <> None in
     let jobs =
       match jobs with
@@ -789,6 +798,7 @@ let scale_cmd =
     | _ -> ());
     let r = Scale.run ?jobs ~ratio ~seed ~validate ~shape ~hosts () in
     print_string (Scale.render_summary r);
+    if routing_counters then print_string (Scale.render_routing_counters r);
     (* Timings are real wall clock — stderr only, so stdout stays
        byte-diffable across runs and jobs counts. *)
     prerr_string (Scale.render_timings r);
@@ -801,7 +811,9 @@ let scale_cmd =
          "Map one large deterministic instance (40 to 4000 hosts) with the \
           scale pipeline: two-level rack-sharded Hosting, capped Migration, \
           CSR + landmark-table Networking.")
-    Term.(const run $ seed_t $ hosts_t $ shape_t $ ratio_t $ jobs_t $ validate_t)
+    Term.(
+      const run $ seed_t $ hosts_t $ shape_t $ ratio_t $ jobs_t $ validate_t
+      $ routing_counters_t)
 
 (* ---- dot ---- *)
 

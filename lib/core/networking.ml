@@ -13,9 +13,12 @@ type stats = {
   expanded : int;
   generated : int;
   precompute_s : float;
+  cache_hits : int;
+  cache_revalidate_failed : int;
+  fast_path : int;
 }
 
-let run ?router placement =
+let run ?router ?(route_cache = false) ?(tree_fast_path = false) placement =
   if not (Placement.all_assigned placement) then
     invalid_arg "Networking.run: placement is incomplete";
   let problem = Placement.problem placement in
@@ -25,31 +28,27 @@ let run ?router placement =
   (* Eager fill: every routed link targets a host, so from here on the
      table is a read-only lookup on the A*Prune hot path. *)
   Hmn_routing.Latency_table.precompute latency_tables;
-  let stats =
-    ref
-      {
-        routed = 0;
-        intra_host = 0;
-        expanded = 0;
-        generated = 0;
-        precompute_s =
-          Hmn_routing.Latency_table.precompute_seconds latency_tables;
-      }
-  in
+  (* Per-vlink tallies live in local ints and are flushed into the
+     stats record once at the end — the previous functional record
+     update allocated a fresh record per routed vlink. *)
+  let routed = ref 0 and intra_host = ref 0 in
+  let expanded = ref 0 and generated = ref 0 in
+  (* One reusable context for the whole pass: label arena, heap and
+     Pareto pools reach a steady state after the first few routes. The
+     cache and tree fast path stay off unless requested — they change
+     expansion counts (and, for the cache, possibly path selection),
+     while the default engine is bit-identical to a fresh search. *)
+  let ctx = Hmn_routing.Route_ctx.create ~cache:route_cache ~tree_fast_path () in
   let default_router ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms ()
       =
     match
-      Astar_prune.route ~residual ~latency_tables ~src ~dst ~bandwidth_mbps
+      Astar_prune.route ~ctx ~residual ~latency_tables ~src ~dst ~bandwidth_mbps
         ~latency_ms ()
     with
     | None -> None
     | Some (path, s) ->
-      stats :=
-        {
-          !stats with
-          expanded = !stats.expanded + s.Astar_prune.expanded;
-          generated = !stats.generated + s.Astar_prune.generated;
-        };
+      expanded := !expanded + s.Astar_prune.expanded;
+      generated := !generated + s.Astar_prune.generated;
       Some path
   in
   let router = Option.value router ~default:default_router in
@@ -65,7 +64,7 @@ let run ?router placement =
           (match Link_map.assign link_map ~vlink (Path.trivial hs) with
           | Ok () -> ()
           | Error msg -> raise (Networking_failed msg));
-          stats := { !stats with intra_host = !stats.intra_host + 1 }
+          incr intra_host
         end
         else begin
           let spec = Virtual_env.vlink venv vlink in
@@ -100,13 +99,26 @@ let run ?router placement =
                     spec.Hmn_vnet.Vlink.latency_ms))
           | Some path -> (
             match Link_map.assign link_map ~vlink path with
-            | Ok () -> stats := { !stats with routed = !stats.routed + 1 }
+            | Ok () -> incr routed
             | Error msg -> raise (Networking_failed msg))
         end)
       (Hosting.sorted_vlinks problem);
     if Metrics.enabled () then begin
-      Metrics.Counter.add (Metrics.counter "networking.vlinks_routed") !stats.routed;
-      Metrics.Counter.add (Metrics.counter "networking.intra_host") !stats.intra_host
+      Metrics.Counter.add (Metrics.counter "networking.vlinks_routed") !routed;
+      Metrics.Counter.add (Metrics.counter "networking.intra_host") !intra_host
     end;
-    Ok (link_map, !stats)
+    Ok
+      ( link_map,
+        {
+          routed = !routed;
+          intra_host = !intra_host;
+          expanded = !expanded;
+          generated = !generated;
+          precompute_s =
+            Hmn_routing.Latency_table.precompute_seconds latency_tables;
+          cache_hits = Hmn_routing.Route_ctx.cache_hits ctx;
+          cache_revalidate_failed =
+            Hmn_routing.Route_ctx.cache_revalidate_failed ctx;
+          fast_path = Hmn_routing.Route_ctx.fast_path_hits ctx;
+        } )
   with Networking_failed reason -> Error (Mapper.fail ~stage:"networking" ~reason)

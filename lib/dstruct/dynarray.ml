@@ -57,3 +57,9 @@ let fold_left f acc t =
 let clear t =
   t.data <- [||];
   t.size <- 0
+
+let reset t = t.size <- 0
+
+let truncate t n =
+  if n < 0 || n > t.size then invalid_arg "Dynarray.truncate: bad length";
+  t.size <- n

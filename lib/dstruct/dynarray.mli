@@ -27,4 +27,18 @@ val of_array : 'a array -> 'a t
 
 val iter : ('a -> unit) -> 'a t -> unit
 val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
 val clear : 'a t -> unit
+(** Empties the array and releases its storage. *)
+
+val reset : 'a t -> unit
+(** Empties the array but keeps its storage for reuse, so a pooled
+    array reaches a steady state where pushes never allocate. The
+    vacated slots are not overwritten: reserve [reset] for unboxed
+    elements (ints, floats), where nothing can be spuriously
+    retained. *)
+
+val truncate : 'a t -> int -> unit
+(** Shrinks the array to its first [n] elements, keeping storage (same
+    retention caveat as {!reset}). Raises [Invalid_argument] when [n]
+    exceeds the current length or is negative. *)

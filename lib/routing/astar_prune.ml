@@ -1,8 +1,6 @@
 module Graph = Hmn_graph.Graph
 module Csr = Hmn_graph.Csr
 module Cluster = Hmn_testbed.Cluster
-module Bitset = Hmn_dstruct.Bitset
-module Heap = Hmn_dstruct.Binary_heap
 module Metrics = Hmn_obs.Metrics
 
 type stats = {
@@ -10,31 +8,214 @@ type stats = {
   generated : int;
 }
 
-type partial = {
-  rev_nodes : int list;
-  rev_edges : int list;
-  last : int;
-  hops : int;  (* length of [rev_nodes], precomputed for the comparator *)
-  bottleneck : float;  (* min residual bandwidth so far; infinity at origin *)
-  acc_latency : float;
-  members : Bitset.t;
-}
+let zero_stats = { expanded = 0; generated = 0 }
 
-(* Open-set order: widest bottleneck first (the algorithm's selection
-   rule), then optimistic total latency, then fewer hops — the
-   tie-breakers make the search deterministic. The comparator runs on
-   every heap sift, so it must stay O(1): [hops] is carried in the
-   label rather than recomputed as [List.length rev_nodes], and the
-   latency-to-go heuristic is the landmark table's O(1) read. *)
-let compare_partial ar a b =
-  let c = Float.compare b.bottleneck a.bottleneck in
-  if c <> 0 then c
-  else
-    let proj p = p.acc_latency +. Latency_table.get ar p.last in
-    let c = Float.compare (proj a) (proj b) in
-    if c <> 0 then c else Int.compare a.hops b.hops
+(* Cache revalidation and the fast path's feasibility test: every hop
+   must offer the bandwidth and the accumulated latency (summed in
+   path order, the same left-to-right association the search uses for
+   [acc_latency]) must stay within the bound. *)
+let feasible ~latencies ~avails ~bandwidth_mbps ~latency_ms (path : Path.t) =
+  let edges = path.Path.edges in
+  let m = Array.length edges in
+  let rec go i acc =
+    if i = m then acc <= latency_ms
+    else
+      let e = edges.(i) in
+      avails.(e) >= bandwidth_mbps && go (i + 1) (acc +. latencies.(e))
+  in
+  m > 0 && go 0 0.
 
-let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
+(* ---- tree fast path ---- *)
+
+type forced = No_fast_path | Forced of Path.t option
+
+(* The unique continuation arc of a simple path that entered [cur] via
+   [prev] ([-1] at the walk's start): a degree-1 start, or a degree-2
+   interior node whose other arc does not return to [prev]. *)
+let forced_step ~offsets ~neighbors ~edge_ids ~prev ~cur =
+  let k0 = offsets.(cur) in
+  match offsets.(cur + 1) - k0 with
+  | 1 ->
+    let nb = neighbors.(k0) in
+    if nb = prev then None else Some (nb, edge_ids.(k0))
+  | 2 when prev >= 0 ->
+    let n0 = neighbors.(k0) and n1 = neighbors.(k0 + 1) in
+    if n0 = prev && n1 <> prev then Some (n1, edge_ids.(k0 + 1))
+    else if n1 = prev && n0 <> prev then Some (n0, edge_ids.(k0))
+    else None
+  | _ -> None
+
+let rec distinct = function
+  | [] -> true
+  | x :: tl -> (not (List.mem x tl)) && distinct tl
+
+(* Collapse sole-neighbor chains: when the forced walks from [src] and
+   [dst] spell the whole route (a pure tree segment, or the same-rack
+   src -> switch -> dst triangle of a fabric), the unique simple path
+   needs no search — it is feasible, or no path exists at all. *)
+let forced_route ~offsets ~neighbors ~edge_ids ~n ~src ~dst =
+  if
+    offsets.(src + 1) - offsets.(src) <> 1
+    && offsets.(dst + 1) - offsets.(dst) <> 1
+  then No_fast_path
+  else begin
+    (* rev_nodes leads with the terminal: for the walk from [src] that
+       is reversed path order; for the walk from [dst] it already reads
+       forward, terminal -> dst. *)
+    let walk ~start ~target =
+      let rec go prev cur rev_nodes rev_edges steps =
+        if cur = target || steps >= n then (rev_nodes, rev_edges, cur)
+        else
+          match forced_step ~offsets ~neighbors ~edge_ids ~prev ~cur with
+          | None -> (rev_nodes, rev_edges, cur)
+          | Some (nb, eid) ->
+            go cur nb (nb :: rev_nodes) (eid :: rev_edges) (steps + 1)
+      in
+      go (-1) start [ start ] [] 0
+    in
+    let s_nodes, s_edges, s_term = walk ~start:src ~target:dst in
+    if s_term = dst then
+      let nodes = List.rev s_nodes in
+      if distinct nodes then
+        Forced (Some (Path.make ~nodes ~edges:(List.rev s_edges)))
+      else No_fast_path
+    else begin
+      let d_nodes, d_edges, d_term = walk ~start:dst ~target:src in
+      if d_term = src then
+        if distinct d_nodes then
+          Forced (Some (Path.make ~nodes:d_nodes ~edges:d_edges))
+        else No_fast_path
+      else if s_term = d_term then begin
+        (* The walks meet: the terminal appears once, so every simple
+           path runs prefix - terminal - suffix and is fully forced. *)
+        let nodes = List.rev_append (List.tl s_nodes) d_nodes in
+        if distinct nodes then
+          Forced
+            (Some (Path.make ~nodes ~edges:(List.rev_append s_edges d_edges)))
+        else No_fast_path
+      end
+      else No_fast_path
+    end
+  end
+
+(* ---- the arena search ---- *)
+
+let search ~ctx ~latency_tables ~offsets ~neighbors ~edge_ids ~latencies ~avails
+    ~prune_dominated ~src ~dst ~bandwidth_mbps ~latency_ms =
+  let tab = Latency_table.to_destination latency_tables ~dst in
+  (* Destructured once: the hot loop reads the shared base array and
+     scalar offset directly instead of paying a record access per
+     lookup. [ar x] stays the exact [Latency_table.get] semantics —
+     the [x = dst] case matters, labels ending at [dst] sit in the
+     heap and must project with zero latency-to-go. *)
+  let ar_base = tab.Latency_table.base and ar_offset = tab.Latency_table.offset in
+  let ar x = if x = dst then 0. else ar_base.(x) +. ar_offset in
+  Route_ctx.reset_search ctx;
+  let generated = ref 0 and expanded = ref 0 in
+  (* Search-effort tallies, kept in locals on the hot path and flushed
+     to the metrics registry once per call (§5.2: search effort, not
+     just wall time, is the result). *)
+  let pruned_bandwidth = ref 0
+  and pruned_latency = ref 0
+  and pruned_dominated = ref 0
+  and heap_max = ref 0 in
+  let push id =
+    incr generated;
+    Route_ctx.heap_push ctx id;
+    let len = ctx.Route_ctx.heap_size in
+    if len > !heap_max then heap_max := len
+  in
+  if ar src <= latency_ms then begin
+    (* Label recording must track the flag: the unpruned reference
+       mode would otherwise start with a seeded Pareto table. *)
+    if prune_dominated then Route_ctx.pareto_record ctx src ~width:infinity ~lat:0.;
+    push
+      (Route_ctx.add_label ctx ~parent:(-1) ~node:src ~via:(-1) ~hops:1
+         ~width:infinity ~lat:0. ~proj:(0. +. ar src))
+  end;
+  let expand p =
+    (* CSR slice walk: same arc order as [Graph.iter_adj] (the view
+       preserves adjacency insertion order), but three flat array
+       reads per arc instead of a closure call plus a link-record
+       fetch — this loop dominates Networking wall time at scale.
+       Membership is an O(hops) parent-chain walk instead of the
+       historical per-label bitset copy: paths on these fabrics are a
+       handful of hops, so the walk is cheaper than duplicating n/8
+       bytes per generated label. *)
+    let u = ctx.Route_ctx.node.(p) in
+    let p_lat = ctx.Route_ctx.lat.(p)
+    and p_width = ctx.Route_ctx.width.(p)
+    and p_hops = ctx.Route_ctx.hops.(p) in
+    for k = offsets.(u) to offsets.(u + 1) - 1 do
+      let neighbor = neighbors.(k) in
+      if not (Route_ctx.on_path ctx p neighbor) then begin
+        let eid = edge_ids.(k) in
+        let avail = avails.(eid) in
+        let acc_latency = p_lat +. latencies.(eid) in
+        (* Prune: not enough residual bandwidth on this hop, or the
+           latency budget cannot be met even via the cheapest
+           completion. *)
+        if avail < bandwidth_mbps then incr pruned_bandwidth
+        else begin
+          let proj = acc_latency +. ar neighbor in
+          if proj > latency_ms then incr pruned_latency
+          else begin
+            let width = Float.min p_width avail in
+            if
+              prune_dominated
+              && Route_ctx.pareto_dominated ctx neighbor ~width ~lat:acc_latency
+            then incr pruned_dominated
+            else begin
+              if prune_dominated then
+                Route_ctx.pareto_record ctx neighbor ~width ~lat:acc_latency;
+              push
+                (Route_ctx.add_label ctx ~parent:p ~node:neighbor ~via:eid
+                   ~hops:(p_hops + 1) ~width ~lat:acc_latency ~proj)
+            end
+          end
+        end
+      end
+    done
+  in
+  let result = ref (-1) in
+  let rec loop () =
+    let p = Route_ctx.heap_pop ctx in
+    if p >= 0 then begin
+      incr expanded;
+      if ctx.Route_ctx.node.(p) = dst then result := p
+      else begin
+        expand p;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  if Metrics.enabled () then begin
+    Metrics.Counter.add (Metrics.counter "astar.labels_expanded") !expanded;
+    Metrics.Counter.add (Metrics.counter "astar.labels_generated") !generated;
+    Metrics.Counter.add (Metrics.counter "astar.pruned_bandwidth") !pruned_bandwidth;
+    Metrics.Counter.add (Metrics.counter "astar.pruned_latency") !pruned_latency;
+    Metrics.Counter.add (Metrics.counter "astar.pruned_dominated") !pruned_dominated;
+    Metrics.Gauge.observe (Metrics.gauge "astar.heap_max") !heap_max;
+    Metrics.Counter.incr
+      (Metrics.counter
+         (if !result < 0 then "astar.routes_failed" else "astar.routes_found"))
+  end;
+  if !result < 0 then None
+  else begin
+    (* Only the winning path is materialised: walk the parent chain
+       once, consing forward node/edge lists for [Path.make]. *)
+    let rec reconstruct i nodes edges =
+      let nodes = ctx.Route_ctx.node.(i) :: nodes in
+      let parent = ctx.Route_ctx.parent.(i) in
+      if parent < 0 then (nodes, edges)
+      else reconstruct parent nodes (ctx.Route_ctx.via.(i) :: edges)
+    in
+    let nodes, edges = reconstruct !result [] [] in
+    Some (Path.make ~nodes ~edges, { expanded = !expanded; generated = !generated })
+  end
+
+let route ?(prune_dominated = true) ?ctx ~residual ~latency_tables ~src ~dst
     ~bandwidth_mbps ~latency_ms () =
   let cluster = Residual.cluster residual in
   let g = Cluster.graph cluster in
@@ -44,148 +225,79 @@ let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
   if not (bandwidth_mbps > 0.) then
     invalid_arg "Astar_prune.route: bandwidth must be positive";
   if latency_ms < 0. then invalid_arg "Astar_prune.route: negative latency bound";
-  if src = dst then Some (Path.trivial src, { expanded = 0; generated = 0 })
+  if src = dst then Some (Path.trivial src, zero_stats)
   else begin
-    let tab = Latency_table.to_destination latency_tables ~dst in
-    (* Destructured once: the hot loop reads the shared base array and
-       scalar offset directly instead of paying a record access per
-       lookup. [ar x] stays the exact [Latency_table.get] semantics —
-       the [x = dst] case matters, labels ending at [dst] sit in the
-       heap and must project with zero latency-to-go. *)
-    let ar_base = tab.Latency_table.base and ar_offset = tab.Latency_table.offset in
-    let ar x = if x = dst then 0. else ar_base.(x) +. ar_offset in
-    let heap = Heap.create ~cmp:(compare_partial tab) () in
+    let ctx =
+      match ctx with Some c -> c | None -> Route_ctx.create ()
+    in
+    (* Rebinding flushes the cache when the physical cluster changed
+       (defrag rebuilds residual clusters), so a stale entry can never
+       be revalidated against arrays it does not index. *)
+    Route_ctx.bind ctx cluster;
     let csr = Cluster.csr cluster in
     let offsets = Csr.offsets csr
     and neighbors = Csr.neighbors csr
     and edge_ids = Csr.edge_ids csr in
     let latencies = Cluster.link_latencies cluster in
     let avails = Residual.availabilities residual in
-    (* Pareto labels per node: (bottleneck, latency) pairs of paths
-       already queued there. *)
-    let labels = Array.make n [] in
-    let dominated v ~bottleneck ~latency =
-      List.exists (fun (b, l) -> b >= bottleneck && l <= latency) labels.(v)
-    in
-    let record v ~bottleneck ~latency =
-      (* Drop labels the new one dominates. Most insertions dominate
-         nothing, so only rebuild the (pruned-in-place, never copied)
-         list when a victim actually exists. *)
-      let current = labels.(v) in
-      let rest =
-        if List.exists (fun (b, l) -> b <= bottleneck && l >= latency) current then
-          List.filter (fun (b, l) -> not (b <= bottleneck && l >= latency)) current
-        else current
-      in
-      labels.(v) <- (bottleneck, latency) :: rest
-    in
-    let generated = ref 0 and expanded = ref 0 in
-    (* Search-effort tallies, kept in locals on the hot path and flushed
-       to the metrics registry once per call (§5.2: search effort, not
-       just wall time, is the result). *)
-    let pruned_bandwidth = ref 0
-    and pruned_latency = ref 0
-    and pruned_dominated = ref 0
-    and heap_max = ref 0 in
-    let push p =
-      incr generated;
-      Heap.push heap p;
-      let len = Heap.length heap in
-      if len > !heap_max then heap_max := len
-    in
-    let start_members = Bitset.create n in
-    Bitset.add start_members src;
-    if ar src <= latency_ms then begin
-      (* Label recording must track the flag: the unpruned reference
-         mode would otherwise start with a seeded Pareto table. *)
-      if prune_dominated then record src ~bottleneck:infinity ~latency:0.;
-      push
-        {
-          rev_nodes = [ src ];
-          rev_edges = [];
-          last = src;
-          hops = 1;
-          bottleneck = infinity;
-          acc_latency = 0.;
-          members = start_members;
-        }
-    end;
-    let result = ref None in
-    let expand p =
-      (* CSR slice walk: same arc order as [Graph.iter_adj] (the view
-         preserves adjacency insertion order), but three flat array
-         reads per arc instead of a closure call plus a link-record
-         fetch — this loop dominates Networking wall time at scale. *)
-      let u = p.last in
-      for k = offsets.(u) to offsets.(u + 1) - 1 do
-        let neighbor = neighbors.(k) in
-        if not (Bitset.mem p.members neighbor) then begin
-          let eid = edge_ids.(k) in
-          let avail = avails.(eid) in
-          let acc_latency = p.acc_latency +. latencies.(eid) in
-          (* Prune: not enough residual bandwidth on this hop, or the
-             latency budget cannot be met even via the cheapest
-             completion. *)
-          if avail < bandwidth_mbps then incr pruned_bandwidth
-          else if acc_latency +. ar neighbor > latency_ms then
-            incr pruned_latency
-          else begin
-            let bottleneck = Float.min p.bottleneck avail in
-            if
-              prune_dominated
-              && dominated neighbor ~bottleneck ~latency:acc_latency
-            then incr pruned_dominated
-            else begin
-              if prune_dominated then record neighbor ~bottleneck ~latency:acc_latency;
-              let members = Bitset.copy p.members in
-              Bitset.add members neighbor;
-              push
-                {
-                  rev_nodes = neighbor :: p.rev_nodes;
-                  rev_edges = eid :: p.rev_edges;
-                  last = neighbor;
-                  hops = p.hops + 1;
-                  bottleneck;
-                  acc_latency;
-                  members;
-                }
-            end
-          end
+    let cached =
+      match Route_ctx.cache_find ctx ~src ~dst with
+      | None ->
+        if Route_ctx.use_cache ctx then
+          ctx.Route_ctx.cache_misses <- ctx.Route_ctx.cache_misses + 1;
+        None
+      | Some path ->
+        (* Revalidate against the current residual state: availability
+           hop by hop, latency recomputed from the current cluster's
+           table — the entry was cached under an earlier reservation
+           state and a possibly different request. *)
+        if feasible ~latencies ~avails ~bandwidth_mbps ~latency_ms path then begin
+          ctx.Route_ctx.cache_hits <- ctx.Route_ctx.cache_hits + 1;
+          if Metrics.enabled () then
+            Metrics.Counter.incr (Metrics.counter "astar.cache_hits");
+          Some path
         end
-      done
-    in
-    let rec loop () =
-      match Heap.pop heap with
-      | None -> ()
-      | Some p ->
-        incr expanded;
-        if p.last = dst then
-          result :=
-            Some
-              (Path.make ~nodes:(List.rev p.rev_nodes) ~edges:(List.rev p.rev_edges))
         else begin
-          expand p;
-          loop ()
+          ctx.Route_ctx.cache_revalidate_failed <-
+            ctx.Route_ctx.cache_revalidate_failed + 1;
+          if Metrics.enabled () then
+            Metrics.Counter.incr (Metrics.counter "astar.cache_revalidate_failed");
+          None
         end
     in
-    loop ();
-    if Metrics.enabled () then begin
-      Metrics.Counter.add (Metrics.counter "astar.labels_expanded") !expanded;
-      Metrics.Counter.add (Metrics.counter "astar.labels_generated") !generated;
-      Metrics.Counter.add (Metrics.counter "astar.pruned_bandwidth") !pruned_bandwidth;
-      Metrics.Counter.add (Metrics.counter "astar.pruned_latency") !pruned_latency;
-      Metrics.Counter.add (Metrics.counter "astar.pruned_dominated") !pruned_dominated;
-      Metrics.Gauge.observe (Metrics.gauge "astar.heap_max") !heap_max;
-      Metrics.Counter.incr
-        (Metrics.counter
-           (if Option.is_none !result then "astar.routes_failed"
-            else "astar.routes_found"))
-    end;
-    match !result with
-    | None -> None
-    | Some path -> Some (path, { expanded = !expanded; generated = !generated })
+    match cached with
+    | Some path -> Some (path, zero_stats)
+    | None -> (
+      let forced =
+        if Route_ctx.use_tree_fast_path ctx then
+          forced_route ~offsets ~neighbors ~edge_ids ~n ~src ~dst
+        else No_fast_path
+      in
+      match forced with
+      | Forced maybe ->
+        ctx.Route_ctx.fast_path_hits <- ctx.Route_ctx.fast_path_hits + 1;
+        if Metrics.enabled () then
+          Metrics.Counter.incr (Metrics.counter "astar.fast_path_hits");
+        (match maybe with
+        | Some path
+          when feasible ~latencies ~avails ~bandwidth_mbps ~latency_ms path ->
+          Route_ctx.cache_store ctx ~src ~dst path;
+          Some (path, zero_stats)
+        | Some _ | None ->
+          (* The unique simple path is infeasible — so is the route. *)
+          None)
+      | No_fast_path -> (
+        match
+          search ~ctx ~latency_tables ~offsets ~neighbors ~edge_ids ~latencies
+            ~avails ~prune_dominated ~src ~dst ~bandwidth_mbps ~latency_ms
+        with
+        | None -> None
+        | Some (path, st) ->
+          Route_ctx.cache_store ctx ~src ~dst path;
+          Some (path, st)))
   end
 
-let widest_feasible ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms () =
+let widest_feasible ?ctx ~residual ~latency_tables ~src ~dst ~bandwidth_mbps
+    ~latency_ms () =
   Option.map fst
-    (route ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms ())
+    (route ?ctx ~residual ~latency_tables ~src ~dst ~bandwidth_mbps ~latency_ms ())

@@ -28,6 +28,7 @@ type stats = {
 
 val route :
   ?prune_dominated:bool ->
+  ?ctx:Route_ctx.t ->
   residual:Residual.t ->
   latency_tables:Latency_table.t ->
   src:int ->
@@ -38,9 +39,20 @@ val route :
   (Path.t * stats) option
 (** [None] when no feasible path exists. [src = dst] returns the
     intra-host trivial path. Raises [Invalid_argument] on out-of-range
-    endpoints, non-positive bandwidth, or negative latency bound. *)
+    endpoints, non-positive bandwidth, or negative latency bound.
+
+    [ctx] is an optional reusable {!Route_ctx.t}: passing one lets
+    consecutive calls share the label arena, heap and Pareto pools
+    (and, when enabled on the context, the path cache and tree fast
+    path) instead of allocating per call. Omitting it allocates a
+    fresh default context — same results, no reuse. With a default
+    context ([Route_ctx.create ()] — cache and fast path off) the
+    engine is bit-identical to the historical list-based
+    implementation: same paths, same [stats], same metrics. Cached
+    hits and fast-path hits report [stats] of zero (no search ran). *)
 
 val widest_feasible :
+  ?ctx:Route_ctx.t ->
   residual:Residual.t ->
   latency_tables:Latency_table.t ->
   src:int ->

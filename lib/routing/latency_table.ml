@@ -36,6 +36,13 @@ let get tab x = if x = tab.dst then 0. else tab.base.(x) +. tab.offset
 let to_array tab =
   Array.init (Array.length tab.base) (fun x -> get tab x)
 
+let fill tab out =
+  if Array.length out <> Array.length tab.base then
+    invalid_arg "Latency_table.fill: buffer length mismatch";
+  for x = 0 to Array.length out - 1 do
+    out.(x) <- get tab x
+  done
+
 let dijkstra_base t src =
   t.dijkstras <- t.dijkstras + 1;
   Csr.dijkstra_from (Cluster.csr t.cluster)

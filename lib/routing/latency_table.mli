@@ -44,8 +44,16 @@ val to_destination : t -> dst:int -> table
     on first request. *)
 
 val to_array : table -> float array
-(** Materialised copy of the whole table — for tests and oracles, not
-    the hot path. *)
+(** Debug accessor: a freshly allocated materialised copy of the whole
+    table. For interactive inspection and one-off assertions only —
+    never the hot path, and oracles iterating destinations should
+    {!fill} one reused buffer instead. *)
+
+val fill : table -> float array -> unit
+(** [fill tab out] writes [get tab x] into [out.(x)] for every node —
+    {!to_array} without the allocation, for oracles that sweep many
+    destinations against one scratch buffer. Raises [Invalid_argument]
+    when [out]'s length differs from the node count. *)
 
 val precompute : t -> unit
 (** Eagerly fill the table for every host destination (each counted as

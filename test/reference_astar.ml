@@ -1,0 +1,150 @@
+(* The historical list-based A*Prune, retained verbatim (minus metrics)
+   as the oracle for the arena engine's bit-identity property: same
+   paths, same expanded/generated statistics, label for label. Do not
+   "improve" this file — its value is that it is the old engine. *)
+
+module Graph = Hmn_graph.Graph
+module Csr = Hmn_graph.Csr
+module Cluster = Hmn_testbed.Cluster
+module Bitset = Hmn_dstruct.Bitset
+module Heap = Hmn_dstruct.Binary_heap
+module Residual = Hmn_routing.Residual
+module Latency_table = Hmn_routing.Latency_table
+module Path = Hmn_routing.Path
+
+type stats = {
+  expanded : int;
+  generated : int;
+}
+
+type partial = {
+  rev_nodes : int list;
+  rev_edges : int list;
+  last : int;
+  hops : int;
+  bottleneck : float;
+  acc_latency : float;
+  members : Bitset.t;
+}
+
+let compare_partial ar a b =
+  let c = Float.compare b.bottleneck a.bottleneck in
+  if c <> 0 then c
+  else
+    let proj p = p.acc_latency +. Latency_table.get ar p.last in
+    let c = Float.compare (proj a) (proj b) in
+    if c <> 0 then c else Int.compare a.hops b.hops
+
+let route ?(prune_dominated = true) ~residual ~latency_tables ~src ~dst
+    ~bandwidth_mbps ~latency_ms () =
+  let cluster = Residual.cluster residual in
+  let g = Cluster.graph cluster in
+  let n = Graph.n_nodes g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Reference_astar.route: endpoint out of range";
+  if not (bandwidth_mbps > 0.) then
+    invalid_arg "Reference_astar.route: bandwidth must be positive";
+  if latency_ms < 0. then
+    invalid_arg "Reference_astar.route: negative latency bound";
+  if src = dst then Some (Path.trivial src, { expanded = 0; generated = 0 })
+  else begin
+    let tab = Latency_table.to_destination latency_tables ~dst in
+    let ar_base = tab.Latency_table.base and ar_offset = tab.Latency_table.offset in
+    let ar x = if x = dst then 0. else ar_base.(x) +. ar_offset in
+    let heap = Heap.create ~cmp:(compare_partial tab) () in
+    let csr = Cluster.csr cluster in
+    let offsets = Csr.offsets csr
+    and neighbors = Csr.neighbors csr
+    and edge_ids = Csr.edge_ids csr in
+    let latencies = Cluster.link_latencies cluster in
+    let avails = Residual.availabilities residual in
+    let labels = Array.make n [] in
+    let dominated v ~bottleneck ~latency =
+      List.exists (fun (b, l) -> b >= bottleneck && l <= latency) labels.(v)
+    in
+    let record v ~bottleneck ~latency =
+      let current = labels.(v) in
+      let rest =
+        if List.exists (fun (b, l) -> b <= bottleneck && l >= latency) current then
+          List.filter (fun (b, l) -> not (b <= bottleneck && l >= latency)) current
+        else current
+      in
+      labels.(v) <- (bottleneck, latency) :: rest
+    in
+    let generated = ref 0 and expanded = ref 0 in
+    let push p =
+      incr generated;
+      Heap.push heap p
+    in
+    let start_members = Bitset.create n in
+    Bitset.add start_members src;
+    if ar src <= latency_ms then begin
+      if prune_dominated then record src ~bottleneck:infinity ~latency:0.;
+      push
+        {
+          rev_nodes = [ src ];
+          rev_edges = [];
+          last = src;
+          hops = 1;
+          bottleneck = infinity;
+          acc_latency = 0.;
+          members = start_members;
+        }
+    end;
+    let result = ref None in
+    let expand p =
+      let u = p.last in
+      for k = offsets.(u) to offsets.(u + 1) - 1 do
+        let neighbor = neighbors.(k) in
+        if not (Bitset.mem p.members neighbor) then begin
+          let eid = edge_ids.(k) in
+          let avail = avails.(eid) in
+          let acc_latency = p.acc_latency +. latencies.(eid) in
+          if avail < bandwidth_mbps then ()
+          else if acc_latency +. ar neighbor > latency_ms then ()
+          else begin
+            let bottleneck = Float.min p.bottleneck avail in
+            if
+              prune_dominated
+              && dominated neighbor ~bottleneck ~latency:acc_latency
+            then ()
+            else begin
+              if prune_dominated then
+                record neighbor ~bottleneck ~latency:acc_latency;
+              let members = Bitset.copy p.members in
+              Bitset.add members neighbor;
+              push
+                {
+                  rev_nodes = neighbor :: p.rev_nodes;
+                  rev_edges = eid :: p.rev_edges;
+                  last = neighbor;
+                  hops = p.hops + 1;
+                  bottleneck;
+                  acc_latency;
+                  members;
+                }
+            end
+          end
+        end
+      done
+    in
+    let rec loop () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some p ->
+        incr expanded;
+        if p.last = dst then
+          result :=
+            Some
+              (Path.make ~nodes:(List.rev p.rev_nodes)
+                 ~edges:(List.rev p.rev_edges))
+        else begin
+          expand p;
+          loop ()
+        end
+    in
+    loop ();
+    match !result with
+    | None -> None
+    | Some path -> Some (path, { expanded = !expanded; generated = !generated })
+  end

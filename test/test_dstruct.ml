@@ -212,6 +212,25 @@ let test_dyn_errors () =
   ignore (Dynarray.pop d);
   Alcotest.(check (option int)) "pop empty" None (Dynarray.pop d)
 
+let test_dyn_reset_truncate () =
+  let d = Dynarray.of_array [| 1; 2; 3; 4; 5 |] in
+  Dynarray.truncate d 3;
+  Alcotest.(check (array int)) "truncated" [| 1; 2; 3 |] (Dynarray.to_array d);
+  (* Truncation keeps storage: pushes refill the vacated slots. *)
+  Dynarray.push d 9;
+  Alcotest.(check (array int)) "refilled" [| 1; 2; 3; 9 |] (Dynarray.to_array d);
+  Alcotest.check_raises "truncate beyond length"
+    (Invalid_argument "Dynarray.truncate: bad length") (fun () ->
+      Dynarray.truncate d 5);
+  Alcotest.check_raises "negative truncate"
+    (Invalid_argument "Dynarray.truncate: bad length") (fun () ->
+      Dynarray.truncate d (-1));
+  Dynarray.reset d;
+  Alcotest.(check bool) "reset empties" true (Dynarray.is_empty d);
+  Dynarray.push d 7;
+  Alcotest.(check (array int)) "reusable after reset" [| 7 |]
+    (Dynarray.to_array d)
+
 (* ---- Bitset ---- *)
 
 let test_bs_basic () =
@@ -342,6 +361,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_dyn_basic;
           Alcotest.test_case "conversions" `Quick test_dyn_conversions;
           Alcotest.test_case "errors" `Quick test_dyn_errors;
+          Alcotest.test_case "reset & truncate" `Quick test_dyn_reset_truncate;
         ] );
       ( "bitset",
         [

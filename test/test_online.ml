@@ -243,6 +243,47 @@ let test_defrag_round_lowers_lbf () =
   Alcotest.(check bool) "lbf improved" true (after < before);
   Alcotest.(check int) "no tenant lost" 4 (Occupancy.n_tenants occ)
 
+(* Regression for the routing path cache: defragmentation rebuilds the
+   residual cluster ([Occupancy.residual_cluster] returns a fresh
+   object), so a routing context that cached paths against the previous
+   cluster must flush on rebind — a stale entry served across an
+   [Occupancy.replace] would index arrays of a cluster that no longer
+   exists. *)
+let test_defrag_never_reuses_stale_cache () =
+  let occ = Occupancy.create (ring_cluster ()) in
+  Occupancy.admit occ (solo_tenant ~id:0 ~host:0 ~mips:400. ~mem:200.);
+  let tables = Occupancy.latency_tables occ in
+  let route ctx rc =
+    Hmn_routing.Astar_prune.route ~ctx
+      ~residual:(Hmn_routing.Residual.create rc)
+      ~latency_tables:tables ~src:0 ~dst:2 ~bandwidth_mbps:30. ~latency_ms:60. ()
+  in
+  let ctx = Hmn_routing.Route_ctx.create ~cache:true () in
+  let rc1 = Occupancy.residual_cluster occ in
+  ignore (route ctx rc1);
+  (match route ctx rc1 with
+  | Some (_, s) ->
+    Alcotest.(check int) "served from cache" 0 s.Hmn_routing.Astar_prune.expanded
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check int) "one hit before the move" 1
+    (Hmn_routing.Route_ctx.cache_hits ctx);
+  (* Defrag commit: the tenant moves and the residual cluster is
+     rebuilt. *)
+  Occupancy.replace occ (solo_tenant ~id:0 ~host:2 ~mips:400. ~mem:200.);
+  let rc2 = Occupancy.residual_cluster occ in
+  (match route ctx rc2 with
+  | Some (p, s) ->
+    Alcotest.(check bool) "really searched" true
+      (s.Hmn_routing.Astar_prune.expanded > 0);
+    (match route (Hmn_routing.Route_ctx.create ()) rc2 with
+    | Some (q, _) ->
+      Alcotest.(check bool) "matches a fresh search" true
+        (p.Path.nodes = q.Path.nodes && p.Path.edges = q.Path.edges)
+    | None -> Alcotest.fail "fresh search found no path")
+  | None -> Alcotest.fail "expected a path after the move");
+  Alcotest.(check int) "no stale hit across the replace" 1
+    (Hmn_routing.Route_ctx.cache_hits ctx)
+
 (* --- service -------------------------------------------------------- *)
 
 let small_config =
@@ -334,6 +375,8 @@ let () =
         [
           Alcotest.test_case "round lowers lbf" `Quick
             test_defrag_round_lowers_lbf;
+          Alcotest.test_case "never reuses a stale cached path" `Quick
+            test_defrag_never_reuses_stale_cache;
         ] );
       ( "service",
         [

@@ -514,16 +514,214 @@ let prop_landmark_tables_equal_direct_dijkstra =
       Latency_table.precompute tables;
       let g = Cluster.graph cluster in
       let weight eid = (Cluster.link cluster eid).Link.latency_ms in
-      (* First access switch: exercises the non-leaf fallback too. *)
+      (* First access switch: exercises the non-leaf fallback too. One
+         scratch buffer swept over every destination — [to_array] is a
+         debug accessor and would allocate a fresh table per dst. *)
       let switch = Cluster.n_hosts cluster in
+      let scratch = Array.make (Graph.n_nodes g) 0. in
       Array.for_all
         (fun dst ->
           let tab = Latency_table.to_destination tables ~dst in
-          Latency_table.to_array tab
-          = Hmn_graph.Dijkstra.distances_to g ~weight ~dst)
+          Latency_table.fill tab scratch;
+          scratch = Hmn_graph.Dijkstra.distances_to g ~weight ~dst)
         (Array.append (Cluster.host_ids cluster) [| switch |])
       (* one Dijkstra per access-switch landmark, plus the switch dst *)
       && Latency_table.dijkstras tables = Cluster.n_racks cluster + 1)
+
+(* ---- arena engine (Route_ctx) ---- *)
+
+(* The tentpole's contract: with a default context the arena engine is
+   the old engine, label for label. The reference implementation is the
+   retained list-based copy in [Reference_astar]; the property churns
+   the residual between queries (reserving each found path) so later
+   queries run against partially drained links, and shares one context
+   across every query so pool reuse itself is under test. *)
+let prop_arena_engine_bit_identical =
+  QCheck.Test.make
+    ~name:"arena engine is bit-identical to the retained list engine" ~count:60
+    QCheck.(pair small_nat bool)
+    (fun (seed, use_fat_tree) ->
+      let rng = Hmn_rng.Rng.create (seed + 11_000) in
+      let cluster =
+        if use_fat_tree then
+          let lat () = [| 1.25; 2.5; 5.; 10. |].(Hmn_rng.Rng.int rng ~bound:4) in
+          Hmn_testbed.Cluster_gen.fat_tree_cluster
+            ~link:(Link.make ~bandwidth_mbps:1000. ~latency_ms:(lat ()))
+            ~agg_link:(Link.make ~bandwidth_mbps:10_000. ~latency_ms:(lat ()))
+            ~core_link:(Link.make ~bandwidth_mbps:10_000. ~latency_ms:(lat ()))
+            ~k:4 ~rng ()
+        else random_cluster ~n:10 ~rng
+      in
+      let n = Graph.n_nodes (Cluster.graph cluster) in
+      let residual = Residual.create cluster in
+      let tables = Latency_table.create cluster in
+      let ctx = Hmn_routing.Route_ctx.create () in
+      let ok = ref true in
+      for _ = 1 to 12 do
+        let src = Hmn_rng.Rng.int rng ~bound:n in
+        let dst = Hmn_rng.Rng.int rng ~bound:n in
+        let bandwidth_mbps = 5. +. (40. *. Hmn_rng.Rng.float rng) in
+        let latency_ms = 4. +. (40. *. Hmn_rng.Rng.float rng) in
+        let prune_dominated = Hmn_rng.Rng.int rng ~bound:2 = 0 in
+        let reference =
+          Reference_astar.route ~prune_dominated ~residual ~latency_tables:tables
+            ~src ~dst ~bandwidth_mbps ~latency_ms ()
+        and arena =
+          Astar.route ~prune_dominated ~ctx ~residual ~latency_tables:tables ~src
+            ~dst ~bandwidth_mbps ~latency_ms ()
+        in
+        match (reference, arena) with
+        | None, None -> ()
+        | Some (p0, s0), Some (p1, s1) ->
+          if
+            not
+              (p0.Path.nodes = p1.Path.nodes
+              && p0.Path.edges = p1.Path.edges
+              && s0.Reference_astar.expanded = s1.Astar.expanded
+              && s0.Reference_astar.generated = s1.Astar.generated)
+          then ok := false;
+          if not (Path.is_intra_host p1) then
+            ignore (Residual.reserve_path residual p1 bandwidth_mbps)
+        | _ -> ok := false
+      done;
+      !ok)
+
+let test_ctx_cache_revalidates () =
+  let cluster, e01, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  let tables = Latency_table.create cluster in
+  let ctx = Hmn_routing.Route_ctx.create ~cache:true () in
+  let route ~bandwidth_mbps () =
+    Astar.route ~ctx ~residual ~latency_tables:tables ~src:0 ~dst:2
+      ~bandwidth_mbps ~latency_ms:60. ()
+  in
+  (* First call searches and caches the widest path 0-1-2. *)
+  (match route ~bandwidth_mbps:10. () with
+  | Some (p, _) -> Alcotest.(check int) "widest detour" 2 (Path.hop_count p)
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check int) "miss" 1 (Hmn_routing.Route_ctx.cache_misses ctx);
+  (* Second call revalidates the entry and skips the search. *)
+  (match route ~bandwidth_mbps:10. () with
+  | Some (p, s) ->
+    Alcotest.(check int) "cached path" 2 (Path.hop_count p);
+    Alcotest.(check int) "no search" 0 s.Astar.expanded
+  | None -> Alcotest.fail "expected the cached path");
+  Alcotest.(check int) "hit" 1 (Hmn_routing.Route_ctx.cache_hits ctx);
+  (* Drain 0-1 to 5 Mbps: the cached 0-1-2 no longer carries 10 Mbps,
+     so revalidation must reject it and the fresh search falls back to
+     the 10 Mbps direct edge. *)
+  (match
+     Residual.reserve_path residual (Path.make ~nodes:[ 0; 1 ] ~edges:[ e01 ]) 95.
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match route ~bandwidth_mbps:10. () with
+  | Some (p, _) -> Alcotest.(check int) "fell back to direct" 1 (Path.hop_count p)
+  | None -> Alcotest.fail "expected the direct path");
+  Alcotest.(check int) "revalidate failed" 1
+    (Hmn_routing.Route_ctx.cache_revalidate_failed ctx)
+
+let test_ctx_tree_fast_path () =
+  (* A pure line 0-1-2-3: every route is forced, so the fast path must
+     resolve it with zero search effort and the exact path the search
+     would return. *)
+  let g = Graph.create ~n:4 () in
+  let mk () = Link.make ~bandwidth_mbps:100. ~latency_ms:5. in
+  ignore (Graph.add_edge g 0 1 (mk ()));
+  ignore (Graph.add_edge g 1 2 (mk ()));
+  ignore (Graph.add_edge g 2 3 (mk ()));
+  let cluster = Cluster.create ~nodes:(Array.init 4 host) ~graph:g in
+  let residual = Residual.create cluster in
+  let tables = Latency_table.create cluster in
+  let ctx = Hmn_routing.Route_ctx.create ~tree_fast_path:true () in
+  (match
+     Astar.route ~ctx ~residual ~latency_tables:tables ~src:0 ~dst:3
+       ~bandwidth_mbps:10. ~latency_ms:60. ()
+   with
+  | Some (p, s) ->
+    Alcotest.(check bool) "forced path" true (p.Path.nodes = [| 0; 1; 2; 3 |]);
+    Alcotest.(check int) "no expansions" 0 s.Astar.expanded;
+    Alcotest.(check int) "no pushes" 0 s.Astar.generated
+  | None -> Alcotest.fail "expected the line path");
+  Alcotest.(check int) "fast path hit" 1 (Hmn_routing.Route_ctx.fast_path_hits ctx);
+  (* The unique path cannot carry 200 Mbps: the fast path must prove
+     infeasibility, not fall through to a search. *)
+  Alcotest.(check bool) "infeasible" true
+    (Astar.route ~ctx ~residual ~latency_tables:tables ~src:0 ~dst:3
+       ~bandwidth_mbps:200. ~latency_ms:60. ()
+    = None);
+  Alcotest.(check int) "infeasible also counted" 2
+    (Hmn_routing.Route_ctx.fast_path_hits ctx);
+  (* Exceeding the latency bound along the forced path is likewise
+     final. *)
+  Alcotest.(check bool) "latency infeasible" true
+    (Astar.route ~ctx ~residual ~latency_tables:tables ~src:0 ~dst:3
+       ~bandwidth_mbps:10. ~latency_ms:10. ()
+    = None)
+
+let test_ctx_fast_path_meets_at_hub () =
+  (* Star: leaves 1..3 hang off hub 0 — the two forced walks meet at
+     the hub (the same-rack src -> switch -> dst shape). *)
+  let g = Graph.create ~n:4 () in
+  let mk () = Link.make ~bandwidth_mbps:100. ~latency_ms:5. in
+  ignore (Graph.add_edge g 0 1 (mk ()));
+  ignore (Graph.add_edge g 0 2 (mk ()));
+  ignore (Graph.add_edge g 0 3 (mk ()));
+  let cluster = Cluster.create ~nodes:(Array.init 4 host) ~graph:g in
+  let residual = Residual.create cluster in
+  let tables = Latency_table.create cluster in
+  let ctx = Hmn_routing.Route_ctx.create ~tree_fast_path:true () in
+  (match
+     Astar.route ~ctx ~residual ~latency_tables:tables ~src:1 ~dst:3
+       ~bandwidth_mbps:10. ~latency_ms:60. ()
+   with
+  | Some (p, s) ->
+    Alcotest.(check bool) "through the hub" true (p.Path.nodes = [| 1; 0; 3 |]);
+    Alcotest.(check int) "no expansions" 0 s.Astar.expanded
+  | None -> Alcotest.fail "expected the hub path");
+  Alcotest.(check int) "fast path hit" 1 (Hmn_routing.Route_ctx.fast_path_hits ctx)
+
+let test_ctx_fast_path_declines_ambiguity () =
+  (* small_cluster's 0 and 2 both have degree >= 2: no forced walk
+     applies and the fast path must hand over to the search, which
+     still picks the widest (2-hop) route. *)
+  let cluster, _, _, _, _ = small_cluster () in
+  let residual = Residual.create cluster in
+  let tables = Latency_table.create cluster in
+  let ctx = Hmn_routing.Route_ctx.create ~tree_fast_path:true () in
+  (match
+     Astar.route ~ctx ~residual ~latency_tables:tables ~src:0 ~dst:2
+       ~bandwidth_mbps:10. ~latency_ms:60. ()
+   with
+  | Some (p, s) ->
+    Alcotest.(check int) "widest detour" 2 (Path.hop_count p);
+    Alcotest.(check bool) "searched" true (s.Astar.expanded > 0)
+  | None -> Alcotest.fail "expected a path");
+  Alcotest.(check int) "no fast path hit" 0
+    (Hmn_routing.Route_ctx.fast_path_hits ctx)
+
+let test_ctx_flushes_on_cluster_change () =
+  (* Two physically distinct (if identical-looking) clusters: rebinding
+     must flush the cache, so a path cached under one cluster is never
+     served against the other's arrays. *)
+  let cluster_a, _, _, _, _ = small_cluster () in
+  let cluster_b, _, _, _, _ = small_cluster () in
+  let ctx = Hmn_routing.Route_ctx.create ~cache:true () in
+  let route cluster =
+    Astar.route ~ctx
+      ~residual:(Residual.create cluster)
+      ~latency_tables:(Latency_table.create cluster)
+      ~src:0 ~dst:2 ~bandwidth_mbps:10. ~latency_ms:60. ()
+  in
+  ignore (route cluster_a);
+  ignore (route cluster_a);
+  Alcotest.(check int) "hit within one cluster" 1
+    (Hmn_routing.Route_ctx.cache_hits ctx);
+  ignore (route cluster_b);
+  Alcotest.(check int) "no hit across clusters" 1
+    (Hmn_routing.Route_ctx.cache_hits ctx);
+  Alcotest.(check int) "cold lookup after flush" 2
+    (Hmn_routing.Route_ctx.cache_misses ctx)
 
 (* ---- Dfs_route ---- *)
 
@@ -613,6 +811,19 @@ let () =
           Alcotest.test_case "trivial & errors" `Quick test_astar_trivial_and_errors;
           Alcotest.test_case "respects residual" `Quick test_astar_respects_residual;
         ] );
+      ( "route_ctx",
+        [
+          Alcotest.test_case "cache revalidates after reservation" `Quick
+            test_ctx_cache_revalidates;
+          Alcotest.test_case "tree fast path on a line" `Quick
+            test_ctx_tree_fast_path;
+          Alcotest.test_case "fast path meets at hub" `Quick
+            test_ctx_fast_path_meets_at_hub;
+          Alcotest.test_case "fast path declines ambiguity" `Quick
+            test_ctx_fast_path_declines_ambiguity;
+          Alcotest.test_case "cache flushes on cluster change" `Quick
+            test_ctx_flushes_on_cluster_change;
+        ] );
       ( "dijkstra_route",
         [
           Alcotest.test_case "min latency" `Quick test_dijkstra_route_min_latency;
@@ -635,5 +846,6 @@ let () =
           q prop_dfs_paths_always_valid;
           q prop_dijkstra_route_is_minimal_latency;
           q prop_landmark_tables_equal_direct_dijkstra;
+          q prop_arena_engine_bit_identical;
         ] );
     ]
