@@ -1,0 +1,123 @@
+(* Optimality-gap bench for the exact branch-and-bound baseline.
+
+   Runs the same fixed-seed instance grid as `hmn_cli gap` and records,
+   per instance and aggregated per class, what the gap table does not
+   show: nodes expanded, leaves reached, certification (Networking)
+   runs, prune counters, the root-relaxation bound and its tightness
+   against the proven optimum, and wall time. Written to BENCH_gap.json
+   (path override: HMN_BENCH_GAP_JSON) for cross-PR perf tracking of
+   the solver itself — a bound regression shows up as a node-count or
+   tightness drift long before it breaks the pinned gap table.
+
+   HMN_BENCH_FAST=1 runs one seed per class (the tier-1 smoke rule sets
+   it); the full run uses the gap command's five. *)
+
+module Gap = Hmn_experiments.Gap_report
+module Solver = Hmn_exact.Solver
+module Json = Hmn_prelude.Json
+
+let fast = Sys.getenv_opt "HMN_BENCH_FAST" <> None
+let schema_version = 1
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* Root bound over proven optimum: 1.0 means the relaxation is exact at
+   the root; the shortfall is the integrality gap the search closes. *)
+let tightness (r : Gap.instance_run) =
+  match r.Gap.optimum with
+  | Some opt when opt > 1e-9 -> Some (r.Gap.root_bound /. opt)
+  | _ -> None
+
+let instance_json (r : Gap.instance_run) =
+  let s = r.Gap.solver in
+  Json.Obj
+    [
+      ("label", Json.str r.Gap.label);
+      ("seed", Json.int r.Gap.seed);
+      ("hosts", Json.int r.Gap.n_hosts);
+      ("guests", Json.int r.Gap.n_guests);
+      ( "optimum",
+        match r.Gap.optimum with Some o -> Json.float o | None -> Json.Null );
+      ("proven", Json.Bool r.Gap.proven);
+      ("nodes", Json.int s.Solver.nodes);
+      ("leaves", Json.int s.Solver.leaves);
+      ("certifications", Json.int s.Solver.networking_runs);
+      ("bound_prunes", Json.int s.Solver.bound_prunes);
+      ("admissibility_rejects", Json.int s.Solver.admissibility_rejects);
+      ("deadend_prunes", Json.int s.Solver.deadend_prunes);
+      ("root_bound", Json.float r.Gap.root_bound);
+      ("lower_bound", Json.float s.Solver.lower_bound);
+      ( "bound_tightness",
+        match tightness r with Some t -> Json.float t | None -> Json.Null );
+      ("wall_s", Json.float r.Gap.wall_s);
+    ]
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let class_json label (runs : Gap.instance_run list) =
+  let nodes = List.map (fun r -> r.Gap.solver.Solver.nodes) runs in
+  let walls = List.map (fun r -> r.Gap.wall_s) runs in
+  let tight = List.filter_map tightness runs in
+  let proven = List.length (List.filter (fun r -> r.Gap.proven) runs) in
+  Printf.printf
+    "  %-14s %d/%d proven, nodes mean=%.0f max=%d, tightness mean=%.4f, \
+     wall mean=%.3fs\n%!"
+    label proven (List.length runs)
+    (mean (List.map float_of_int nodes))
+    (List.fold_left max 0 nodes)
+    (mean tight) (mean walls);
+  Json.Obj
+    [
+      ("label", Json.str label);
+      ("instances", Json.int (List.length runs));
+      ("proven", Json.int proven);
+      ("nodes_mean", Json.float (mean (List.map float_of_int nodes)));
+      ("nodes_max", Json.int (List.fold_left max 0 nodes));
+      ("bound_tightness_mean", Json.float (mean tight));
+      ("wall_mean_s", Json.float (mean walls));
+      ("wall_total_s", Json.float (List.fold_left ( +. ) 0. walls));
+    ]
+
+let () =
+  print_endline "== gap bench: exact branch-and-bound baseline ==";
+  let per_class = if fast then 1 else Gap.default_per_class in
+  let runs = Gap.run ~per_class () in
+  let labels =
+    List.fold_left
+      (fun acc r -> if List.mem r.Gap.label acc then acc else r.Gap.label :: acc)
+      [] runs
+    |> List.rev
+  in
+  let classes =
+    List.map
+      (fun label ->
+        class_json label (List.filter (fun r -> r.Gap.label = label) runs))
+      labels
+  in
+  let path =
+    Option.value (Sys.getenv_opt "HMN_BENCH_GAP_JSON") ~default:"BENCH_gap.json"
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.int schema_version);
+        ("generated_at", Json.str (iso8601_now ()));
+        ("fast", Json.Bool fast);
+        ("seed", Json.int Gap.default_seed);
+        ("per_class", Json.int per_class);
+        ("node_budget", Json.int Solver.default_config.Solver.node_budget);
+        ("classes", Json.Arr classes);
+        ("instances", Json.Arr (List.map instance_json runs));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s)\n" path

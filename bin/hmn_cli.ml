@@ -815,6 +815,61 @@ let scale_cmd =
       const run $ seed_t $ hosts_t $ shape_t $ ratio_t $ jobs_t $ validate_t
       $ routing_counters_t)
 
+(* ---- gap ---- *)
+
+let gap_cmd =
+  let module Gap = Hmn_experiments.Gap_report in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Fixed-seed CI configuration: the full 20-instance grid with the \
+             default node budget; stdout is byte-deterministic and pinned by \
+             $(b,dune runtest).")
+  in
+  let per_class_t =
+    Arg.(
+      value & opt int Gap.default_per_class
+      & info [ "per-class" ] ~docv:"INT"
+          ~doc:"Seeded instances per class (4 classes).")
+  in
+  let budget_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "node-budget" ] ~docv:"INT"
+          ~doc:
+            "Branch-and-bound node budget per instance; on exhaustion the \
+             instance is reported unproven, never wrong.")
+  in
+  let csv_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH"
+          ~doc:"Also write one (instance, mapper) line per row as CSV.")
+  in
+  let run seed smoke per_class node_budget csv =
+    let seed = if smoke then Gap.default_seed else seed in
+    let runs = Gap.run ?node_budget ~seed ~per_class () in
+    print_string (Gap.render_table runs);
+    (match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Gap.render_csv runs);
+      close_out oc);
+    (* Wall times and node counts go to stderr so stdout stays pinnable. *)
+    prerr_string (Gap.render_timings runs);
+    if List.exists (fun r -> not r.Gap.proven) runs then exit 1
+  in
+  Cmd.v
+    (Cmd.info "gap"
+       ~doc:
+         "Measure every paper heuristic's optimality gap against the exact \
+          branch-and-bound baseline on a seeded grid of small instances (4-10 \
+          hosts, 8-30 guests), each solved to proven optimality.")
+    Term.(const run $ seed_t $ smoke_t $ per_class_t $ budget_t $ csv_t)
+
 (* ---- dot ---- *)
 
 let dot_cmd =
@@ -856,5 +911,5 @@ let () =
           [
             list_cmd; map_cmd; profile_cmd; validate_cmd; fuzz_cmd;
             experiments_cmd; figure1_cmd; ablation_cmd; online_cmd; scale_cmd;
-            dot_cmd;
+            gap_cmd; dot_cmd;
           ]))

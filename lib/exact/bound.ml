@@ -1,0 +1,49 @@
+(* Water-filling solution of the separable convex relaxation; see the
+   .mli for the derivation. *)
+
+(* Bisection precision is limited, and the final variance is computed
+   from the water level we stopped at: shave a hair off the result so a
+   not-quite-converged level can never yield a bound above the true
+   relaxed optimum (which would over-prune the exact search). *)
+let safety = 1e-9
+
+let stddev_lower ~residual_cpus:r ~caps ~demand:d =
+  let h = Array.length r in
+  if h = 0 then invalid_arg "Bound.stddev_lower: no hosts";
+  if Array.length caps <> h then
+    invalid_arg "Bound.stddev_lower: caps length mismatch";
+  if not (d >= 0.) then invalid_arg "Bound.stddev_lower: negative demand";
+  (* No host can usefully absorb more than the whole remaining demand;
+     capping here also makes every bisection bracket finite. *)
+  let u = Array.map (fun c -> Float.min c d) caps in
+  let total_u = Array.fold_left ( +. ) 0. u in
+  if total_u +. 1e-9 < d then None
+  else begin
+    let hf = float_of_int h in
+    let sum_r = Array.fold_left ( +. ) 0. r in
+    let mu = (sum_r -. d) /. hf in
+    let fill lambda =
+      let s = ref 0. in
+      for i = 0 to h - 1 do
+        s := !s +. Float.min u.(i) (Float.max 0. (r.(i) -. lambda))
+      done;
+      !s
+    in
+    (* fill is nonincreasing in lambda: fill(lo) = sum u >= d and
+       fill(hi) = 0 <= d bracket the water level. *)
+    let lo = ref (Array.fold_left Float.min infinity r -. d -. 1.) in
+    let hi = ref (Array.fold_left Float.max neg_infinity r) in
+    if !hi < !lo then hi := !lo;
+    for _ = 1 to 100 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if fill mid >= d then lo := mid else hi := mid
+    done;
+    let lambda = !lo in
+    let var = ref 0. in
+    for i = 0 to h - 1 do
+      let x = Float.min u.(i) (Float.max 0. (r.(i) -. lambda)) in
+      let dev = r.(i) -. x -. mu in
+      var := !var +. (dev *. dev)
+    done;
+    Some (Float.max 0. (sqrt (!var /. hf) -. safety))
+  end

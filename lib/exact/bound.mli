@@ -1,0 +1,35 @@
+(** Lagrangian / LP-relaxation lower bound on the load-balance factor.
+
+    Eq. 10 minimizes the population standard deviation of residual CPU
+    across hosts. Relax the assignment polytope to fractional guests:
+    the remaining CPU demand [demand] may be split arbitrarily across
+    hosts, host [i] receiving [x_i] with [0 <= x_i <= caps.(i)], where
+    [caps.(i)] bounds the CPU that could ever be packed onto host [i]
+    (the solver derives it from the fractional knapsack over the
+    remaining guests against the host's residual memory and storage —
+    a relaxation of any integral packing, so the bound stays valid).
+
+    Because the total residual CPU [sum residual_cpus - demand] is
+    invariant under assignment, the mean residual is fixed and the
+    relaxed problem is a separable convex program: minimize
+    [sum_i (residual_cpus.(i) - x_i - mu)^2] subject to the box and the
+    coupling constraint [sum x_i = demand]. Its KKT conditions give a
+    water-filling solution [x_i = clamp(residual_cpus.(i) - lambda, 0,
+    caps.(i))] for a single multiplier [lambda], found here by
+    bisection. No external LP solver is involved.
+
+    The result is a true lower bound on the LBF of {e every} complete
+    assignment extending the current partial one (integral assignments
+    are a subset of the fractional polytope); a small safety margin is
+    subtracted so bisection rounding can never over-prune. *)
+
+val stddev_lower :
+  residual_cpus:float array -> caps:float array -> demand:float -> float option
+(** [stddev_lower ~residual_cpus ~caps ~demand] is a lower bound on the
+    population standard deviation of [residual_cpus - x] over any
+    fractional split [x] of [demand] with [0 <= x_i <= caps.(i)], or
+    [None] when [sum caps < demand] (even the relaxation cannot place
+    the remaining CPU — the subtree is infeasible). [caps] entries may
+    be [infinity]; [residual_cpus] entries may be negative (CPU is
+    balanced, not gated). Raises [Invalid_argument] on empty hosts or
+    negative [demand]. *)

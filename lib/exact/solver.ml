@@ -1,0 +1,328 @@
+module Cluster = Hmn_testbed.Cluster
+module Resources = Hmn_testbed.Resources
+module Virtual_env = Hmn_vnet.Virtual_env
+module Graph = Hmn_graph.Graph
+module Problem = Hmn_mapping.Problem
+module Placement = Hmn_mapping.Placement
+module Objective = Hmn_mapping.Objective
+module Mapping = Hmn_mapping.Mapping
+module Residual = Hmn_routing.Residual
+module Latency_table = Hmn_routing.Latency_table
+module Astar = Hmn_routing.Astar_prune
+module Networking = Hmn_core.Networking
+
+type status = Optimal | Budget_exhausted
+
+type config = {
+  node_budget : int;
+  routing : bool;
+}
+
+let default_config = { node_budget = 2_000_000; routing = true }
+
+type t = {
+  status : status;
+  routing : bool;
+  lower_bound : float;
+  best_placement : (float * Placement.t) option;
+  best_mapping : (float * Mapping.t) option;
+  warm_best : (float * Mapping.t) option;
+  nodes : int;
+  leaves : int;
+  networking_runs : int;
+  bound_prunes : int;
+  admissibility_rejects : int;
+  deadend_prunes : int;
+}
+
+(* A subtree is pruned only when its bound cannot improve the incumbent
+   by more than this; the reported optimum is exact to the same slack. *)
+let improve_eps = 1e-9
+
+let optimum t =
+  if not t.routing then Option.map fst t.best_placement
+  else
+    match (t.best_mapping, t.warm_best) with
+    | None, None -> None
+    | Some (a, _), None | None, Some (a, _) -> Some a
+    | Some (a, _), Some (b, _) -> Some (Float.min a b)
+
+let proven_optimal t =
+  t.status = Optimal
+  &&
+  match optimum t with
+  | None -> t.lower_bound = infinity
+  | Some o -> o <= t.lower_bound +. (1e-6 *. Float.max 1. (Float.abs o))
+
+let solve ?(config = default_config) ?(warm = []) (problem : Problem.t) =
+  let cluster = problem.Problem.cluster in
+  let venv = problem.Problem.venv in
+  let hosts = Cluster.host_ids cluster in
+  let nh = Array.length hosts in
+  let ng = Virtual_env.n_guests venv in
+  let mips g = (Virtual_env.demand venv g).Resources.mips in
+  (* Static branching order: descending CPU demand, ties by ascending
+     guest id. Big guests first keeps the water-filling bound honest
+     early, where pruning pays the most. *)
+  let order = Array.init ng Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare (mips b) (mips a) with 0 -> compare a b | c -> c)
+    order;
+  (* Total CPU still to place from each depth of the branching order. *)
+  let suffix_cpu = Array.make (ng + 1) 0. in
+  for i = ng - 1 downto 0 do
+    suffix_cpu.(i) <- suffix_cpu.(i + 1) +. mips order.(i)
+  done;
+  (* Per-depth fractional-knapsack orders: the guests still to place,
+     sorted by CPU-per-MB (resp. CPU-per-GB) descending. The greedy
+     fill of a host's residual memory/storage along this order is the
+     LP optimum of the knapsack "most CPU packable into this host", so
+     it upper-bounds what any integral completion can put there — a
+     far tighter per-host cap than best-ratio x residual. *)
+  let mem_of g = (Virtual_env.demand venv g).Resources.mem_mb in
+  let stor_of g = (Virtual_env.demand venv g).Resources.stor_gb in
+  let ratio_sorted den_of =
+    let ratio g =
+      let m = mips g in
+      if m <= 0. then 0.
+      else
+        let den = den_of g in
+        if den <= 0. then infinity else m /. den
+    in
+    Array.init (ng + 1) (fun d ->
+        let rest = Array.sub order d (ng - d) in
+        Array.sort
+          (fun a b ->
+            match compare (ratio b) (ratio a) with 0 -> compare a b | c -> c)
+          rest;
+        rest)
+  in
+  let mem_sorted = ratio_sorted mem_of in
+  let stor_sorted = ratio_sorted stor_of in
+  (* Zero-footprint guests sort first (infinite ratio), so the early
+     exit below never skips one. Negative-CPU guests cannot raise a
+     host's absorbed CPU — an optimal packing just omits them. *)
+  let knap sorted resid den_of =
+    let acc = ref 0. and rem = ref resid in
+    (try
+       Array.iter
+         (fun g ->
+           let m = mips g in
+           if m > 0. then begin
+             let need = den_of g in
+             if need <= 0. then acc := !acc +. m
+             else if !rem <= 0. then raise Exit
+             else if need <= !rem then begin
+               acc := !acc +. m;
+               rem := !rem -. need
+             end
+             else begin
+               acc := !acc +. (m *. (!rem /. need));
+               rem := 0.
+             end
+           end)
+         sorted
+     with Exit -> ());
+    !acc
+  in
+  (* Virtual adjacency: for admissibility propagation on assignment. *)
+  let vadj = Array.make ng [] in
+  Graph.iter_edges (Virtual_env.graph venv) (fun ~eid ~u ~v _ ->
+      vadj.(u) <- (eid, v) :: vadj.(u);
+      vadj.(v) <- (eid, u) :: vadj.(v));
+  (* Widest-path admissibility on the empty (full-capacity) network — a
+     necessary condition for any routable mapping — memoized per
+     (host pair, vlink). *)
+  let full_residual = lazy (Residual.create cluster) in
+  let latency_tables =
+    lazy
+      (let t = Latency_table.create cluster in
+       Latency_table.precompute t;
+       t)
+  in
+  let memo : (int * int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let route_admissible ~vlink ~ha ~hb =
+    ha = hb
+    ||
+    let a, b = if ha < hb then (ha, hb) else (hb, ha) in
+    match Hashtbl.find_opt memo (a, b, vlink) with
+    | Some ok -> ok
+    | None ->
+      let spec = Virtual_env.vlink venv vlink in
+      let ok =
+        Astar.widest_feasible ~residual:(Lazy.force full_residual)
+          ~latency_tables:(Lazy.force latency_tables) ~src:a ~dst:b
+          ~bandwidth_mbps:spec.Hmn_vnet.Vlink.bandwidth_mbps
+          ~latency_ms:spec.Hmn_vnet.Vlink.latency_ms ()
+        <> None
+      in
+      Hashtbl.add memo (a, b, vlink) ok;
+      ok
+  in
+  let placement = Placement.create problem in
+  (* Residual CPU per host index, mirrored incrementally with the exact
+     same additions/subtractions [Placement] performs, so leaf bounds
+     and [Objective.load_balance_factor] agree bit for bit. *)
+  let r = Array.init nh (fun j -> (Cluster.capacity cluster hosts.(j)).Resources.mips) in
+  let caps = Array.make nh 0. in
+  let bound_below depth =
+    for j = 0 to nh - 1 do
+      let res = Placement.residual placement ~host:hosts.(j) in
+      caps.(j) <-
+        Float.min
+          (knap mem_sorted.(depth) res.Resources.mem_mb mem_of)
+          (knap stor_sorted.(depth) res.Resources.stor_gb stor_of)
+    done;
+    Bound.stddev_lower ~residual_cpus:r ~caps ~demand:suffix_cpu.(depth)
+  in
+  let nodes = ref 0 and leaves = ref 0 and networking_runs = ref 0 in
+  let bound_prunes = ref 0 in
+  let admissibility_rejects = ref 0 in
+  let deadend_prunes = ref 0 in
+  let budget_hit = ref false in
+  let best_placement = ref None in
+  let best_mapping = ref None in
+  (* The incumbent objective pruning works against: the best certified
+     mapping in routing mode, the best complete assignment otherwise.
+     Warm mappings tighten it but are kept out of [best_placement] /
+     [best_mapping], so [lower_bound] stays purely search-derived and
+     independently bounds the warm mappings themselves — the fuzz
+     oracle depends on that. *)
+  let target = ref infinity in
+  let warm_best = ref None in
+  if config.routing then
+    List.iter
+      (fun m ->
+        let obj = Mapping.objective m in
+        (match !warm_best with
+        | Some (b, _) when b <= obj -> ()
+        | _ -> warm_best := Some (obj, m));
+        if obj < !target then target := obj)
+      warm;
+  (* Bounds of subtrees not explored to the bottom — pruned by the
+     incumbent or abandoned on budget exhaustion — fold into the final
+     proven lower bound. *)
+  let unexplored_lb = ref infinity in
+  let note_unexplored b = if b < !unexplored_lb then unexplored_lb := b in
+  let deadend depth =
+    (* Some future guest fits no host at all: no completion exists. *)
+    let rec go i =
+      i < ng
+      &&
+      let g = order.(i) in
+      let feasible = ref false in
+      let j = ref 0 in
+      while (not !feasible) && !j < nh do
+        if Placement.fits placement ~guest:g ~host:hosts.(!j) then feasible := true;
+        incr j
+      done;
+      if !feasible then go (i + 1) else true
+    in
+    go depth
+  in
+  let leaf () =
+    incr leaves;
+    let lbf = Objective.load_balance_factor placement in
+    (match !best_placement with
+    | Some (b, _) when b <= lbf -> ()
+    | _ -> best_placement := Some (lbf, Placement.copy placement));
+    if not config.routing then begin
+      if lbf < !target then target := lbf
+    end
+    else if lbf < !target -. improve_eps then begin
+      incr networking_runs;
+      match Networking.run placement with
+      | Error _ -> ()
+      | Ok (link_map, _) ->
+        target := lbf;
+        best_mapping := Some (lbf, Mapping.make ~placement:(Placement.copy placement) ~link_map)
+    end
+  in
+  let assign_exn ~guest ~host =
+    match Placement.assign placement ~guest ~host with
+    | Ok () -> ()
+    | Error msg -> failwith ("Solver: assign failed: " ^ msg)
+  in
+  let unassign_exn ~guest =
+    match Placement.unassign placement ~guest with
+    | Ok () -> ()
+    | Error msg -> failwith ("Solver: unassign failed: " ^ msg)
+  in
+  let rec dfs depth bound_in =
+    if !budget_hit then note_unexplored bound_in
+    else if depth = ng then leaf ()
+    else begin
+      incr nodes;
+      if !nodes > config.node_budget then begin
+        budget_hit := true;
+        note_unexplored bound_in
+      end
+      else if deadend depth then incr deadend_prunes
+      else begin
+        let g = order.(depth) in
+        let vproc = mips g in
+        let cands = ref [] in
+        for j = nh - 1 downto 0 do
+          let h = hosts.(j) in
+          if Placement.fits placement ~guest:g ~host:h then begin
+            let admissible =
+              (not config.routing)
+              || List.for_all
+                   (fun (vlink, g') ->
+                     match Placement.host_of placement ~guest:g' with
+                     | None -> true
+                     | Some h' -> route_admissible ~vlink ~ha:h ~hb:h')
+                   vadj.(g)
+            in
+            if not admissible then incr admissibility_rejects
+            else begin
+              assign_exn ~guest:g ~host:h;
+              r.(j) <- r.(j) -. vproc;
+              (match bound_below (depth + 1) with
+              | Some b -> cands := (b, h, j) :: !cands
+              | None -> ());
+              r.(j) <- r.(j) +. vproc;
+              unassign_exn ~guest:g
+            end
+          end
+        done;
+        let cands = List.sort compare !cands in
+        List.iter
+          (fun (b, h, j) ->
+            if !budget_hit then note_unexplored b
+            else if b >= !target -. improve_eps then begin
+              incr bound_prunes;
+              note_unexplored b
+            end
+            else begin
+              assign_exn ~guest:g ~host:h;
+              r.(j) <- r.(j) -. vproc;
+              dfs (depth + 1) b;
+              r.(j) <- r.(j) +. vproc;
+              unassign_exn ~guest:g
+            end)
+          cands
+      end
+    end
+  in
+  (match bound_below 0 with
+  | None -> ()  (* even the fractional relaxation cannot place the load *)
+  | Some b0 -> dfs 0 b0);
+  let leaf_lb =
+    match !best_placement with Some (b, _) -> b | None -> infinity
+  in
+  {
+    status = (if !budget_hit then Budget_exhausted else Optimal);
+    routing = config.routing;
+    lower_bound = Float.min leaf_lb !unexplored_lb;
+    best_placement = !best_placement;
+    best_mapping = !best_mapping;
+    warm_best = !warm_best;
+    nodes = !nodes;
+    leaves = !leaves;
+    networking_runs = !networking_runs;
+    bound_prunes = !bound_prunes;
+    admissibility_rejects = !admissibility_rejects;
+    deadend_prunes = !deadend_prunes;
+  }

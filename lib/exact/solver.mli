@@ -1,0 +1,95 @@
+(** Exact branch-and-bound baseline for small instances.
+
+    Depth-first search over guest → host assignments, guests in
+    descending CPU demand (ties by ascending id), children ordered by
+    ascending {!Bound.stddev_lower} (ties by ascending host id) — fully
+    deterministic. Each node propagates:
+
+    - Eqs. 2–3: a candidate host must fit the guest's memory and
+      storage; any future guest left with no feasible host kills the
+      subtree (dead end);
+    - bandwidth admissibility (routing mode): every virtual link whose
+      endpoints are both placed must admit a latency-feasible path of
+      sufficient {e full-capacity} bandwidth between the two hosts,
+      checked with the production A\*Prune widest-path machinery and
+      memoized per (host pair, vlink). This is a necessary condition
+      for any routable mapping, so discarding such subtrees never cuts
+      a valid mapping;
+    - the water-filling lower bound: a subtree whose bound cannot
+      improve on the incumbent is pruned, its bound recorded so
+      {!t.lower_bound} stays a proven bound over everything not
+      explored.
+
+    In routing mode every leaf that improves the incumbent is certified
+    by running the actual Networking stage (sequential A\*Prune under
+    residual bandwidth); [best_mapping] is therefore a real, valid
+    mapping, and [lower_bound] a proven bound on the objective of
+    {e every} valid mapping of the instance — by any mapper, with any
+    router. When the two meet ({!proven_optimal}), the optimum is
+    exact. *)
+
+type status = Optimal | Budget_exhausted
+
+type config = {
+  node_budget : int;
+      (** maximum internal search nodes expanded; on exhaustion the
+          search stops, [status = Budget_exhausted], and every
+          abandoned subtree's bound is folded into [lower_bound], which
+          therefore remains valid (just possibly loose) *)
+  routing : bool;
+      (** [true]: propagate per-vlink admissibility and certify
+          improving leaves with {!Hmn_core.Networking.run} (the
+          optimum is a complete mapping). [false]: placement-only —
+          the search space and objective are exactly those of
+          {!Hmn_core.Exhaustive.optimal_placement}, for cross-checks. *)
+}
+
+val default_config : config
+(** [{ node_budget = 2_000_000; routing = true }] *)
+
+type t = {
+  status : status;
+  routing : bool;  (** the mode this result was produced under *)
+  lower_bound : float;
+      (** proven lower bound on the LBF of every complete assignment in
+          the (relaxed) search space — hence of every valid mapping in
+          routing mode; [infinity] when the space is proven empty *)
+  best_placement : (float * Hmn_mapping.Placement.t) option;
+      (** least-LBF feasible complete assignment encountered *)
+  best_mapping : (float * Hmn_mapping.Mapping.t) option;
+      (** least-LBF Networking-certified mapping found by the search
+          itself — strictly better than any warm seed (routing mode
+          only) *)
+  warm_best : (float * Hmn_mapping.Mapping.t) option;
+      (** best of the [warm] seeds; participates in {!optimum} but
+          never in [lower_bound] *)
+  nodes : int;  (** internal nodes expanded *)
+  leaves : int;  (** complete assignments reached *)
+  networking_runs : int;  (** leaf certifications attempted *)
+  bound_prunes : int;
+  admissibility_rejects : int;
+      (** candidate (guest, host) pairs discarded by the widest-path
+          admissibility propagation *)
+  deadend_prunes : int;
+}
+
+val solve :
+  ?config:config -> ?warm:Hmn_mapping.Mapping.t list -> Hmn_mapping.Problem.t -> t
+(** [warm] seeds the pruning incumbent with existing valid mappings of
+    the same problem instance (e.g. a heuristic's output). The best
+    warm seed is itself a candidate solution ([warm_best], folded into
+    {!optimum}), but it is kept out of [lower_bound]: the bound stays
+    purely search-derived, so it independently bounds the warm
+    mappings too — a warm mapping whose objective beats [lower_bound]
+    exposes a bug in whichever component produced or scored it.
+    Routing mode only; ignored otherwise. *)
+
+val optimum : t -> float option
+(** The objective of the best certified solution: the better of
+    [best_mapping] and [warm_best] in routing mode, [best_placement]
+    otherwise. *)
+
+val proven_optimal : t -> bool
+(** The search completed and [optimum] meets [lower_bound] within
+    [1e-6 * max 1 |optimum|] — or the instance is proven infeasible
+    ([optimum = None] and [lower_bound = infinity]). *)

@@ -13,7 +13,12 @@ type t = {
   stor_used : float array;  (* per node, GB *)
   mips_used : float array;  (* per node, MIPS *)
   bw_used : float array;  (* per physical edge, Mbps *)
-  mutable tenants : Tenant.t list;  (* ascending id *)
+  (* id-indexed store: admit/release/find are O(1) in the tenant count.
+     Iteration order (ascending id) is recovered on demand through a
+     sorted-id cache, invalidated by every membership change. *)
+  by_id : (int, Tenant.t) Hashtbl.t;
+  mutable sorted_ids : int array;
+  mutable sorted_dirty : bool;
   mutable n_guests : int;
   mutable n_vlinks : int;
 }
@@ -34,22 +39,40 @@ let create cluster =
     stor_used = Array.make n 0.;
     mips_used = Array.make n 0.;
     bw_used = Array.make ne 0.;
-    tenants = [];
+    by_id = Hashtbl.create 64;
+    sorted_ids = [||];
+    sorted_dirty = false;
     n_guests = 0;
     n_vlinks = 0;
   }
 
 let cluster t = t.cluster
 let latency_tables t = t.latency_tables
-let tenants t = t.tenants
-let n_tenants t = List.length t.tenants
-let n_guests t = t.n_guests
 
-let find t ~id =
-  List.find_opt (fun (tn : Tenant.t) -> tn.id = id) t.tenants
+let sorted_ids t =
+  if t.sorted_dirty then begin
+    let ids = Array.make (Hashtbl.length t.by_id) 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun id _ ->
+        ids.(!i) <- id;
+        incr i)
+      t.by_id;
+    Array.sort compare ids;
+    t.sorted_ids <- ids;
+    t.sorted_dirty <- false
+  end;
+  t.sorted_ids
+
+let tenants t =
+  Array.to_list (Array.map (fun id -> Hashtbl.find t.by_id id) (sorted_ids t))
+
+let n_tenants t = Hashtbl.length t.by_id
+let n_guests t = t.n_guests
+let find t ~id = Hashtbl.find_opt t.by_id id
 
 (* Per-edge float slack for the bandwidth guard, matching the
-   validator's aggregate tolerance: each tenant path reservation clamps
+   validator's aggregate tolerance: each tenant path reservation drifts
    by at most [Residual.tolerance]. *)
 let bw_eps t =
   Hmn_routing.Residual.tolerance *. float_of_int (t.n_vlinks + 1)
@@ -109,10 +132,8 @@ let admit t (tn : Tenant.t) =
       apply t ~sign:(-1.) tn;
       invalid_arg ("Occupancy.admit: " ^ reason)
   | None -> ());
-  t.tenants <-
-    List.merge
-      (fun (a : Tenant.t) (b : Tenant.t) -> compare a.id b.id)
-      [ tn ] t.tenants;
+  Hashtbl.replace t.by_id tn.id tn;
+  t.sorted_dirty <- true;
   t.n_guests <- t.n_guests + Tenant.n_guests tn;
   t.n_vlinks <- t.n_vlinks + Tenant.n_vlinks tn
 
@@ -139,8 +160,8 @@ let release t ~id =
       sweep t.stor_used;
       sweep t.mips_used;
       sweep t.bw_used;
-      t.tenants <-
-        List.filter (fun (x : Tenant.t) -> x.id <> id) t.tenants;
+      Hashtbl.remove t.by_id id;
+      t.sorted_dirty <- true;
       t.n_guests <- t.n_guests - Tenant.n_guests tn;
       t.n_vlinks <- t.n_vlinks - Tenant.n_vlinks tn;
       tn
@@ -150,7 +171,7 @@ let replace t (tn' : Tenant.t) =
   admit t tn'
 
 let is_empty t =
-  t.tenants = []
+  Hashtbl.length t.by_id = 0
   && Array.for_all (fun x -> Float.abs x <= capacity_eps) t.mem_used
   && Array.for_all (fun x -> Float.abs x <= capacity_eps) t.stor_used
   && Array.for_all (fun x -> Float.abs x <= capacity_eps) t.mips_used
@@ -275,7 +296,7 @@ let stated_bw_available t eid =
     ((Cluster.link t.cluster eid).Link.bandwidth_mbps -. t.bw_used.(eid))
 
 let validate t =
-  let tenants = List.map (fun (tn : Tenant.t) -> (tn.id, Tenant.view tn)) t.tenants in
+  let tenants = List.map (fun (tn : Tenant.t) -> (tn.id, Tenant.view tn)) (tenants t) in
   Hmn_validate.Validator.check_tenants
     ~stated_bw_available:(stated_bw_available t)
     ~stated_residual_cpu:(fun h -> residual_cpu t ~host:h)

@@ -17,11 +17,19 @@ val cluster : t -> Hmn_testbed.Cluster.t
 val latency_tables : t -> Hmn_routing.Latency_table.t
 
 val tenants : t -> Tenant.t list
-(** Resident tenants, ascending id. *)
+(** Resident tenants, ascending id — the order is part of the contract
+    (session rendering iterates it) and is independent of the order in
+    which tenants arrived, departed, or were replaced. Backed by an
+    id-indexed store with a sorted-id cache: O(k log k) after a
+    membership change, O(k) when the residency set is unchanged. *)
 
 val n_tenants : t -> int
+(** O(1). *)
+
 val n_guests : t -> int
+
 val find : t -> id:int -> Tenant.t option
+(** O(1). *)
 
 val admit : t -> Tenant.t -> unit
 (** Reserves the tenant's memory, storage, CPU and path bandwidth.

@@ -12,7 +12,19 @@ let capacity t eid = (Cluster.link t.cluster eid).Hmn_testbed.Link.bandwidth_mbp
 (* One tolerance, used symmetrically by reserve and release. Reserve and
    release must accept the same accumulation drift or an
    exactly-saturating reservation that survived many reserve/release
-   cycles (incremental remapping, live operations) spuriously fails. *)
+   cycles (incremental remapping, live operations) spuriously fails.
+
+   The ledger itself is exact: reserve stores [avail - bw], release
+   stores [avail + bw], with no directional clamping. Only the
+   feasibility checks grant the tolerance, so the stored value is
+   confined to [-tolerance, capacity + tolerance] and the lifetime
+   overcommit of an edge can never exceed one [tolerance]. The previous
+   clamps broke exactly that: reserve's clamp-at-zero reset the deficit
+   ledger on every operation, so a stream of sub-tolerance reservations
+   against a saturated edge was admitted without bound (each one saw
+   [avail = 0], paid at most [tolerance], and was clamped back to 0),
+   and release's clamp-at-capacity likewise erased the surplus a
+   subsequent over-release should have been charged against. *)
 let tolerance = 1e-6
 
 let create cluster =
@@ -47,10 +59,9 @@ let reserve_path t path bw =
       (Printf.sprintf "edge %d: needs %.3f Mbps, only %.3f available" eid bw
          t.avail.(eid))
   | None ->
-    (* Clamp at zero: a within-tolerance over-reservation must not leave
-       a negative residual for later feasibility checks to trip over. *)
-    Path.iter_edges path (fun eid ->
-        t.avail.(eid) <- Float.max 0. (t.avail.(eid) -. bw));
+    (* Exact deduction; a within-tolerance over-reservation leaves a
+       small negative residual that the next check is charged for. *)
+    Path.iter_edges path (fun eid -> t.avail.(eid) <- t.avail.(eid) -. bw);
     if Metrics.enabled () then
       Metrics.Counter.incr (Metrics.counter "residual.reserves");
     Ok ()
@@ -62,8 +73,9 @@ let release_path t path bw =
       let next = t.avail.(eid) +. bw in
       if next > cap +. tolerance then
         invalid_arg "Residual.release_path: release exceeds capacity";
-      (* Clamp back to capacity so drift cannot accumulate upward. *)
-      t.avail.(eid) <- Float.min next cap);
+      (* Exact restitution; a within-tolerance surplus stays on the
+         ledger and counts against the next release's check. *)
+      t.avail.(eid) <- next);
   if Metrics.enabled () then
     Metrics.Counter.incr (Metrics.counter "residual.releases")
 

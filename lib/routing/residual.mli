@@ -14,7 +14,9 @@ val copy : t -> t
 val cluster : t -> Hmn_testbed.Cluster.t
 
 val available : t -> int -> float
-(** Remaining bandwidth (Mbps) of a physical edge id. *)
+(** Remaining bandwidth (Mbps) of a physical edge id. The ledger is
+    exact, so the value may sit up to {!tolerance} outside
+    [[0, capacity]] after tolerance-absorbed churn — never further. *)
 
 val availabilities : t -> float array
 (** The live per-edge-id residual array itself — a read-only view for
@@ -23,22 +25,31 @@ val availabilities : t -> float array
     are visible through it. *)
 
 val tolerance : float
-(** Floating-point slack ([1e-6] Mbps) applied symmetrically by
-    {!reserve_path} and {!release_path}, so that after arbitrarily many
-    reserve/release cycles an exactly-saturating reservation still
-    succeeds. Both operations also clamp the residual back into
-    [[0, capacity]], so per-edge drift never exceeds [tolerance] per
-    operation. *)
+(** Floating-point slack ([1e-6] Mbps) applied symmetrically by the
+    {!reserve_path} and {!release_path} feasibility checks, so that
+    after arbitrarily many reserve/release cycles an exactly-saturating
+    reservation still succeeds.
+
+    Only the checks are tolerant; the stored residual is the exact
+    running sum of the granted operations. The invariant this buys:
+    every edge's residual stays within [[-tolerance,
+    capacity + tolerance]], so the lifetime overcommit (or phantom
+    surplus) of an edge is bounded by a single [tolerance] no matter
+    how many operations it sees. Clamping the ledger instead — as this
+    module once did — silently forgives the overshoot each time, which
+    lets repeated sub-tolerance reservations overcommit a saturated
+    edge without bound. *)
 
 val reserve_path : t -> Path.t -> float -> (unit, string) result
 (** Atomically reserves [bw] on every edge of the path; fails (leaving
     the state untouched) when any edge lacks capacity by more than
-    {!tolerance}. Reserving on the intra-host path is a no-op. *)
+    {!tolerance}. On success each edge's residual is debited exactly
+    [bw]. Reserving on the intra-host path is a no-op. *)
 
 val release_path : t -> Path.t -> float -> unit
-(** Returns previously reserved bandwidth. Raises [Invalid_argument] if
-    a release would exceed an edge's full capacity by more than
-    {!tolerance}; smaller overshoots are clamped to capacity. *)
+(** Returns previously reserved bandwidth, crediting each edge exactly
+    [bw]. Raises [Invalid_argument] if a release would exceed an edge's
+    full capacity by more than {!tolerance}. *)
 
 val used : t -> int -> float
 (** Capacity minus availability. *)

@@ -38,6 +38,11 @@ type what =
       latency_ms : float;
       detail : string;
     }
+  | Objective_below_optimum of {
+      mapper : string;
+      objective : float;
+      lower_bound : float;
+    }
 
 type failure = {
   seed : int;
@@ -50,6 +55,7 @@ type stats = {
   validated : int;
   mapper_gave_up : int;
   route_queries : int;
+  oracle_checked : int;
   failures : failure list;
 }
 
@@ -220,10 +226,44 @@ let route_check ~seed =
 
 let mapper_rng ~seed ~mapper_name = Rng.create (seed + (17 * Hashtbl.hash mapper_name))
 
+(* Whole-mapping oracle: on instances small enough for the exact branch
+   and bound, every validated mapping's objective must stay at or above
+   the solver's proven lower bound — and none may exist at all when the
+   solver proves the instance infeasible ([lower_bound = infinity]).
+   The bound remains valid on budget exhaustion (just loose), so the
+   check never yields a false positive. *)
+let oracle_max_hosts = 6
+let oracle_max_guests = 12
+let oracle_node_budget = 50_000
+
+let oracle_check problem ~mapped =
+  let hosts = Cluster.n_hosts problem.Problem.cluster in
+  let guests = Hmn_vnet.Virtual_env.n_guests problem.Problem.venv in
+  if hosts > oracle_max_hosts || guests > oracle_max_guests then (0, [])
+  else begin
+    let result =
+      Hmn_exact.Solver.solve
+        ~config:{ Hmn_exact.Solver.node_budget = oracle_node_budget; routing = true }
+        ~warm:(List.map snd mapped) problem
+    in
+    let lb = result.Hmn_exact.Solver.lower_bound in
+    let violations =
+      List.filter_map
+        (fun (name, mapping) ->
+          let objective = Hmn_mapping.Mapping.objective mapping in
+          if objective < lb -. (1e-6 *. Float.max 1. (Float.abs objective)) then
+            Some (Objective_below_optimum { mapper = name; objective; lower_bound = lb })
+          else None)
+        mapped
+    in
+    (1, violations)
+  end
+
 let run_case ~mappers ~params ~seed =
   let problem = build_problem params ~seed in
   let validated = ref 0 and gave_up = ref 0 in
   let failures = ref [] in
+  let mapped = ref [] in
   List.iter
     (fun mapper ->
       let name = mapper.Mapper.name in
@@ -237,15 +277,20 @@ let run_case ~mappers ~params ~seed =
         incr validated;
         let report = Validator.check mapping in
         if report.Validator.violations <> [] then
-          failures := Invalid_mapping { mapper = name; report } :: !failures)
+          failures := Invalid_mapping { mapper = name; report } :: !failures
+        else mapped := (name, mapping) :: !mapped)
     mappers;
+  let oracle_checked, oracle_failures =
+    oracle_check problem ~mapped:(List.rev !mapped)
+  in
   let route_queries, route_failures = route_check ~seed in
-  let whats = List.rev !failures @ route_failures in
+  let whats = List.rev !failures @ oracle_failures @ route_failures in
   {
     cases = 1;
     validated = !validated;
     mapper_gave_up = !gave_up;
     route_queries;
+    oracle_checked;
     failures = List.map (fun what -> { seed; params; what }) whats;
   }
 
@@ -287,7 +332,14 @@ let shrink ~mappers f =
 (* ---- driver ---- *)
 
 let empty_stats =
-  { cases = 0; validated = 0; mapper_gave_up = 0; route_queries = 0; failures = [] }
+  {
+    cases = 0;
+    validated = 0;
+    mapper_gave_up = 0;
+    route_queries = 0;
+    oracle_checked = 0;
+    failures = [];
+  }
 
 let merge a b =
   {
@@ -295,6 +347,7 @@ let merge a b =
     validated = a.validated + b.validated;
     mapper_gave_up = a.mapper_gave_up + b.mapper_gave_up;
     route_queries = a.route_queries + b.route_queries;
+    oracle_checked = a.oracle_checked + b.oracle_checked;
     failures = a.failures @ b.failures;
   }
 
@@ -345,6 +398,15 @@ let pp_what ppf = function
     Format.fprintf ppf
       "router cross-check %d->%d (%.1f Mbps, <= %.1f ms): %s" src dst
       bandwidth_mbps latency_ms detail
+  | Objective_below_optimum { mapper; objective; lower_bound } ->
+    if lower_bound = infinity then
+      Format.fprintf ppf
+        "%s mapped an instance the exact solver proves infeasible (objective %.6f)"
+        mapper objective
+    else
+      Format.fprintf ppf
+        "%s reported objective %.6f below the proven optimum lower bound %.6f"
+        mapper objective lower_bound
 
 let pp_failure ppf f =
   Format.fprintf ppf "seed %d (%a)@\n  %a@\n  repro: %s" f.seed pp_params f.params
@@ -353,6 +415,7 @@ let pp_failure ppf f =
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d cases: %d mappings validated, %d mapper give-ups, %d route queries \
-     cross-checked, %d failure(s)"
-    s.cases s.validated s.mapper_gave_up s.route_queries (List.length s.failures);
+     cross-checked, %d exact-oracle checks, %d failure(s)"
+    s.cases s.validated s.mapper_gave_up s.route_queries s.oracle_checked
+    (List.length s.failures);
   List.iter (fun f -> Format.fprintf ppf "@\n%a" pp_failure f) s.failures

@@ -5,9 +5,14 @@
     generators ({!Hmn_testbed.Cluster_gen}, {!Hmn_vnet.Venv_gen}), runs
     every mapper in the registry on it, and {!Validator.check}s every
     mapping produced — a mapper declining an instance is not a failure,
-    producing an {e invalid} mapping (or raising) is. Independently,
-    each case cross-checks {!Hmn_routing.Astar_prune} — pruned and
-    unpruned — against an exhaustive widest-path oracle and
+    producing an {e invalid} mapping (or raising) is. On instances
+    small enough for the exact branch and bound
+    ({!Hmn_exact.Solver}), every valid mapping is additionally held
+    against the solver's proven lower bound on the objective: a mapper
+    scoring {e below} it, or mapping an instance the solver proves
+    infeasible, is a failure in whichever component is wrong.
+    Independently, each case cross-checks {!Hmn_routing.Astar_prune} —
+    pruned and unpruned — against an exhaustive widest-path oracle and
     {!Hmn_routing.Dijkstra_route} on a small random graph.
 
     Failing cases are shrunk by repeatedly halving the instance
@@ -36,6 +41,13 @@ type what =
       latency_ms : float;
       detail : string;
     }
+  | Objective_below_optimum of {
+      mapper : string;
+      objective : float;
+      lower_bound : float;
+          (** the exact solver's proven bound; [infinity] when it
+              proved the instance infeasible *)
+    }
 
 type failure = {
   seed : int;  (** the case seed; feeds {!repro_command} *)
@@ -48,6 +60,8 @@ type stats = {
   validated : int;  (** successful mapper runs, each re-checked *)
   mapper_gave_up : int;  (** [Error] outcomes — not failures *)
   route_queries : int;
+  oracle_checked : int;
+      (** cases small enough that the exact whole-mapping oracle ran *)
   failures : failure list;
 }
 

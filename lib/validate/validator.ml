@@ -243,8 +243,9 @@ let check_view view =
     Array.iteri
       (fun eid used ->
         let cap = (Cluster.link cluster eid).Hmn_testbed.Link.bandwidth_mbps in
-        (* [Residual] clamps into [0, capacity]; mirror that here so a
-           legal exactly-saturating state is not flagged. *)
+        (* [Residual]'s exact ledger may sit up to its tolerance below
+           zero after absorbed churn; the reconstruction clamps at zero,
+           and the aggregate [bw_eps] covers the difference. *)
         let derived = Float.max 0. (cap -. used) in
         let stated = stated_avail eid in
         if Float.abs (stated -. derived) > bw_eps then

@@ -85,7 +85,7 @@ val view_of_mapping : Hmn_mapping.Mapping.t -> view
 
 val residual_tolerance : Hmn_mapping.Problem.t -> float
 (** Per-edge slack for {!Residual_mismatch}: [Residual.tolerance] times
-    (number of virtual links + 1), since each reserve/release clamps by
+    (number of virtual links + 1), since each reserve/release drifts by
     at most [Residual.tolerance] and an edge carries at most one
     operation per virtual link per direction of churn. *)
 

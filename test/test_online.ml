@@ -117,6 +117,32 @@ let test_occupancy_admit_guard () =
   ignore (Occupancy.release occ ~id:0);
   Alcotest.(check bool) "empty again" true (Occupancy.is_empty occ)
 
+(* The iteration contract the session rendering leans on: [tenants] is
+   ascending by id no matter in which order tenants arrived, departed,
+   or were replaced, so two occupancies holding the same tenant set are
+   observationally identical. *)
+let test_occupancy_tenant_ordering () =
+  let ids occ = List.map (fun (tn : Tenant.t) -> tn.Tenant.id) (Occupancy.tenants occ) in
+  let mk id = solo_tenant ~id ~host:(id mod 4) ~mips:10. ~mem:10. in
+  (* shuffled admits, a release in the middle, a replace at the end *)
+  let occ = Occupancy.create (ring_cluster ()) in
+  List.iter (fun id -> Occupancy.admit occ (mk id)) [ 7; 2; 9; 0; 5 ];
+  ignore (Occupancy.release occ ~id:9);
+  List.iter (fun id -> Occupancy.admit occ (mk id)) [ 4; 1 ];
+  Occupancy.replace occ (mk 5);
+  Alcotest.(check (list int)) "ascending ids" [ 0; 1; 2; 4; 5; 7 ] (ids occ);
+  Alcotest.(check int) "n_tenants" 6 (Occupancy.n_tenants occ);
+  (* same final set reached in ascending order: identical observations *)
+  let occ' = Occupancy.create (ring_cluster ()) in
+  List.iter (fun id -> Occupancy.admit occ' (mk id)) [ 0; 1; 2; 4; 5; 7 ];
+  Alcotest.(check (list int)) "order-independent" (ids occ') (ids occ);
+  Alcotest.(check (float 1e-12)) "same lbf" (Occupancy.lbf occ') (Occupancy.lbf occ);
+  Alcotest.(check bool) "validates" true
+    (Validator.multi_ok (Occupancy.validate occ));
+  (* find hits and misses *)
+  Alcotest.(check bool) "find hit" true (Occupancy.find occ ~id:7 <> None);
+  Alcotest.(check bool) "find miss" true (Occupancy.find occ ~id:9 = None)
+
 (* --- multi-tenant validator ----------------------------------------- *)
 
 let mk_venv_pair ~mem ~bw =
@@ -363,6 +389,8 @@ let () =
           Alcotest.test_case "admit/release round trip" `Quick
             test_occupancy_round_trip;
           Alcotest.test_case "admit guard" `Quick test_occupancy_admit_guard;
+          Alcotest.test_case "tenant ordering" `Quick
+            test_occupancy_tenant_ordering;
         ] );
       ( "validator",
         [

@@ -136,11 +136,11 @@ let random_cluster ~n ~rng =
    exactly-saturating reservation: the shared tolerance must absorb the
    floating-point drift symmetrically (the historical bug: release
    tolerated 1e-6 of drift, reserve none, so a full-capacity request
-   spuriously failed after churn). *)
+   spuriously failed after churn). ~10^4 round-trips across the runs. *)
 let prop_residual_round_trip =
   QCheck.Test.make
     ~name:"reserve/release round-trips preserve avail = capacity within tolerance"
-    ~count:200 QCheck.small_nat
+    ~count:1000 QCheck.small_nat
     (fun seed ->
       let rng = Hmn_rng.Rng.create (seed + 4000) in
       let cluster = random_cluster ~n:6 ~rng in
@@ -183,10 +183,43 @@ let prop_residual_round_trip =
       let saturates =
         Result.is_ok (Residual.reserve_path res (edge_path eid) cap)
       in
-      (* After releasing it, the clamp restores capacity exactly. *)
+      (* Releasing it restores the pre-reserve value to within the
+         single-tolerance ledger bound (the ledger is exact, so the
+         saturating round-trip adds no drift of its own). *)
       if saturates then Residual.release_path res (edge_path eid) cap;
       !within_tolerance && saturates
-      && Residual.available res eid = (Cluster.link cluster eid).Link.bandwidth_mbps)
+      && Float.abs (Residual.available res eid -. cap) <= Residual.tolerance)
+
+(* The exact-ledger guarantee the old clamp-at-zero reserve violated:
+   once a saturated edge has absorbed its single tolerance of
+   overshoot, further sub-tolerance reservations are rejected instead
+   of being forgiven forever (unbounded overcommit). *)
+let test_residual_overcommit_bounded () =
+  let cluster, e01, _, _, _ = small_cluster () in
+  let res = Residual.create cluster in
+  let p = Path.make ~nodes:[ 0; 1 ] ~edges:[ e01 ] in
+  (match Residual.reserve_path res p 100. with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (float 0.)) "saturated" 0. (Residual.available res e01);
+  (* One tolerance-sized reservation rides the check's slack... *)
+  (match Residual.reserve_path res p Residual.tolerance with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (float 1e-18))
+    "deficit on the ledger" (-.Residual.tolerance)
+    (Residual.available res e01);
+  (* ...and from then on the deficit is charged: no further overcommit,
+     however small the request. *)
+  Alcotest.(check bool) "second overshoot rejected" true
+    (Result.is_error (Residual.reserve_path res p Residual.tolerance));
+  Alcotest.(check bool) "even a tiny one" true
+    (Result.is_error (Residual.reserve_path res p (Residual.tolerance /. 8.)));
+  (* Releasing everything reserved returns the edge to capacity. *)
+  Residual.release_path res p Residual.tolerance;
+  Residual.release_path res p 100.;
+  Alcotest.(check (float 0.)) "capacity restored" 100.
+    (Residual.available res e01)
 
 let prop_residual_reserve_atomic =
   QCheck.Test.make ~name:"a failed multi-edge reserve leaves every edge untouched"
@@ -795,6 +828,8 @@ let () =
           Alcotest.test_case "reserve/release" `Quick test_residual_reserve_release;
           Alcotest.test_case "atomic failure" `Quick test_residual_atomic_failure;
           Alcotest.test_case "release overflow" `Quick test_residual_release_overflow;
+          Alcotest.test_case "overcommit bounded by one tolerance" `Quick
+            test_residual_overcommit_bounded;
           Alcotest.test_case "copy & utilization" `Quick
             test_residual_copy_and_utilization;
           Alcotest.test_case "zero-capacity utilization" `Quick
