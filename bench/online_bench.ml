@@ -10,9 +10,11 @@
 module Json = Hmn_prelude.Json
 module Service = Hmn_online.Service
 module Session = Hmn_online.Session
+module Flight = Hmn_online.Flight
+module Quantile = Hmn_obs.Quantile
 
 let fast = Sys.getenv_opt "HMN_BENCH_FAST" <> None
-let schema_version = 1
+let schema_version = 2
 
 let iso8601_now () =
   let tm = Unix.gmtime (Unix.time ()) in
@@ -42,23 +44,52 @@ let () =
           | Ok p -> p
           | Error e -> failwith e
         in
+        let flight =
+          Flight.create ~journal:false ~timeline:false ~quantiles:true cluster
+        in
         let t0 = Hmn_prelude.Clock.now_s () in
-        let s = Service.run ~cluster ~policy config in
+        let s = Service.run ~flight ~cluster ~policy config in
         let wall_s = Hmn_prelude.Clock.elapsed_s t0 in
+        (* wall-clock percentiles (ns -> ms) plus the deterministic
+           work-unit percentiles, from the flight recorder's quantile
+           histograms *)
+        let ms q p =
+          float_of_int (Quantile.quantile q p) /. 1e6
+        in
+        let admit_ms =
+          match Flight.admit_ns flight with
+          | None -> []
+          | Some q ->
+              [
+                ("admit_ms_p50", Json.float (ms q 0.5));
+                ("admit_ms_p99", Json.float (ms q 0.99));
+                ("admit_ms_p999", Json.float (ms q 0.999));
+              ]
+        in
+        let admit_work =
+          match Flight.admit_work flight with
+          | None -> []
+          | Some q ->
+              [
+                ("admit_work_p50", Json.int (Quantile.quantile q 0.5));
+                ("admit_work_p99", Json.int (Quantile.quantile q 0.99));
+              ]
+        in
         Printf.printf "%-4s %6.2f s wall  %s" name wall_s
           (Session.render_summary s);
         print_newline ();
         ( name,
           Json.Obj
-            [
-              ("wall_s", Json.float wall_s);
-              ("arrivals", Json.int s.Session.arrivals);
-              ("acceptance", Json.float s.Session.acceptance);
-              ("mean_tenants", Json.float s.Session.mean_tenants);
-              ("mean_lbf", Json.float s.Session.mean_lbf);
-              ("mean_fragmentation", Json.float s.Session.mean_fragmentation);
-              ("defrag_moves", Json.int s.Session.defrag_moves);
-            ] ))
+            ([
+               ("wall_s", Json.float wall_s);
+               ("arrivals", Json.int s.Session.arrivals);
+               ("acceptance", Json.float s.Session.acceptance);
+               ("mean_tenants", Json.float s.Session.mean_tenants);
+               ("mean_lbf", Json.float s.Session.mean_lbf);
+               ("mean_fragmentation", Json.float s.Session.mean_fragmentation);
+               ("defrag_moves", Json.int s.Session.defrag_moves);
+             ]
+            @ admit_ms @ admit_work) ))
       policies
   in
   let doc =

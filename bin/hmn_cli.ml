@@ -164,7 +164,15 @@ let profile_cmd =
              virtual-link routing calls); open it in about:tracing or \
              https://ui.perfetto.dev.")
   in
-  let run seed cluster_kind guests density workload heuristic trace =
+  let prom_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Also write the metrics snapshot in Prometheus text exposition \
+             format.")
+  in
+  let run seed cluster_kind guests density workload heuristic trace prom =
     match Hmn_core.Registry.find heuristic with
     | None ->
       Printf.eprintf "unknown heuristic %s; try `hmn_cli list'\n" heuristic;
@@ -259,6 +267,13 @@ let profile_cmd =
         Trace.write ~path;
         Printf.printf "wrote %s (%d spans; load in about:tracing or Perfetto)\n"
           path (Trace.span_count ()));
+      (match prom with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Hmn_obs.Expose.render snap);
+        close_out oc;
+        Printf.printf "wrote %s (Prometheus text exposition)\n" path);
       if Result.is_error outcome.Hmn_core.Mapper.result then exit 1
   in
   Cmd.v
@@ -269,7 +284,7 @@ let profile_cmd =
           DFS backtracks, migration moves, retries, residual operations).")
     Term.(
       const run $ seed_t $ cluster_t $ guests_t $ density_t $ workload_t
-      $ heuristic_t $ trace_t)
+      $ heuristic_t $ trace_t $ prom_t)
 
 (* ---- validate ---- *)
 
@@ -534,7 +549,10 @@ let ablation_cmd =
 let online_cmd =
   let module Service = Hmn_online.Service in
   let module Defrag = Hmn_online.Defrag in
+  let module Flight = Hmn_online.Flight in
   let module Metrics = Hmn_obs.Metrics in
+  let module Trace = Hmn_obs.Trace in
+  let module Expose = Hmn_obs.Expose in
   let policy_t =
     Arg.(
       value & opt_all string []
@@ -632,9 +650,54 @@ let online_cmd =
       value & opt (some string) None
       & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the report cells as CSV.")
   in
+  let events_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Write the admission-decision journal as JSONL: one record per \
+             admit/reject/departure/defrag-move, each rejection carrying its \
+             cause from the closed taxonomy and the binding constraint. \
+             Deterministic for a fixed seed.")
+  in
+  let timeline_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Write the simulated-clock time series (tenants, guests, LBF, \
+             fragmentation, memory/bandwidth utilization, residual-bandwidth \
+             dispersion, per-rack memory) as CSV.")
+  in
+  let trace_out_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the timeline as Chrome trace_event counter tracks \
+             (open in about:tracing or https://ui.perfetto.dev).")
+  in
+  let prom_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Write the session's metrics snapshot in Prometheus text \
+             exposition format (implies metrics collection).")
+  in
+  let defrag_on_reject_t =
+    Arg.(
+      value & flag
+      & info [ "defrag-on-reject" ]
+          ~doc:
+            "Defrag-assisted admission: on a non-screen rejection, run one \
+             defragmentation round and retry the request once against the \
+             compacted cluster.")
+  in
   let run seed cluster_kind workload policies rate holding duration guests_lo
       guests_hi density scale no_defrag defrag_interval defrag_trigger
-      defrag_moves validate smoke report loads csv =
+      defrag_moves validate smoke report loads csv events timeline trace_out
+      prom defrag_on_reject =
     let profile =
       match workload with
       | Hmn_experiments.Scenario.High_level -> Hmn_vnet.Workload.high_level
@@ -667,6 +730,7 @@ let online_cmd =
             profile = Hmn_vnet.Workload.high_level;
             scale_frac = 0.3;
             defrag;
+            defrag_on_reject;
             validate = true;
           } )
       else
@@ -683,10 +747,21 @@ let online_cmd =
             profile;
             scale_frac = scale;
             defrag;
+            defrag_on_reject;
             validate;
           } )
     in
-    if Sys.getenv_opt "HMN_METRICS" <> None then Metrics.enable ();
+    if Sys.getenv_opt "HMN_METRICS" <> None || prom <> None then begin
+      Metrics.enable ();
+      Metrics.reset ()
+    end;
+    if trace_out <> None then Trace.enable ();
+    let write_file path contents what =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "wrote %s (%s)\n" path what
+    in
     try
       if report then begin
         let policies =
@@ -716,10 +791,45 @@ let online_cmd =
           Printf.eprintf "hmn_cli online: %s\n" msg;
           exit 2
         | Ok policy ->
-          let summary = Service.run ~cluster ~policy config in
-          print_string (Hmn_online.Session.render_summary summary)
+          let want_journal = events <> None in
+          let want_timeline = timeline <> None || trace_out <> None in
+          let flight =
+            if want_journal || want_timeline then
+              Some
+                (Flight.create ~journal:want_journal ~timeline:want_timeline
+                   ~quantiles:true cluster)
+            else None
+          in
+          let summary = Service.run ?flight ~cluster ~policy config in
+          print_string (Hmn_online.Session.render_summary summary);
+          (match flight with
+          | None -> ()
+          | Some f ->
+            (match (events, Flight.events_jsonl f) with
+            | Some path, Some jsonl ->
+              write_file path jsonl "admission-decision journal"
+            | _ -> ());
+            (match (timeline, Flight.timeline_csv f) with
+            | Some path, Some csv_text -> write_file path csv_text "timeline CSV"
+            | _ -> ());
+            match trace_out with
+            | None -> ()
+            | Some path ->
+              Flight.emit_trace_counters f;
+              Trace.write ~path;
+              Printf.printf "wrote %s (counter tracks; load in about:tracing or Perfetto)\n"
+                path)
       end;
-      if Metrics.enabled () then print_string (Metrics.render (Metrics.snapshot ()))
+      if Metrics.enabled () then begin
+        (match prom with
+        | None -> ()
+        | Some path ->
+          write_file path
+            (Expose.render (Metrics.snapshot ()))
+            "Prometheus text exposition");
+        if Sys.getenv_opt "HMN_METRICS" <> None then
+          print_string (Metrics.render (Metrics.snapshot ()))
+      end
     with Service.Validation_failed msg ->
       Printf.eprintf "hmn_cli online: %s\n" msg;
       exit 1
@@ -735,7 +845,161 @@ let online_cmd =
       const run $ seed_t $ cluster_t $ workload_t $ policy_t $ rate_t
       $ holding_t $ duration_t $ guests_lo_t $ guests_hi_t $ online_density_t
       $ scale_t $ no_defrag_t $ defrag_interval_t $ defrag_trigger_t
-      $ defrag_moves_t $ validate_t $ smoke_t $ report_t $ loads_t $ csv_t)
+      $ defrag_moves_t $ validate_t $ smoke_t $ report_t $ loads_t $ csv_t
+      $ events_t $ timeline_t $ trace_out_t $ prom_t $ defrag_on_reject_t)
+
+(* ---- slo ---- *)
+
+let slo_cmd =
+  let module Service = Hmn_online.Service in
+  let module Defrag = Hmn_online.Defrag in
+  let module Report = Hmn_experiments.Online_report in
+  let policy_t =
+    Arg.(
+      value & opt_all string []
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:"Admission policy (repeatable); default HMN,R,HS.")
+  in
+  let loads_t =
+    Arg.(
+      value & opt (list float) Report.default_loads
+      & info [ "loads" ] ~docv:"X,Y,..."
+          ~doc:"Offered-load multipliers on the base arrival rate.")
+  in
+  let rate_t =
+    Arg.(
+      value & opt float (1. /. 30.)
+      & info [ "rate" ] ~docv:"FLOAT" ~doc:"Base arrival rate, requests per simulated second.")
+  in
+  let holding_t =
+    Arg.(
+      value & opt float 600.
+      & info [ "holding" ] ~docv:"SECONDS" ~doc:"Mean tenant holding time (exponential).")
+  in
+  let duration_t =
+    Arg.(
+      value & opt float 3600.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Arrival horizon (simulated).")
+  in
+  let guests_lo_t =
+    Arg.(value & opt int 4 & info [ "guests-lo" ] ~docv:"INT" ~doc:"Minimum guests per tenant.")
+  in
+  let guests_hi_t =
+    Arg.(value & opt int 12 & info [ "guests-hi" ] ~docv:"INT" ~doc:"Maximum guests per tenant.")
+  in
+  let density_t =
+    Arg.(
+      value & opt float 0.3
+      & info [ "density" ] ~docv:"FLOAT" ~doc:"Virtual edge density within each tenant.")
+  in
+  let scale_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "scale" ] ~docv:"FRACTION"
+          ~doc:"Per-tenant feasibility calibration against the full cluster.")
+  in
+  let unit_t =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("wall", Report.Wall_ms); ("work", Report.Work_units) ])
+          Report.Wall_ms
+      & info [ "unit" ] ~docv:"wall|work"
+          ~doc:
+            "Latency source: $(b,wall) is wall-clock milliseconds (real \
+             benchmarking, machine-dependent); $(b,work) is the \
+             deterministic admission work-unit proxy (byte-stable \
+             percentiles for a fixed seed).")
+  in
+  let csv_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the SLO cells as CSV.")
+  in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Fixed-seed CI mode: the pinned 3x4 torus and workload of \
+             $(b,online --smoke), work-unit latency. Output is \
+             byte-identical across runs and machines.")
+  in
+  let run seed cluster_kind workload policies loads rate holding duration
+      guests_lo guests_hi density scale unit csv smoke =
+    let profile =
+      match workload with
+      | Hmn_experiments.Scenario.High_level -> Hmn_vnet.Workload.high_level
+      | Hmn_experiments.Scenario.Low_level -> Hmn_vnet.Workload.low_level
+    in
+    let cluster, config, latency =
+      if smoke then
+        ( Hmn_testbed.Cluster_gen.torus_cluster ~rows:3 ~cols:4
+            ~rng:(Hmn_rng.Rng.create 7) (),
+          {
+            Service.seed = 11;
+            arrival_rate_per_s = 1. /. 45.;
+            mean_holding_s = 300.;
+            duration_s = 1800.;
+            guests_lo = 3;
+            guests_hi = 6;
+            density = 0.3;
+            profile = Hmn_vnet.Workload.high_level;
+            scale_frac = 0.3;
+            defrag = Some Defrag.default;
+            defrag_on_reject = false;
+            validate = false;
+          },
+          Report.Work_units )
+      else
+        ( Hmn_experiments.Scenario.build_cluster cluster_kind
+            ~rng:(Hmn_rng.Rng.create seed),
+          {
+            Service.seed;
+            arrival_rate_per_s = rate;
+            mean_holding_s = holding;
+            duration_s = duration;
+            guests_lo;
+            guests_hi;
+            density;
+            profile;
+            scale_frac = scale;
+            defrag = Some Defrag.default;
+            defrag_on_reject = false;
+            validate = false;
+          },
+          unit )
+    in
+    let policies = if policies = [] then Report.default_policies else policies in
+    try
+      match Report.run ~policies ~loads ~latency ~cluster ~config () with
+      | Error msg ->
+        Printf.eprintf "hmn_cli slo: %s\n" msg;
+        exit 2
+      | Ok results ->
+        print_string (Report.slo_table results);
+        (match csv with
+        | None -> ()
+        | Some file ->
+          let oc = open_out file in
+          output_string oc (Report.slo_csv results);
+          close_out oc;
+          Printf.printf "wrote %s\n" file)
+    with Service.Validation_failed msg ->
+      Printf.eprintf "hmn_cli slo: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Admission-latency percentile tables (p50/p90/p99/p999/max) per \
+          admission policy and offered-load level, from the flight \
+          recorder's quantile histograms; $(b,--unit work) reports the \
+          deterministic work-unit proxy instead of wall-clock \
+          milliseconds.")
+    Term.(
+      const run $ seed_t $ cluster_t $ workload_t $ policy_t $ loads_t
+      $ rate_t $ holding_t $ duration_t $ guests_lo_t $ guests_hi_t
+      $ density_t $ scale_t $ unit_t $ csv_t $ smoke_t)
 
 (* ---- scale ---- *)
 
@@ -910,6 +1174,7 @@ let () =
        (Cmd.group (Cmd.info "hmn_cli" ~doc)
           [
             list_cmd; map_cmd; profile_cmd; validate_cmd; fuzz_cmd;
-            experiments_cmd; figure1_cmd; ablation_cmd; online_cmd; scale_cmd;
+            experiments_cmd; figure1_cmd; ablation_cmd; online_cmd; slo_cmd;
+            scale_cmd;
             gap_cmd; dot_cmd;
           ]))

@@ -14,7 +14,7 @@ let dfs_route_all ?rng ?(max_steps = default_dfs_steps) placement =
   let problem = Placement.problem placement in
   let venv = problem.Problem.venv in
   let link_map = Link_map.create problem in
-  let exception Routing_failed of string in
+  let exception Routing_failed of Mapper.failure_detail option * string in
   try
     for vlink = 0 to Virtual_env.n_vlinks venv - 1 do
       let vs, vd = Virtual_env.endpoints venv vlink in
@@ -33,15 +33,32 @@ let dfs_route_all ?rng ?(max_steps = default_dfs_steps) placement =
       in
       match path with
       | None ->
+        let spec = Virtual_env.vlink venv vlink in
+        let detail =
+          Mapper.Unroutable_vlink
+            {
+              vlink;
+              src_host = hs;
+              dst_host = hd;
+              bandwidth_mbps = spec.Hmn_vnet.Vlink.bandwidth_mbps;
+              latency_ms = spec.Hmn_vnet.Vlink.latency_ms;
+            }
+        in
         raise
-          (Routing_failed (Printf.sprintf "DFS found no path for virtual link %d" vlink))
+          (Routing_failed
+             ( Some detail,
+               Printf.sprintf "DFS found no path for virtual link %d" vlink ))
       | Some path -> (
         match Link_map.assign link_map ~vlink path with
         | Ok () -> ()
-        | Error msg -> raise (Routing_failed msg))
+        | Error msg -> raise (Routing_failed (None, msg)))
     done;
     Ok link_map
-  with Routing_failed reason -> Error (Mapper.fail ~stage:"dfs-routing" ~reason)
+  with Routing_failed (detail, reason) ->
+    Error
+      (match detail with
+      | Some detail -> Mapper.fail_detail ~detail ~stage:"dfs-routing" ~reason
+      | None -> Mapper.fail ~stage:"dfs-routing" ~reason)
 
 (* Retry loop shared by the three baselines: [attempt] produces a
    mapping or a failure. The failure of the most recent failed try is

@@ -27,11 +27,11 @@ let run (problem : Problem.t) =
       hosts
   in
   resort ();
-  let exception Hosting_failed of string in
+  let exception Hosting_failed of int option * string in
   let assign guest host =
     match Placement.assign placement ~guest ~host with
     | Ok () -> resort ()
-    | Error msg -> raise (Hosting_failed msg)
+    | Error msg -> raise (Hosting_failed (Some guest, msg))
   in
   let first_fitting ?(from = 0) guest =
     let n = Array.length hosts in
@@ -53,7 +53,7 @@ let run (problem : Problem.t) =
       host
     | None ->
       raise
-        (Hosting_failed (Printf.sprintf "no host can receive guest %d" guest))
+        (Hosting_failed (Some guest, Printf.sprintf "no host can receive guest %d" guest))
   in
   let both_fit_first_host a b =
     let host = hosts.(0) in
@@ -81,7 +81,7 @@ let run (problem : Problem.t) =
           | None ->
             raise
               (Hosting_failed
-                 (Printf.sprintf "no host can receive guest %d" first))
+                 (Some first, Printf.sprintf "no host can receive guest %d" first))
         in
         let host_first = hosts.(idx) in
         assign first host_first;
@@ -111,7 +111,13 @@ let run (problem : Problem.t) =
         ignore (assign_first_fitting guest)
     done;
     Ok placement
-  with Hosting_failed reason -> Error (Mapper.fail ~stage:"hosting" ~reason)
+  with Hosting_failed (guest, reason) ->
+    Error
+      (match guest with
+      | Some guest ->
+        Mapper.fail_detail ~detail:(Mapper.Unplaceable_guest { guest })
+          ~stage:"hosting" ~reason
+      | None -> Mapper.fail ~stage:"hosting" ~reason)
 
 (* ---- Hierarchical (sharded) hosting ---- *)
 
@@ -417,7 +423,8 @@ let run_sharded ?jobs (problem : Problem.t) =
             | Error msg -> Error (Mapper.fail ~stage:"hosting" ~reason:msg))
           | None ->
             Error
-              (Mapper.fail ~stage:"hosting"
+              (Mapper.fail_detail ~detail:(Mapper.Unplaceable_guest { guest })
+                 ~stage:"hosting"
                  ~reason:
                    (Printf.sprintf "no host can receive guest %d (repair)" guest)))
       in

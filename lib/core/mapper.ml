@@ -1,6 +1,17 @@
+type failure_detail =
+  | Unplaceable_guest of { guest : int }
+  | Unroutable_vlink of {
+      vlink : int;
+      src_host : int;
+      dst_host : int;
+      bandwidth_mbps : float;
+      latency_ms : float;
+    }
+
 type failure = {
   stage : string;
   reason : string;
+  detail : failure_detail option;
 }
 
 type outcome = {
@@ -17,7 +28,8 @@ type t = {
   run : rng:Hmn_rng.Rng.t -> Hmn_mapping.Problem.t -> outcome;
 }
 
-let fail ~stage ~reason = { stage; reason }
+let fail ~stage ~reason = { stage; reason; detail = None }
+let fail_detail ~detail ~stage ~reason = { stage; reason; detail = Some detail }
 
 let single_try ~result ~elapsed_s =
   {

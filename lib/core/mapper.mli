@@ -3,9 +3,25 @@
     extension heuristics, uniformly runnable by the experiment
     harness. *)
 
+(** Structured identification of {e what} a failed stage could not do,
+    attached by the stages that know it (hosting-style placement and
+    routing). The online admission journal and the validator's
+    independent rejection-cause re-check both key off this — the
+    human-readable [reason] string stays purely diagnostic. *)
+type failure_detail =
+  | Unplaceable_guest of { guest : int }
+  | Unroutable_vlink of {
+      vlink : int;
+      src_host : int;  (** physical host of the vlink's source guest *)
+      dst_host : int;
+      bandwidth_mbps : float;
+      latency_ms : float;  (** the vlink's latency bound *)
+    }
+
 type failure = {
   stage : string;  (** which stage gave up, e.g. ["hosting"] *)
   reason : string;
+  detail : failure_detail option;
 }
 
 type outcome = {
@@ -28,6 +44,10 @@ type t = {
 }
 
 val fail : stage:string -> reason:string -> failure
+(** [detail = None]. *)
+
+val fail_detail :
+  detail:failure_detail -> stage:string -> reason:string -> failure
 
 val single_try :
   result:(Hmn_mapping.Mapping.t, failure) result -> elapsed_s:float -> outcome

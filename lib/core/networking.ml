@@ -52,7 +52,7 @@ let run ?router ?(route_cache = false) ?(tree_fast_path = false) placement =
       Some path
   in
   let router = Option.value router ~default:default_router in
-  let exception Networking_failed of string in
+  let exception Networking_failed of Mapper.failure_detail option * string in
   try
     Array.iter
       (fun vlink ->
@@ -63,7 +63,7 @@ let run ?router ?(route_cache = false) ?(tree_fast_path = false) placement =
           (* Intra-host: trivial path, no bandwidth reserved. *)
           (match Link_map.assign link_map ~vlink (Path.trivial hs) with
           | Ok () -> ()
-          | Error msg -> raise (Networking_failed msg));
+          | Error msg -> raise (Networking_failed (None, msg)));
           incr intra_host
         end
         else begin
@@ -90,17 +90,28 @@ let run ?router ?(route_cache = false) ?(tree_fast_path = false) placement =
             else route ()
           with
           | None ->
+            let detail =
+              Mapper.Unroutable_vlink
+                {
+                  vlink;
+                  src_host = hs;
+                  dst_host = hd;
+                  bandwidth_mbps = spec.Hmn_vnet.Vlink.bandwidth_mbps;
+                  latency_ms = spec.Hmn_vnet.Vlink.latency_ms;
+                }
+            in
             raise
               (Networking_failed
-                 (Printf.sprintf
-                    "no feasible path for virtual link %d (hosts %d -> %d, %.3f \
-                     Mbps, <= %.1f ms)"
-                    vlink hs hd spec.Hmn_vnet.Vlink.bandwidth_mbps
-                    spec.Hmn_vnet.Vlink.latency_ms))
+                 ( Some detail,
+                   Printf.sprintf
+                     "no feasible path for virtual link %d (hosts %d -> %d, %.3f \
+                      Mbps, <= %.1f ms)"
+                     vlink hs hd spec.Hmn_vnet.Vlink.bandwidth_mbps
+                     spec.Hmn_vnet.Vlink.latency_ms ))
           | Some path -> (
             match Link_map.assign link_map ~vlink path with
             | Ok () -> incr routed
-            | Error msg -> raise (Networking_failed msg))
+            | Error msg -> raise (Networking_failed (None, msg)))
         end)
       (Hosting.sorted_vlinks problem);
     if Metrics.enabled () then begin
@@ -121,4 +132,8 @@ let run ?router ?(route_cache = false) ?(tree_fast_path = false) placement =
             Hmn_routing.Route_ctx.cache_revalidate_failed ctx;
           fast_path = Hmn_routing.Route_ctx.fast_path_hits ctx;
         } )
-  with Networking_failed reason -> Error (Mapper.fail ~stage:"networking" ~reason)
+  with Networking_failed (detail, reason) ->
+    Error
+      (match detail with
+      | Some detail -> Mapper.fail_detail ~detail ~stage:"networking" ~reason
+      | None -> Mapper.fail ~stage:"networking" ~reason)

@@ -28,5 +28,6 @@ let run ~rng (problem : Problem.t) =
     Ok placement
   with Stuck guest ->
     Error
-      (Mapper.fail ~stage:"random-placement"
+      (Mapper.fail_detail ~detail:(Mapper.Unplaceable_guest { guest })
+         ~stage:"random-placement"
          ~reason:(Printf.sprintf "no host fits guest %d" guest))

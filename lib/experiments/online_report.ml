@@ -1,24 +1,51 @@
 module Service = Hmn_online.Service
 module Session = Hmn_online.Session
 module Admission = Hmn_online.Admission
+module Flight = Hmn_online.Flight
+module Quantile = Hmn_obs.Quantile
 module Pretty_table = Hmn_prelude.Pretty_table
+
+type latency_source = Off | Wall_ms | Work_units
+
+type slo = {
+  samples : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  max_v : float;
+}
 
 type cell = {
   policy : string;
   load : float;
   summary : Session.summary;
+  slo : slo option;
 }
 
 type results = {
   base_config : Service.config;
+  latency : latency_source;
   cells : cell list;  (** grouped by load, then policy, in input order *)
 }
 
 let default_policies = [ "HMN"; "R"; "HS" ]
 let default_loads = [ 0.5; 1.0; 2.0 ]
 
-let run ?(policies = default_policies) ?(loads = default_loads) ~cluster
-    ~config () =
+(* nanoseconds for wall clock, raw units for work *)
+let slo_of_quantile ~scale q =
+  let at p = scale *. float_of_int (Quantile.quantile q p) in
+  {
+    samples = Quantile.count q;
+    p50 = at 0.5;
+    p90 = at 0.9;
+    p99 = at 0.99;
+    p999 = at 0.999;
+    max_v = scale *. float_of_int (Quantile.max_value q);
+  }
+
+let run ?(policies = default_policies) ?(loads = default_loads)
+    ?(latency = Off) ~cluster ~config () =
   if loads = [] then Error "no load levels given"
   else if List.exists (fun l -> l <= 0.) loads then
     Error "load levels must be positive"
@@ -45,11 +72,33 @@ let run ?(policies = default_policies) ?(loads = default_loads) ~cluster
                         config.Service.arrival_rate_per_s *. load;
                     }
                   in
-                  { policy = name; load; summary = Service.run ~cluster ~policy cfg })
+                  let flight =
+                    match latency with
+                    | Off -> None
+                    | Wall_ms | Work_units ->
+                        (* quantile channels only: no journal or
+                           timeline accumulating across the grid *)
+                        Some
+                          (Flight.create ~journal:false ~timeline:false
+                             ~quantiles:true cluster)
+                  in
+                  let summary = Service.run ?flight ~cluster ~policy cfg in
+                  let slo =
+                    match (latency, flight) with
+                    | Off, _ | _, None -> None
+                    | Wall_ms, Some f ->
+                        Option.map
+                          (slo_of_quantile ~scale:1e-6 (* ns -> ms *))
+                          (Flight.admit_ns f)
+                    | Work_units, Some f ->
+                        Option.map (slo_of_quantile ~scale:1.)
+                          (Flight.admit_work f)
+                  in
+                  { policy = name; load; summary; slo })
                 resolved)
             loads
         in
-        Ok { base_config = config; cells }
+        Ok { base_config = config; latency; cells }
 
 let table r =
   let t =
@@ -67,7 +116,7 @@ let table r =
       ()
   in
   List.iter
-    (fun { policy; load; summary = s } ->
+    (fun { policy; load; summary = s; _ } ->
       Pretty_table.add_row t
         [
           Printf.sprintf "%.2fx" load;
@@ -95,7 +144,7 @@ let csv r =
   Buffer.add_string b
     "policy,load,seed,arrivals,admitted,rejected,acceptance,mean_tenants,peak_tenants,mean_guests,peak_guests,mean_lbf,final_lbf,mean_fragmentation,mean_mem_utilization,mean_bw_utilization,defrag_rounds,defrag_moves\n";
   List.iter
-    (fun { policy; load; summary = s } ->
+    (fun { policy; load; summary = s; _ } ->
       Buffer.add_string b
         (Printf.sprintf
            "%s,%g,%d,%d,%d,%d,%.6f,%.6f,%d,%.6f,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d\n"
@@ -105,5 +154,86 @@ let csv r =
            s.Session.mean_lbf s.Session.final_lbf s.Session.mean_fragmentation
            s.Session.mean_mem_utilization s.Session.mean_bw_utilization
            s.Session.defrag_rounds s.Session.defrag_moves))
+    r.cells;
+  Buffer.contents b
+
+let require_slo r what =
+  match r.latency with
+  | Off ->
+      invalid_arg
+        (Printf.sprintf "Online_report.%s: grid ran without SLO collection"
+           what)
+  | Wall_ms | Work_units -> ()
+
+let unit_label = function
+  | Off -> assert false
+  | Wall_ms -> "ms"
+  | Work_units -> "work units"
+
+(* wall-clock milliseconds get sub-bucket resolution; work units are
+   integers by construction *)
+let fmt_value latency v =
+  match latency with
+  | Off -> assert false
+  | Wall_ms -> Printf.sprintf "%.3f" v
+  | Work_units -> Printf.sprintf "%.0f" v
+
+let slo_table r =
+  require_slo r "slo_table";
+  let t =
+    Pretty_table.create
+      ~aligns:
+        [
+          Pretty_table.Right; Left; Right; Right; Right; Right; Right; Right;
+        ]
+      ~header:
+        [ "load"; "policy"; "samples"; "p50"; "p90"; "p99"; "p999"; "max" ]
+      ()
+  in
+  List.iter
+    (fun { policy; load; slo; _ } ->
+      match slo with
+      | None -> ()
+      | Some s ->
+          let f = fmt_value r.latency in
+          Pretty_table.add_row t
+            [
+              Printf.sprintf "%.2fx" load;
+              policy;
+              string_of_int s.samples;
+              f s.p50;
+              f s.p90;
+              f s.p99;
+              f s.p999;
+              f s.max_v;
+            ])
+    r.cells;
+  Printf.sprintf
+    "Admission latency SLO (%s) by admission policy and offered load\n"
+    (unit_label r.latency)
+  ^ Printf.sprintf
+      "(seed %d, base rate %.4f/s, mean holding %.0f s, horizon %.0f s, %d-%d \
+       guests)\n"
+      r.base_config.Service.seed r.base_config.Service.arrival_rate_per_s
+      r.base_config.Service.mean_holding_s r.base_config.Service.duration_s
+      r.base_config.Service.guests_lo r.base_config.Service.guests_hi
+  ^ Pretty_table.render t
+
+let slo_csv r =
+  require_slo r "slo_csv";
+  let b = Buffer.create 512 in
+  Buffer.add_string b "policy,load,unit,samples,p50,p90,p99,p999,max\n";
+  List.iter
+    (fun { policy; load; slo; _ } ->
+      match slo with
+      | None -> ()
+      | Some s ->
+          Buffer.add_string b
+            (Printf.sprintf "%s,%g,%s,%d,%g,%g,%g,%g,%g\n" policy load
+               (match r.latency with
+               | Off -> assert false
+               | Wall_ms -> "ms"
+               | Work_units -> "work")
+               s.samples s.p50 s.p90 s.p99 s.p999 s.max_v))
     r.cells;
   Buffer.contents b

@@ -6,16 +6,43 @@
     every cell with the same load faces the identical sequence of
     requests — differences between rows are attributable to the policy,
     exactly like the paper's Tables 2–3 attribute differences to the
-    heuristic. *)
+    heuristic.
+
+    The grid can also collect per-cell admission-latency SLO data
+    through a per-cell flight recorder (quantile channels only — no
+    journal, no timeline, so memory stays flat across the grid). Two
+    latency sources exist: wall-clock milliseconds for real
+    benchmarking, and the deterministic work-unit proxy
+    ({!Hmn_online.Admission.work}) whose percentiles are byte-stable
+    across machines and therefore pinnable in smoke tests. *)
+
+type latency_source =
+  | Off  (** no SLO collection; cells carry [slo = None] *)
+  | Wall_ms  (** wall-clock admission latency, milliseconds *)
+  | Work_units  (** deterministic admission work units *)
+
+type slo = {
+  samples : int;  (** admission decisions observed (arrivals) *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  max_v : float;
+}
+(** Quantiles are bucket upper edges ({!Hmn_obs.Quantile.quantile}): an
+    over-estimate of the true order statistic by at most the bucket's
+    relative width (1/64 at the default precision). *)
 
 type cell = {
   policy : string;
   load : float;  (** multiplier on the base arrival rate *)
   summary : Hmn_online.Session.summary;
+  slo : slo option;  (** [None] when the grid ran with [Off] *)
 }
 
 type results = {
   base_config : Hmn_online.Service.config;
+  latency : latency_source;
   cells : cell list;  (** grouped by load, then policy, in input order *)
 }
 
@@ -28,17 +55,28 @@ val default_loads : float list
 val run :
   ?policies:string list ->
   ?loads:float list ->
+  ?latency:latency_source ->
   cluster:Hmn_testbed.Cluster.t ->
   config:Hmn_online.Service.config ->
   unit ->
   (results, string) result
 (** Runs the full grid sequentially (each cell is itself a whole
-    simulated session). [Error] on an unknown policy name or an empty /
-    non-positive load list; a cell that raises (validation failure)
-    propagates. *)
+    simulated session). [latency] defaults to [Off]. [Error] on an
+    unknown policy name or an empty / non-positive load list; a cell
+    that raises (validation failure) propagates. *)
 
 val table : results -> string
-(** Plain-text comparison table, one row per (load, policy). *)
+(** Plain-text comparison table, one row per (load, policy). Identical
+    output for a given summary grid regardless of [latency]. *)
 
 val csv : results -> string
-(** One line per cell with every summary field, for external plotting. *)
+(** One line per cell with every summary field, for external plotting.
+    Like {!table}, independent of [latency]. *)
+
+val slo_table : results -> string
+(** Admission-latency percentile table (p50/p90/p99/p999/max and sample
+    count) per (load, policy), with the latency unit in the title.
+    Raises [Invalid_argument] when the grid ran with [Off]. *)
+
+val slo_csv : results -> string
+(** The SLO columns as CSV. Raises [Invalid_argument] under [Off]. *)

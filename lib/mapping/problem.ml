@@ -15,20 +15,26 @@ let make ~cluster ~venv =
 let guests_per_host_ratio t =
   float_of_int (Virtual_env.n_guests t.venv) /. float_of_int (Cluster.n_hosts t.cluster)
 
-let obviously_infeasible t =
+type screen_cause = Aggregate_mem | Aggregate_stor | Disconnected
+
+let obviously_infeasible_cause t =
   let total_cap = Cluster.total_capacity t.cluster in
   let total_dem = Virtual_env.total_demand t.venv in
   if total_dem.Resources.mem_mb > total_cap.Resources.mem_mb then
     Some
-      (Printf.sprintf "aggregate guest memory %.0f MB exceeds cluster total %.0f MB"
-         total_dem.Resources.mem_mb total_cap.Resources.mem_mb)
+      ( Aggregate_mem,
+        Printf.sprintf "aggregate guest memory %.0f MB exceeds cluster total %.0f MB"
+          total_dem.Resources.mem_mb total_cap.Resources.mem_mb )
   else if total_dem.Resources.stor_gb > total_cap.Resources.stor_gb then
     Some
-      (Printf.sprintf "aggregate guest storage %.0f GB exceeds cluster total %.0f GB"
-         total_dem.Resources.stor_gb total_cap.Resources.stor_gb)
+      ( Aggregate_stor,
+        Printf.sprintf "aggregate guest storage %.0f GB exceeds cluster total %.0f GB"
+          total_dem.Resources.stor_gb total_cap.Resources.stor_gb )
   else if Virtual_env.n_vlinks t.venv > 0 && not (Cluster.is_connected t.cluster) then
-    Some "cluster is disconnected but virtual links exist"
+    Some (Disconnected, "cluster is disconnected but virtual links exist")
   else None
+
+let obviously_infeasible t = Option.map snd (obviously_infeasible_cause t)
 
 let pp_summary ppf t =
   Format.fprintf ppf "%a@ %a@ ratio %.1f:1" Cluster.pp_summary t.cluster

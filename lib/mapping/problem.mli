@@ -13,10 +13,18 @@ val make : cluster:Hmn_testbed.Cluster.t -> venv:Hmn_vnet.Virtual_env.t -> t
 val guests_per_host_ratio : t -> float
 (** Guests divided by hosts — the scenario parameter of Tables 2–3. *)
 
-val obviously_infeasible : t -> string option
+type screen_cause = Aggregate_mem | Aggregate_stor | Disconnected
+(** Why the cheap screen rejected — the closed taxonomy the online
+    admission journal records under [screened-*]. *)
+
+val obviously_infeasible_cause : t -> (screen_cause * string) option
 (** Cheap necessary-condition screen: total guest memory or storage
     exceeding the cluster total, or an unconnected cluster with
     cross-component demands, can never be mapped. [None] means "may be
-    feasible". *)
+    feasible". Checks run in the declared order, so the cause is
+    deterministic when several apply. *)
+
+val obviously_infeasible : t -> string option
+(** [obviously_infeasible_cause] without the structured cause. *)
 
 val pp_summary : Format.formatter -> t -> unit

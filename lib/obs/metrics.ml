@@ -18,6 +18,9 @@ type histogram = {
   bounds : float array;
   buckets : int array;  (* length = Array.length bounds + 1 (overflow) *)
   mutable observations : int;
+  (* running sum kept in integer milliunits so cross-domain merges stay
+     exact and order-insensitive, like the bucket counts *)
+  mutable sum_milli : int;
   h_live : bool;
 }
 
@@ -25,7 +28,7 @@ let inert_counter = { count = 0; c_live = false }
 let inert_gauge = { last = 0; max_v = 0; g_live = false }
 
 let inert_histogram =
-  { bounds = [||]; buckets = [| 0 |]; observations = 0; h_live = false }
+  { bounds = [||]; buckets = [| 0 |]; observations = 0; sum_milli = 0; h_live = false }
 
 type collector = {
   counters : (string, counter) Hashtbl.t;
@@ -91,6 +94,20 @@ let gauge name =
 
 let default_bounds = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6 |]
 
+(* Edges are computed as 10^(k / per_decade) for integer k, not by
+   repeated multiplication, so every call site asking for the same
+   range gets bit-identical bounds (required by the cross-domain
+   bounds-agreement check in [snapshot]). *)
+let log_bounds ~lo ~hi ~per_decade =
+  if per_decade <= 0 then invalid_arg "Metrics.log_bounds: per_decade must be positive";
+  if not (lo > 0. && hi > lo) then
+    invalid_arg "Metrics.log_bounds: need 0 < lo < hi";
+  let pd = float_of_int per_decade in
+  let k_lo = int_of_float (Float.round (Float.log10 lo *. pd)) in
+  let k_hi = int_of_float (Float.ceil (Float.log10 hi *. pd -. 1e-9)) in
+  Array.init (k_hi - k_lo + 1) (fun i ->
+      10. ** (float_of_int (k_lo + i) /. pd))
+
 let histogram ?(bounds = default_bounds) name =
   if not (enabled ()) then inert_histogram
   else begin
@@ -110,6 +127,7 @@ let histogram ?(bounds = default_bounds) name =
           bounds = Array.copy bounds;
           buckets = Array.make (Array.length bounds + 1) 0;
           observations = 0;
+          sum_milli = 0;
           h_live = true;
         }
       in
@@ -147,7 +165,8 @@ module Histogram = struct
     if h.h_live then begin
       let b = bucket_of h.bounds v in
       h.buckets.(b) <- h.buckets.(b) + 1;
-      h.observations <- h.observations + 1
+      h.observations <- h.observations + 1;
+      h.sum_milli <- h.sum_milli + int_of_float (Float.round (v *. 1000.))
     end
 end
 
@@ -157,6 +176,7 @@ type histogram_snapshot = {
   bounds : float array;
   bucket_counts : int array;
   observations : int;
+  sum_milli : int;
 }
 
 type snapshot = {
@@ -200,6 +220,7 @@ let snapshot () =
                 bounds = Array.copy h.bounds;
                 bucket_counts = Array.copy h.buckets;
                 observations = h.observations;
+                sum_milli = h.sum_milli;
               }
           | Some acc ->
             if acc.bounds <> h.bounds then
@@ -210,7 +231,11 @@ let snapshot () =
               (fun i n -> acc.bucket_counts.(i) <- acc.bucket_counts.(i) + n)
               h.buckets;
             Hashtbl.replace histograms name
-              { acc with observations = acc.observations + h.observations })
+              {
+                acc with
+                observations = acc.observations + h.observations;
+                sum_milli = acc.sum_milli + h.sum_milli;
+              })
         c.histograms)
     collectors;
   let bindings tbl = sorted_bindings (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
@@ -235,7 +260,8 @@ let reset () =
       Hashtbl.iter
         (fun _ h ->
           Array.fill h.buckets 0 (Array.length h.buckets) 0;
-          h.observations <- 0)
+          h.observations <- 0;
+          h.sum_milli <- 0)
         c.histograms)
     collectors
 

@@ -49,6 +49,14 @@ val histogram : ?bounds:float array -> string -> histogram
     across domains, which they do when every site passes the same
     literal). Default: powers of ten from 1 to 1e6. *)
 
+val log_bounds : lo:float -> hi:float -> per_decade:int -> float array
+(** Log-scaled bucket edges [10^(k / per_decade)] covering [[lo, hi]],
+    computed from integer exponents so every call site with the same
+    arguments gets bit-identical bounds. E.g.
+    [log_bounds ~lo:1e-3 ~hi:1e4 ~per_decade:3] gives 22 edges
+    0.001, ~0.00215, ~0.00464, 0.01, … 10000 — fine enough to tell
+    sub-millisecond admissions apart. *)
+
 module Counter : sig
   val incr : counter -> unit
   val add : counter -> int -> unit
@@ -70,6 +78,10 @@ type histogram_snapshot = {
   bounds : float array;
   bucket_counts : int array;  (** length [Array.length bounds + 1] *)
   observations : int;
+  sum_milli : int;
+      (** sum of observations in integer milliunits (each observation
+          contributes [round (v * 1000)]) — exact under merging; used
+          by [Expose] for the Prometheus [_sum] series *)
 }
 
 type snapshot = {

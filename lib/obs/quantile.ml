@@ -1,0 +1,95 @@
+(* HDR-style log-bucketed integer histogram.
+
+   Layout for precision [p] (sub-bucket bits): values in [0, 2^p) land
+   in bucket [v] exactly; a value with most-significant bit [e >= p]
+   keeps its top [p] bits, giving index
+     2^p + (e - p) * 2^(p-1) + ((v lsr (e - p + 1)) - 2^(p-1)).
+   Every bucket above 2^p therefore spans [2^(e-p+1)] consecutive
+   values — relative width 2^-(p-1) — and the whole 62-bit non-negative
+   int range fits in 2^p + (62 - p) * 2^(p-1) buckets (3648 for p = 7).
+   All state is an int array: merges are element-wise sums and every
+   accessor is a pure integer walk, so results are independent of
+   recording and merge order. *)
+
+type t = { precision : int; counts : int array; mutable total : int }
+
+let msb v =
+  (* v > 0 *)
+  let e = ref 0 in
+  let x = ref (v lsr 1) in
+  while !x > 0 do
+    incr e;
+    x := !x lsr 1
+  done;
+  !e
+
+let n_buckets ~precision = (1 lsl precision) + ((62 - precision) * (1 lsl (precision - 1)))
+
+let create ?(precision = 7) () =
+  if precision < 2 || precision > 10 then
+    invalid_arg (Printf.sprintf "Quantile.create: precision %d not in [2, 10]" precision);
+  { precision; counts = Array.make (n_buckets ~precision) 0; total = 0 }
+
+let precision t = t.precision
+
+let index t v =
+  let p = t.precision in
+  if v < 1 lsl p then v
+  else
+    let e = msb v in
+    (1 lsl p) + ((e - p) * (1 lsl (p - 1))) + ((v lsr (e - p + 1)) - (1 lsl (p - 1)))
+
+(* Largest value mapping to bucket [idx] — the reported quantile edge. *)
+let upper_edge t idx =
+  let p = t.precision in
+  if idx < 1 lsl p then idx
+  else
+    let half = 1 lsl (p - 1) in
+    let off = idx - (1 lsl p) in
+    let e = p + (off / half) in
+    let sub = off mod half in
+    let shift = e - p + 1 in
+    ((half + sub) lsl shift) + (1 lsl shift) - 1
+
+let record_n t v ~n =
+  if n < 0 then invalid_arg "Quantile.record_n: negative count";
+  if n > 0 then begin
+    let v = if v < 0 then 0 else v in
+    let idx = index t v in
+    t.counts.(idx) <- t.counts.(idx) + n;
+    t.total <- t.total + n
+  end
+
+let record t v = record_n t v ~n:1
+let count t = t.total
+
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int t.total)) in
+      Int.max 1 (Int.min t.total r)
+    in
+    let idx = ref 0 in
+    let seen = ref t.counts.(0) in
+    while !seen < rank do
+      incr idx;
+      seen := !seen + t.counts.(!idx)
+    done;
+    upper_edge t !idx
+  end
+
+let max_value t = quantile t 1.
+
+let merge_into ~into src =
+  if into.precision <> src.precision then
+    invalid_arg
+      (Printf.sprintf "Quantile.merge_into: precision mismatch (%d vs %d)"
+         into.precision src.precision);
+  Array.iteri
+    (fun i c -> if c <> 0 then into.counts.(i) <- into.counts.(i) + c)
+    src.counts;
+  into.total <- into.total + src.total
+
+let copy t = { t with counts = Array.copy t.counts }

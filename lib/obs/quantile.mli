@@ -1,0 +1,52 @@
+(** Deterministic log-bucketed quantile histogram (HDR-style).
+
+    Records non-negative integers (callers pick the unit — the online
+    service records admission latency in nanoseconds and admission work
+    in abstract units) into buckets whose width grows geometrically:
+    values below [2^precision] are exact, and every larger bucket spans
+    a [2^-(precision-1)] relative range, so any reported quantile is
+    within that relative error of the true order statistic — see
+    {!quantile}.
+
+    Everything is integer arithmetic on a fixed bucket layout:
+    {!merge_into} is an element-wise integer sum, hence associative,
+    commutative, and {e exact} — merging per-domain histograms yields
+    byte-identical quantiles regardless of how many domains recorded or
+    in which order they merged, the same discipline as
+    [Metrics.snapshot]. *)
+
+type t
+
+val create : ?precision:int -> unit -> t
+(** [precision] (default 7, clamped meaning: must be in [2..10]) is the
+    number of significant bits kept per value: buckets above
+    [2^precision] have relative width [2^-(precision-1)] (default
+    1/64 ≈ 1.6%). Raises [Invalid_argument] outside [2..10]. *)
+
+val precision : t -> int
+
+val record : t -> int -> unit
+(** Records one value; negative values clamp to 0. *)
+
+val record_n : t -> int -> n:int -> unit
+(** Records the same value [n] times ([n < 0] is rejected). *)
+
+val count : t -> int
+(** Total recorded observations. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] (with [q] clamped into [0, 1]) returns the upper
+    edge of the bucket holding the observation of rank
+    [ceil (q * count)] (rank 1 for [q = 0]); 0 when empty. The result
+    is an over-estimate of the true order statistic by at most the
+    bucket's relative width. Pure integer bucket walk — deterministic
+    for a given multiset of recorded values. *)
+
+val max_value : t -> int
+(** [quantile t 1.] — upper edge of the highest occupied bucket. *)
+
+val merge_into : into:t -> t -> unit
+(** Element-wise integer bucket sum. Raises [Invalid_argument] when the
+    precisions differ. The source is left untouched. *)
+
+val copy : t -> t

@@ -1,0 +1,64 @@
+type t = {
+  columns : string list;
+  n_cols : int;
+  capacity : int;
+  times : float array;
+  rows : float array array;
+  mutable total : int;  (* samples ever; head = total mod capacity *)
+}
+
+let create ?(capacity = 4096) ~columns () =
+  if capacity <= 0 then invalid_arg "Timeseries.create: capacity must be positive";
+  let n_cols = List.length columns in
+  if n_cols = 0 then invalid_arg "Timeseries.create: no columns";
+  {
+    columns;
+    n_cols;
+    capacity;
+    times = Array.make capacity 0.;
+    rows = Array.init capacity (fun _ -> Array.make n_cols 0.);
+    total = 0;
+  }
+
+let columns t = t.columns
+
+let sample t ~t_s row =
+  if Array.length row <> t.n_cols then
+    invalid_arg
+      (Printf.sprintf "Timeseries.sample: %d values for %d columns"
+         (Array.length row) t.n_cols);
+  let slot = t.total mod t.capacity in
+  t.times.(slot) <- t_s;
+  Array.blit row 0 t.rows.(slot) 0 t.n_cols;
+  t.total <- t.total + 1
+
+let length t = Int.min t.total t.capacity
+let total t = t.total
+let dropped t = t.total - length t
+
+let iter t f =
+  let n = length t in
+  let first = t.total - n in
+  for i = first to t.total - 1 do
+    let slot = i mod t.capacity in
+    f ~t_s:t.times.(slot) t.rows.(slot)
+  done
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "t_s";
+  List.iter
+    (fun c ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf c)
+    t.columns;
+  Buffer.add_char buf '\n';
+  iter t (fun ~t_s row ->
+      Buffer.add_string buf (Printf.sprintf "%g" t_s);
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "%g" v))
+        row;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf

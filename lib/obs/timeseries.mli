@@ -1,0 +1,40 @@
+(** Ring-buffer time-series recorder for the online flight recorder.
+
+    Samples are rows of floats under a fixed column schema, stamped with
+    the caller's clock — the online service passes its {e simulated}
+    time, never the wall clock, so exported series are byte-identical
+    across reruns and job counts. When the buffer is full the oldest
+    samples are overwritten and counted in {!dropped}; the retained
+    window always holds the most recent [capacity] samples. *)
+
+type t
+
+val create : ?capacity:int -> columns:string list -> unit -> t
+(** [capacity] defaults to 4096 samples. Raises [Invalid_argument] on a
+    non-positive capacity or an empty column list. *)
+
+val columns : t -> string list
+
+val sample : t -> t_s:float -> float array -> unit
+(** Appends one row. The array is copied; raises [Invalid_argument]
+    when its length does not match the column count. Timestamps are not
+    required to be monotone (the recorder is policy-free), but the
+    online service only feeds event-ordered simulated time. *)
+
+val length : t -> int
+(** Samples currently retained (≤ capacity). *)
+
+val total : t -> int
+(** Samples ever recorded. *)
+
+val dropped : t -> int
+(** [total - length]: samples overwritten by ring wrap-around. *)
+
+val iter : t -> (t_s:float -> float array -> unit) -> unit
+(** Retained samples, oldest first. The row array is the internal
+    storage — callers must not mutate or retain it. *)
+
+val to_csv : t -> string
+(** Header [t_s,<col>,...] then one row per retained sample, oldest
+    first. Floats print with ["%g"] — deterministic for identical
+    inputs. *)

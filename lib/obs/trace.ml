@@ -1,13 +1,18 @@
 module Clock = Hmn_prelude.Clock
 module Json = Hmn_prelude.Json
 
+type phase = Span | Counter
+
 type event = {
   name : string;
   cat : string;
-  ts_us : float;  (* since the session's time origin *)
-  dur_us : float;
+  ph : phase;
+  ts_us : float;  (* since the session's time origin (spans); caller's
+                     clock for counters *)
+  dur_us : float;  (* 0 for counters *)
   tid : int;  (* domain id *)
-  args : (string * string) list;
+  args : (string * string) list;  (* string args (spans) *)
+  series : (string * float) list;  (* numeric args (counters) *)
 }
 
 type buffer = {
@@ -41,20 +46,24 @@ let enable () =
 
 let disable () = Atomic.set switch false
 
-let record name cat args t0 t1 =
+let push e =
   let b = Domain.DLS.get dls_key in
+  b.events <- e :: b.events;
+  b.count <- b.count + 1
+
+let record name cat args t0 t1 =
   let o = Atomic.get origin in
-  b.events <-
+  push
     {
       name;
       cat;
+      ph = Span;
       ts_us = (t0 -. o) *. 1e6;
       dur_us = Float.max 0. (t1 -. t0) *. 1e6;
       tid = (Domain.self () :> int);
       args;
+      series = [];
     }
-    :: b.events;
-  b.count <- b.count + 1
 
 let with_span ?(cat = "hmn") ?(args = []) name f =
   if not (enabled ()) then f ()
@@ -64,6 +73,20 @@ let with_span ?(cat = "hmn") ?(args = []) name f =
       ~finally:(fun () -> record name cat args t0 (Clock.now_s ()))
       f
   end
+
+let counter ?(cat = "hmn") ~name ~ts_us series =
+  if enabled () then
+    push
+      {
+        name;
+        cat;
+        ph = Counter;
+        ts_us;
+        dur_us = 0.;
+        tid = (Domain.self () :> int);
+        args = [];
+        series;
+      }
 
 let all_buffers () =
   Mutex.lock registry_mutex;
@@ -80,28 +103,71 @@ let clear () =
       b.count <- 0)
     (all_buffers ())
 
+(* Tenant-derived names and args are arbitrary bytes. The JSON layer
+   escapes quotes and control characters but passes bytes >= 0x80
+   through raw, which would embed invalid UTF-8 in the trace file; map
+   everything outside printable ASCII to a literal \xNN so the output
+   is both valid JSON and valid UTF-8, lossily but readably. *)
+let sanitize s =
+  let printable c = c >= ' ' && c <= '~' in
+  if String.for_all printable s then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if printable c then Buffer.add_char buf c
+        else Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c)))
+      s;
+    Buffer.contents buf
+  end
+
 let event_to_json e =
+  let args =
+    match e.ph with
+    | Span ->
+        List.map (fun (k, v) -> (sanitize k, Json.str (sanitize v))) e.args
+    | Counter -> List.map (fun (k, v) -> (sanitize k, Json.float v)) e.series
+  in
   Json.Obj
-    [
-      ("name", Json.str e.name);
-      ("cat", Json.str e.cat);
-      ("ph", Json.str "X");
-      ("ts", Json.float e.ts_us);
-      ("dur", Json.float e.dur_us);
-      ("pid", Json.int 1);
-      ("tid", Json.int e.tid);
-      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.str v)) e.args));
-    ]
+    ([
+       ("name", Json.str (sanitize e.name));
+       ("cat", Json.str (sanitize e.cat));
+       ("ph", Json.str (match e.ph with Span -> "X" | Counter -> "C"));
+       ("ts", Json.float e.ts_us);
+     ]
+    @ (match e.ph with Span -> [ ("dur", Json.float e.dur_us) ] | Counter -> [])
+    @ [ ("pid", Json.int 1); ("tid", Json.int e.tid); ("args", Json.Obj args) ])
+
+(* Total order: start time, then longest span first (so an enclosing
+   span precedes its children; counters sort after co-timed spans),
+   then name/cat/tid/args — every component deterministic, so the
+   written file is byte-stable however the per-domain buffers happened
+   to interleave. *)
+let compare_events a b =
+  let c = Float.compare a.ts_us b.ts_us in
+  if c <> 0 then c
+  else
+    let c = Float.compare b.dur_us a.dur_us in
+    if c <> 0 then c
+    else
+      let c = compare a.ph b.ph in
+      if c <> 0 then c
+      else
+        let c = String.compare a.name b.name in
+        if c <> 0 then c
+        else
+          let c = String.compare a.cat b.cat in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.tid b.tid in
+            if c <> 0 then c
+            else
+              let c = compare a.args b.args in
+              if c <> 0 then c else compare a.series b.series
 
 let write ~path =
   let events = List.concat_map (fun b -> b.events) (all_buffers ()) in
-  let events =
-    List.sort
-      (fun a b ->
-        let c = Float.compare a.ts_us b.ts_us in
-        if c <> 0 then c else Float.compare b.dur_us a.dur_us)
-      events
-  in
+  let events = List.sort compare_events events in
   let doc =
     Json.Obj
       [

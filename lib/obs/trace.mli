@@ -5,9 +5,16 @@
     window ({!Hmn_prelude.Clock}, monotonic) and the id of the domain
     it ran on, buffered in a per-domain vector so worker domains never
     contend. {!write} merges the buffers into a single
-    [{"traceEvents": [...]}] document of complete ("ph":"X") events
-    that loads directly in [about:tracing] or {{:https://ui.perfetto.dev}Perfetto},
-    with one timeline row per domain.
+    [{"traceEvents": [...]}] document of complete ("ph":"X") span
+    events and ("ph":"C") counter events that loads directly in
+    [about:tracing] or {{:https://ui.perfetto.dev}Perfetto}, with one
+    timeline row per domain and one counter track per {!counter} name.
+
+    The merged event list is sorted under a total order (start time,
+    then duration descending, then phase/name/category/tid/args) and
+    every string is sanitized to printable ASCII (other bytes render as
+    [\xNN]), so the file is byte-stable across buffer interleavings and
+    valid JSON whatever tenant-derived names contain.
 
     {!write} and {!clear} must be called while no other domain is
     recording (e.g. after the pool has been shut down). *)
@@ -25,6 +32,14 @@ val with_span :
     it (also when [f] raises). [cat] is the Chrome trace category
     (default ["hmn"]); [args] become the event's [args] object shown in
     the viewer's detail pane. *)
+
+val counter : ?cat:string -> name:string -> ts_us:float -> (string * float) list -> unit
+(** [counter ~name ~ts_us series] buffers one Chrome counter event
+    (["ph":"C"]) whose [args] are the numeric series values — Perfetto
+    renders each distinct [name] as a stacked counter track. Unlike
+    spans, [ts_us] is taken verbatim from the caller (the flight
+    recorder passes {e simulated} microseconds). No-op while
+    disabled. *)
 
 val span_count : unit -> int
 (** Number of buffered events across all domains. *)

@@ -39,7 +39,7 @@ let replay occupancy (tn : Tenant.t) =
     tn.paths;
   Mapping.make ~placement ~link_map
 
-let round ?(on_move = fun () -> ()) ~occupancy ~threshold ~max_moves () =
+let round ?(on_move = fun (_ : int) -> ()) ~occupancy ~threshold ~max_moves () =
   let moves = ref 0 in
   let progress = ref true in
   while !progress && !moves < max_moves && Occupancy.lbf occupancy > threshold
@@ -71,7 +71,7 @@ let round ?(on_move = fun () -> ()) ~occupancy ~threshold ~max_moves () =
                 Occupancy.replace occupancy tn';
                 moves := !moves + n;
                 progress := true;
-                on_move ()
+                on_move id
               end)
       ids
   done;

@@ -22,7 +22,7 @@ val default : config
 (** 120 s interval, trigger 1.0, at most 4 moves per round. *)
 
 val round :
-  ?on_move:(unit -> unit) ->
+  ?on_move:(int -> unit) ->
   occupancy:Occupancy.t ->
   threshold:float ->
   max_moves:int ->
@@ -32,5 +32,6 @@ val round :
     replaying each and committing single rebalance moves, until the
     occupancy's LBF drops to [threshold] (an {e absolute} Eq. 10 value),
     [max_moves] is reached, or a full sweep makes no progress. Returns
-    the number of moves committed. [on_move] fires after each commit —
-    the service hangs per-move validation on it. *)
+    the number of moves committed. [on_move] fires after each commit
+    with the moved tenant's id — the service hangs per-move validation
+    and journaling on it. *)

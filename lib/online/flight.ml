@@ -1,0 +1,86 @@
+module Journal = Hmn_obs.Journal
+module Timeseries = Hmn_obs.Timeseries
+module Quantile = Hmn_obs.Quantile
+module Trace = Hmn_obs.Trace
+module Cluster = Hmn_testbed.Cluster
+
+type t = {
+  journal : Journal.t option;
+  timeline : Timeseries.t option;
+  q_admit_ns : Quantile.t option;
+  q_admit_work : Quantile.t option;
+  n_racks : int;
+}
+
+let base_columns = [ "tenants"; "guests"; "lbf"; "frag"; "mem_util"; "bw_util"; "bw_cv" ]
+
+let create ?(journal = true) ?(timeline = true) ?timeline_capacity
+    ?(quantiles = true) cluster =
+  let n_racks = Cluster.n_racks cluster in
+  let columns =
+    base_columns
+    @ List.init n_racks (fun r -> Printf.sprintf "rack%d_mem" r)
+  in
+  {
+    journal = (if journal then Some (Journal.create ()) else None);
+    timeline =
+      (if timeline then
+         Some (Timeseries.create ?capacity:timeline_capacity ~columns ())
+       else None);
+    q_admit_ns = (if quantiles then Some (Quantile.create ()) else None);
+    q_admit_work = (if quantiles then Some (Quantile.create ()) else None);
+    n_racks;
+  }
+
+let wants_journal t = t.journal <> None
+let journal t = t.journal
+let timeline t = t.timeline
+let admit_ns t = t.q_admit_ns
+let admit_work t = t.q_admit_work
+
+let record t ~t_s ~occupancy event =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Journal.add j ~t_s
+        ~tenants:(Occupancy.n_tenants occupancy)
+        ~lbf:(Occupancy.lbf occupancy) event
+
+let sample t ~t_s occ =
+  match t.timeline with
+  | None -> ()
+  | Some ts ->
+      let rack = Occupancy.rack_mem_utilization occ in
+      let row = Array.make (7 + t.n_racks) 0. in
+      row.(0) <- float_of_int (Occupancy.n_tenants occ);
+      row.(1) <- float_of_int (Occupancy.n_guests occ);
+      row.(2) <- Occupancy.lbf occ;
+      row.(3) <- Occupancy.fragmentation occ;
+      row.(4) <- Occupancy.mem_utilization occ;
+      row.(5) <- Occupancy.bw_utilization occ;
+      row.(6) <- Occupancy.bw_dispersion occ;
+      Array.iteri (fun r u -> if r < t.n_racks then row.(7 + r) <- u) rack;
+      Timeseries.sample ts ~t_s row
+
+let observe_admission t ~seconds ~work =
+  (match t.q_admit_ns with
+  | None -> ()
+  | Some q ->
+      Quantile.record q (int_of_float (Float.round (seconds *. 1e9))));
+  match t.q_admit_work with None -> () | Some q -> Quantile.record q work
+
+let timeline_csv t = Option.map Timeseries.to_csv t.timeline
+let events_jsonl t = Option.map Journal.to_jsonl t.journal
+
+let emit_trace_counters t =
+  match t.timeline with
+  | None -> ()
+  | Some ts ->
+      let columns = Array.of_list (Timeseries.columns ts) in
+      Timeseries.iter ts (fun ~t_s row ->
+          let ts_us = t_s *. 1e6 in
+          Array.iteri
+            (fun i col ->
+              Trace.counter ~cat:"online" ~name:("online/" ^ col) ~ts_us
+                [ ("v", row.(i)) ])
+            columns)

@@ -1,0 +1,62 @@
+(** The flight recorder: one handle bundling the per-session
+    observability channels — admission-decision journal
+    ({!Hmn_obs.Journal}), simulated-clock time series
+    ({!Hmn_obs.Timeseries}), and admission-latency quantile histograms
+    ({!Hmn_obs.Quantile}) — each individually optional.
+
+    The recorder is passive: it never influences admission, defrag, or
+    the summary, so a session runs byte-identically with or without it.
+    Everything it captures is deterministic except the wall-clock
+    latency quantiles ({!admit_ns}), which exist for real benchmarking;
+    the deterministic counterpart is the work-unit quantile
+    ({!admit_work}), fed with
+    [1 + tries * (n_guests + 2 * n_vlinks)] per attempt — an exact
+    admission-effort proxy that is pinnable in smoke tests. *)
+
+module Journal = Hmn_obs.Journal
+module Timeseries = Hmn_obs.Timeseries
+module Quantile = Hmn_obs.Quantile
+
+type t
+
+val create :
+  ?journal:bool ->
+  ?timeline:bool ->
+  ?timeline_capacity:int ->
+  ?quantiles:bool ->
+  Hmn_testbed.Cluster.t ->
+  t
+(** All channels default to on; [timeline_capacity] defaults to the
+    {!Hmn_obs.Timeseries} default. The cluster fixes the timeline's
+    rack columns ([rack<i>_mem] per dense rack id, none when the
+    cluster is unracked). *)
+
+val wants_journal : t -> bool
+val journal : t -> Journal.t option
+val timeline : t -> Timeseries.t option
+val admit_ns : t -> Quantile.t option
+(** Wall-clock admission latency, nanoseconds. Not deterministic. *)
+
+val admit_work : t -> Quantile.t option
+(** Deterministic admission work units. *)
+
+val record : t -> t_s:float -> occupancy:Occupancy.t -> Journal.event -> unit
+(** Appends a journal record stamped with the post-event tenant count
+    and LBF read from [occupancy]. No-op without a journal. *)
+
+val sample : t -> t_s:float -> Occupancy.t -> unit
+(** Appends one timeline row (tenants, guests, lbf, frag, mem_util,
+    bw_util, bw_cv, per-rack memory utilization). No-op without a
+    timeline. *)
+
+val observe_admission : t -> seconds:float -> work:int -> unit
+(** Feeds both quantile channels. No-op without quantiles. *)
+
+val timeline_csv : t -> string option
+val events_jsonl : t -> string option
+
+val emit_trace_counters : t -> unit
+(** Replays the retained timeline into {!Hmn_obs.Trace} counter events
+    (one track per column, named [online/<column>], timestamped with
+    simulated microseconds). Call after the run, while the tracer is
+    enabled and before [Trace.write]. *)

@@ -291,6 +291,44 @@ let bw_utilization t =
     if !counted = 0 then 0. else !acc /. float_of_int !counted
   end
 
+let bw_dispersion t =
+  let ne = Array.length t.bw_used in
+  if ne = 0 then 0.
+  else begin
+    let n = float_of_int ne in
+    let avail eid =
+      Float.max 0.
+        ((Cluster.link t.cluster eid).Link.bandwidth_mbps -. t.bw_used.(eid))
+    in
+    let mean = ref 0. in
+    for eid = 0 to ne - 1 do
+      mean := !mean +. avail eid
+    done;
+    let mean = !mean /. n in
+    if mean <= 0. then 0.
+    else begin
+      let var = ref 0. in
+      for eid = 0 to ne - 1 do
+        let d = avail eid -. mean in
+        var := !var +. (d *. d)
+      done;
+      sqrt (!var /. n) /. mean
+    end
+  end
+
+let rack_mem_utilization t =
+  let racks = Cluster.racks t.cluster in
+  Array.map
+    (fun hosts ->
+      let used = ref 0. and cap = ref 0. in
+      Array.iter
+        (fun h ->
+          used := !used +. t.mem_used.(h);
+          cap := !cap +. (Cluster.capacity t.cluster h).Resources.mem_mb)
+        hosts;
+      if !cap <= 0. then 0. else !used /. !cap)
+    racks
+
 let stated_bw_available t eid =
   Float.max 0.
     ((Cluster.link t.cluster eid).Link.bandwidth_mbps -. t.bw_used.(eid))

@@ -78,6 +78,16 @@ val mem_utilization : t -> float
 val bw_utilization : t -> float
 (** Mean used/capacity over physical links with positive capacity. *)
 
+val bw_dispersion : t -> float
+(** Coefficient of variation (population std over mean) of residual
+    bandwidth across physical links — 0 when every link is equally
+    loaded, growing as reservations concentrate; 0 on an edgeless
+    cluster or when no bandwidth remains anywhere. *)
+
+val rack_mem_utilization : t -> float array
+(** Per-rack resident-memory over capacity, indexed by dense rack id;
+    [[||]] when the cluster is not rack-labelled. *)
+
 val stated_bw_available : t -> int -> float
 (** The occupancy's own belief of an edge's remaining bandwidth, for
     cross-checking against the validator's reconstruction. *)

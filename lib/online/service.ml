@@ -2,7 +2,9 @@ module Engine = Hmn_simcore.Engine
 module Rng = Hmn_rng.Rng
 module Dist = Hmn_rng.Dist
 module Validator = Hmn_validate.Validator
+module Decision = Hmn_validate.Decision
 module Mapper = Hmn_core.Mapper
+module Journal = Hmn_obs.Journal
 
 type config = {
   seed : int;
@@ -15,6 +17,7 @@ type config = {
   profile : Hmn_vnet.Workload.profile;
   scale_frac : float;
   defrag : Defrag.config option;
+  defrag_on_reject : bool;
   validate : bool;
 }
 
@@ -30,6 +33,7 @@ let default_config =
     profile = Hmn_vnet.Workload.high_level;
     scale_frac = 0.25;
     defrag = Some Defrag.default;
+    defrag_on_reject = false;
     validate = false;
   }
 
@@ -78,13 +82,22 @@ let env_validate () = Sys.getenv_opt "HMN_VALIDATE" <> None
 
 exception Validation_failed of string
 
-let run ~cluster ~policy config =
+(* Retry seed for the defrag-assisted second attempt: deterministic,
+   distinct from the first attempt's stream. *)
+let retry_seed seed = seed lxor 0x5bd1e995
+
+let run ?flight ~cluster ~policy config =
   let occ = Occupancy.create cluster in
-  let session = Session.create ~policy:policy.Mapper.name ~seed:config.seed occ in
+  let session =
+    Session.create ?flight ~policy:policy.Mapper.name ~seed:config.seed occ
+  in
   let engine = Engine.create () in
   let requests = gen_requests config in
   let empty_lbf = Occupancy.lbf occ in
   let validating = config.validate || env_validate () in
+  let journaling =
+    match flight with Some f -> Flight.wants_journal f | None -> false
+  in
   let validate_or_die label =
     if validating then begin
       let r = Occupancy.validate occ in
@@ -95,6 +108,51 @@ let run ~cluster ~policy config =
                 Validator.pp_multi_report r))
     end
   in
+  let journal event =
+    match flight with
+    | Some f -> Flight.record f ~t_s:(Engine.now engine) ~occupancy:occ event
+    | None -> ()
+  in
+  (* Independent re-derivation of a rejection's cause: the validator's
+     Decision module works from the raw residual graph with its own
+     search code; any disagreement with the admission-side classifier
+     is a service bug and fails the run. *)
+  let recheck_cause ~residual ~venv ~stage ~req_id
+      (exp : Admission.explanation) ~candidates =
+    if validating then begin
+      let family = Decision.family_of_stage stage in
+      (match Decision.derive ~residual ~venv ~family ~detail:exp.detail with
+      | Some derived when derived <> exp.cause ->
+          raise
+            (Validation_failed
+               (Printf.sprintf
+                  "request %d: journaled rejection cause %s but the validator \
+                   derives %s"
+                  req_id
+                  (Journal.cause_label exp.cause)
+                  (Journal.cause_label derived)))
+      | _ -> ());
+      let derived_candidates = Decision.candidate_hosts ~residual ~venv in
+      if derived_candidates <> candidates then
+        raise
+          (Validation_failed
+             (Printf.sprintf
+                "request %d: journaled %d candidate hosts but the validator \
+                 counts %d"
+                req_id candidates derived_candidates))
+    end
+  in
+  let defrag_round () =
+    match config.defrag with
+    | None -> 0
+    | Some d ->
+        let threshold = d.trigger *. empty_lbf in
+        Defrag.round
+          ~on_move:(fun tenant ->
+            journal (Journal.Defrag_move { tenant });
+            validate_or_die "a defrag move")
+          ~occupancy:occ ~threshold ~max_moves:d.max_moves_per_round ()
+  in
   let on_arrival req e =
     let now = Engine.now e in
     Session.tick session ~now;
@@ -104,26 +162,114 @@ let run ~cluster ~policy config =
         ~profile:config.profile ~n:req.n_guests ~density:config.density
         ~rng:(Rng.create req.venv_seed) ()
     in
+    let admit_tenant ~mapping ~elapsed_s ~work ~candidates ~defrag_assisted =
+      let tenant =
+        Tenant.of_mapping ~id:req.req_id ~arrived_at:now
+          ~holding_s:req.holding_s mapping
+      in
+      Occupancy.admit occ tenant;
+      Session.observe_arrival session ~admitted:true ~admit_seconds:elapsed_s
+        ~work;
+      journal
+        (Journal.Decision
+           {
+             req_id = req.req_id;
+             n_guests = Hmn_vnet.Virtual_env.n_guests venv;
+             n_vlinks = Hmn_vnet.Virtual_env.n_vlinks venv;
+             candidate_hosts = candidates;
+             work;
+             decision = Journal.Admit { defrag_assisted };
+           });
+      Engine.schedule e ~delay:req.holding_s (fun e' ->
+          Session.tick session ~now:(Engine.now e');
+          ignore (Occupancy.release occ ~id:req.req_id);
+          Session.observe_departure session;
+          journal (Journal.Departure { tenant = req.req_id });
+          validate_or_die
+            (Printf.sprintf "the departure of tenant %d" req.req_id));
+      validate_or_die (Printf.sprintf "the arrival of tenant %d" req.req_id)
+    in
+    let reject ~residual ~stage ~reason ~detail ~elapsed_s ~work ~candidates =
+      Session.observe_arrival session ~admitted:false ~admit_seconds:elapsed_s
+        ~work;
+      if journaling || validating then begin
+        let exp = Admission.explain ~residual ~venv ~stage ~reason ~detail in
+        recheck_cause ~residual ~venv ~stage ~req_id:req.req_id exp
+          ~candidates;
+        journal
+          (Journal.Decision
+             {
+               req_id = req.req_id;
+               n_guests = Hmn_vnet.Virtual_env.n_guests venv;
+               n_vlinks = Hmn_vnet.Virtual_env.n_vlinks venv;
+               candidate_hosts = candidates;
+               work;
+               decision =
+                 Journal.Reject
+                   {
+                     cause = exp.cause;
+                     binding = exp.binding;
+                     detail = exp.detail;
+                   };
+             })
+      end
+    in
+    let residual = Occupancy.residual_cluster occ in
+    let candidates =
+      if journaling || validating then
+        Admission.candidate_hosts ~residual ~venv
+      else 0
+    in
     match
-      Admission.try_admit ~occupancy:occ ~policy ~venv
-        ~rng:(Rng.create req.mapper_seed)
+      Admission.try_admit ~residual ~occupancy:occ ~policy ~venv
+        ~rng:(Rng.create req.mapper_seed) ()
     with
-    | Admitted (m, elapsed) ->
-        let tenant =
-          Tenant.of_mapping ~id:req.req_id ~arrived_at:now
-            ~holding_s:req.holding_s m
+    | Admitted { mapping; elapsed_s; tries } ->
+        admit_tenant ~mapping ~elapsed_s
+          ~work:(Admission.work ~venv ~tries)
+          ~candidates ~defrag_assisted:false
+    | Rejected r0 ->
+        let w0 = Admission.work ~venv ~tries:r0.tries in
+        (* defrag-assisted admission: compact the cluster once, then
+           re-try the same request against the new residual *)
+        let moves =
+          if
+            config.defrag_on_reject
+            && config.defrag <> None
+            && r0.stage <> "screen"
+          then defrag_round ()
+          else 0
         in
-        Occupancy.admit occ tenant;
-        Session.observe_arrival session ~admitted:true ~admit_seconds:elapsed;
-        Engine.schedule e ~delay:req.holding_s (fun e' ->
-            Session.tick session ~now:(Engine.now e');
-            ignore (Occupancy.release occ ~id:req.req_id);
-            Session.observe_departure session;
-            validate_or_die
-              (Printf.sprintf "the departure of tenant %d" req.req_id));
-        validate_or_die (Printf.sprintf "the arrival of tenant %d" req.req_id)
-    | Rejected { elapsed_s; _ } ->
-        Session.observe_arrival session ~admitted:false ~admit_seconds:elapsed_s
+        if moves > 0 then Session.observe_defrag session ~moves;
+        let retried = moves > 0 in
+        if not retried then
+          reject ~residual ~stage:r0.stage ~reason:r0.reason ~detail:r0.detail
+            ~elapsed_s:r0.elapsed_s ~work:w0 ~candidates
+        else begin
+          let residual2 = Occupancy.residual_cluster occ in
+          let candidates2 =
+            if journaling || validating then
+              Admission.candidate_hosts ~residual:residual2 ~venv
+            else 0
+          in
+          match
+            Admission.try_admit ~residual:residual2 ~occupancy:occ ~policy
+              ~venv
+              ~rng:(Rng.create (retry_seed req.mapper_seed))
+              ()
+          with
+          | Admitted { mapping; elapsed_s; tries } ->
+              admit_tenant ~mapping
+                ~elapsed_s:(r0.elapsed_s +. elapsed_s)
+                ~work:(w0 + Admission.work ~venv ~tries)
+                ~candidates:candidates2 ~defrag_assisted:true
+          | Rejected r1 ->
+              reject ~residual:residual2 ~stage:r1.stage ~reason:r1.reason
+                ~detail:r1.detail
+                ~elapsed_s:(r0.elapsed_s +. r1.elapsed_s)
+                ~work:(w0 + Admission.work ~venv ~tries:r1.tries)
+                ~candidates:candidates2
+        end
   in
   List.iter (fun req -> Engine.schedule_at engine ~time:req.at (on_arrival req))
     requests;
@@ -137,11 +283,7 @@ let run ~cluster ~policy config =
         let now = Engine.now e in
         Session.tick session ~now;
         if Occupancy.lbf occ > threshold then begin
-          let moves =
-            Defrag.round
-              ~on_move:(fun () -> validate_or_die "a defrag move")
-              ~occupancy:occ ~threshold ~max_moves:d.max_moves_per_round ()
-          in
+          let moves = defrag_round () in
           Session.observe_defrag session ~moves
         end;
         (* stop rescheduling past the arrival horizon: after it only

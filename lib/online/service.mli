@@ -25,6 +25,13 @@ type config = {
       (** per-tenant {!Hmn_vnet.Venv_gen.generate} calibration fraction,
           applied against the full cluster *)
   defrag : Defrag.config option;  (** [None] disables defragmentation *)
+  defrag_on_reject : bool;
+      (** defrag-assisted admission: when a request is rejected past the
+          screen, run one defragmentation round (same trigger/threshold
+          as the periodic cadence) and, if it moved anything, re-try the
+          request once against the compacted residual; a success is
+          journaled as [admit-defrag]. Off by default — it changes the
+          session trajectory. *)
   validate : bool;
       (** validate the full multi-tenant state after every arrival,
           departure, and defrag move; also forced on by the
@@ -34,7 +41,8 @@ type config = {
 val default_config : config
 (** Seed 42; one arrival per 30 s for one simulated hour, mean holding
     10 min; 4–12 guests at density 0.3, high-level profile scaled to
-    25% of the cluster; default defragmentation; validation off. *)
+    25% of the cluster; default defragmentation; defrag-on-reject and
+    validation off. *)
 
 exception Validation_failed of string
 (** Raised (when validating) with the pretty-printed
@@ -42,6 +50,7 @@ exception Validation_failed of string
     cluster fails to drain back to empty after the last departure. *)
 
 val run :
+  ?flight:Flight.t ->
   cluster:Hmn_testbed.Cluster.t ->
   policy:Hmn_core.Mapper.t ->
   config ->
@@ -50,4 +59,14 @@ val run :
     rejects each against the residual cluster, releases on departure,
     defragments on the configured cadence while arrivals last, then
     drains the queue (all departures fire) and closes the session at
-    [max duration_s last-event-time]. *)
+    [max duration_s last-event-time].
+
+    [flight] attaches a flight recorder: every admission decision,
+    departure, and defrag move is journaled (with the rejection cause
+    classified by {!Admission.explain}), the timeline samples at every
+    event tick, and admission latency feeds the quantile channels. The
+    recorder never changes the session — summaries are byte-identical
+    with and without it. When validating, every journaled rejection
+    cause and candidate count is re-derived independently by
+    [Hmn_validate.Decision]; a disagreement raises
+    {!Validation_failed}. *)

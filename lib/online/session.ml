@@ -24,6 +24,7 @@ type summary = {
 
 type t = {
   occ : Occupancy.t;
+  flight : Flight.t option;
   policy : string;
   seed : int;
   mutable arrivals : int;
@@ -52,9 +53,11 @@ type t = {
   h_admit_ms : Metrics.histogram;
 }
 
-let create ~policy ~seed occ =
+let create ?flight ~policy ~seed occ =
+  let t =
   {
     occ;
+    flight;
     policy;
     seed;
     arrivals = 0;
@@ -80,10 +83,18 @@ let create ~policy ~seed occ =
     g_tenants = Metrics.gauge "online.tenants";
     g_guests = Metrics.gauge "online.guests";
     h_admit_ms =
+      (* log-scaled edges (3 per decade, 1 us to 10 s) so sub-ms
+         admissions land in distinguishable buckets *)
       Metrics.histogram
-        ~bounds:[| 0.1; 1.; 10.; 100.; 1000.; 10000. |]
+        ~bounds:(Metrics.log_bounds ~lo:1e-3 ~hi:1e4 ~per_decade:3)
         "online.admit_ms";
   }
+  in
+  (* the timeline's first row is the empty cluster at t = 0 *)
+  (match flight with
+  | Some f -> Flight.sample f ~t_s:0. occ
+  | None -> ());
+  t
 
 (* Integrate the current occupancy readings over [last_t, now]. Must be
    called BEFORE the event at [now] mutates the occupancy: the state was
@@ -95,6 +106,11 @@ let tick t ~now =
       (Printf.sprintf "Session.tick: time went backwards (%g -> %g)" t.last_t
          now);
   if dt > 0. then begin
+    (* pre-mutation state, stamped at the event instant — exactly the
+       value the integrals below hold constant over [last_t, now) *)
+    (match t.flight with
+    | Some f -> Flight.sample f ~t_s:now t.occ
+    | None -> ());
     t.acc_tenants <- t.acc_tenants +. (dt *. float_of_int (Occupancy.n_tenants t.occ));
     t.acc_guests <- t.acc_guests +. (dt *. float_of_int (Occupancy.n_guests t.occ));
     t.acc_lbf <- t.acc_lbf +. (dt *. Occupancy.lbf t.occ);
@@ -111,12 +127,15 @@ let note_population t =
   Metrics.Gauge.observe t.g_tenants nt;
   Metrics.Gauge.observe t.g_guests ng
 
-let observe_arrival t ~admitted ~admit_seconds =
+let observe_arrival t ~admitted ~admit_seconds ~work =
   t.arrivals <- t.arrivals + 1;
   Metrics.Counter.incr t.c_arrivals;
   (* wall-clock admission latency feeds observability only; the
      deterministic summary never sees it *)
   Metrics.Histogram.observe t.h_admit_ms (admit_seconds *. 1000.);
+  (match t.flight with
+  | Some f -> Flight.observe_admission f ~seconds:admit_seconds ~work
+  | None -> ());
   if admitted then begin
     t.admitted <- t.admitted + 1;
     Metrics.Counter.incr t.c_admitted

@@ -4,8 +4,15 @@
     Determinism discipline: everything in {!summary} is derived from
     simulated time and simulated state only. Wall-clock quantities (the
     mapper's admission latency) go exclusively into the metrics
-    histogram [online.admit_ms], so a fixed seed yields a byte-identical
-    rendered summary on any machine. *)
+    histogram [online.admit_ms] and the flight recorder's wall-clock
+    quantile channel, so a fixed seed yields a byte-identical rendered
+    summary on any machine.
+
+    When a {!Flight} recorder is attached, the session feeds it but
+    never reads it back: the timeline samples the pre-mutation state at
+    every tick (plus the empty cluster at t = 0), and each arrival's
+    latency goes to the quantile channels — wall-clock nanoseconds and
+    the deterministic work units. *)
 
 type summary = {
   policy : string;
@@ -31,7 +38,7 @@ type summary = {
 
 type t
 
-val create : policy:string -> seed:int -> Occupancy.t -> t
+val create : ?flight:Flight.t -> policy:string -> seed:int -> Occupancy.t -> t
 
 val tick : t -> now:float -> unit
 (** Integrates the occupancy's {e current} readings over the interval
@@ -39,9 +46,12 @@ val tick : t -> now:float -> unit
     occupancy (the state was constant on that interval). Raises
     [Invalid_argument] if simulated time goes backwards. *)
 
-val observe_arrival : t -> admitted:bool -> admit_seconds:float -> unit
-(** Counts the arrival and its outcome; [admit_seconds] (wall-clock) is
-    recorded only in the [online.admit_ms] histogram. *)
+val observe_arrival :
+  t -> admitted:bool -> admit_seconds:float -> work:int -> unit
+(** Counts the arrival and its outcome. [admit_seconds] (wall-clock) is
+    recorded only in the [online.admit_ms] histogram and the flight
+    recorder's wall-clock quantile; [work]
+    ({!Admission.work}, deterministic) feeds the pinnable quantile. *)
 
 val observe_departure : t -> unit
 val observe_defrag : t -> moves:int -> unit

@@ -1,0 +1,225 @@
+(* Deliberately low-tech and self-contained: raw loops over node ids
+   and the edge list, no reuse of Problem/Resources helpers beyond
+   field access, so agreement with the admission-side classifier is
+   evidence about the semantics, not about shared code. *)
+
+module Cluster = Hmn_testbed.Cluster
+module Node = Hmn_testbed.Node
+module Link = Hmn_testbed.Link
+module Resources = Hmn_testbed.Resources
+module Graph = Hmn_graph.Graph
+module Venv = Hmn_vnet.Virtual_env
+module Journal = Hmn_obs.Journal
+
+type family = Screen | Hosting | Networking
+
+let family_of_stage = function
+  | "screen" -> Screen
+  | "networking" | "dfs-routing" -> Networking
+  | _ -> Hosting
+
+(* ---- raw views of the residual cluster ---- *)
+
+let host_list residual =
+  let n = Cluster.n_nodes residual in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if Node.can_host (Cluster.node residual i) then acc := i :: !acc
+  done;
+  !acc
+
+let residual_of residual h = (Cluster.node residual h).Node.capacity
+
+(* Adjacency rebuilt from the edge list (not Graph.iter_adj). *)
+let adjacency residual =
+  let g = Cluster.graph residual in
+  let n = Graph.n_nodes g in
+  let adj = Array.make n [] in
+  Graph.iter_edges g (fun ~eid ~u ~v (_ : Link.t) ->
+      adj.(u) <- (v, eid) :: adj.(u);
+      adj.(v) <- (u, eid) :: adj.(v));
+  adj
+
+(* ---- per-guest fit counting ---- *)
+
+let fits_count residual (d : Resources.t) =
+  List.fold_left
+    (fun acc h ->
+      let r = residual_of residual h in
+      if d.Resources.mem_mb <= r.Resources.mem_mb
+         && d.Resources.stor_gb <= r.Resources.stor_gb
+      then acc + 1
+      else acc)
+    0 (host_list residual)
+
+let probe_guest venv =
+  let best = ref 0 in
+  for g = 1 to Venv.n_guests venv - 1 do
+    let d = Venv.demand venv g and b = Venv.demand venv !best in
+    if
+      d.Resources.mem_mb > b.Resources.mem_mb
+      || (d.Resources.mem_mb = b.Resources.mem_mb
+         && d.Resources.stor_gb > b.Resources.stor_gb)
+    then best := g
+  done;
+  !best
+
+let candidate_hosts ~residual ~venv =
+  fits_count residual (Venv.demand venv (probe_guest venv))
+
+let hardest_guest ~residual ~venv =
+  let best = ref 0 in
+  let best_fit = ref max_int in
+  let best_mem = ref neg_infinity in
+  for g = 0 to Venv.n_guests venv - 1 do
+    let d = Venv.demand venv g in
+    let fit = fits_count residual d in
+    if fit < !best_fit || (fit = !best_fit && d.Resources.mem_mb > !best_mem)
+    then begin
+      best := g;
+      best_fit := fit;
+      best_mem := d.Resources.mem_mb
+    end
+  done;
+  !best
+
+(* ---- family derivations ---- *)
+
+let derive_screen ~residual ~venv =
+  let total_dem = ref Resources.zero in
+  for g = 0 to Venv.n_guests venv - 1 do
+    total_dem := Resources.add !total_dem (Venv.demand venv g)
+  done;
+  let total_cap =
+    List.fold_left
+      (fun acc h -> Resources.add acc (Cluster.capacity residual h))
+      Resources.zero (host_list residual)
+  in
+  let dem = !total_dem in
+  if dem.Resources.mem_mb > total_cap.Resources.mem_mb then
+    Some (Journal.Screened Journal.Agg_mem)
+  else if dem.Resources.stor_gb > total_cap.Resources.stor_gb then
+    Some (Journal.Screened Journal.Agg_stor)
+  else if Venv.n_vlinks venv > 0 then begin
+    (* own connectivity check: BFS over every edge from node 0 *)
+    let g = Cluster.graph residual in
+    let n = Graph.n_nodes g in
+    if n = 0 then None
+    else begin
+      let adj = adjacency residual in
+      let seen = Array.make n false in
+      let queue = Queue.create () in
+      Queue.add 0 queue;
+      seen.(0) <- true;
+      let reached = ref 1 in
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun (v, _) ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              incr reached;
+              Queue.add v queue
+            end)
+          adj.(u)
+      done;
+      if !reached < n then Some (Journal.Screened Journal.Disconnected)
+      else None
+    end
+  end
+  else None
+
+let derive_hosting ~residual ~venv ~guest =
+  let d = Venv.demand venv guest in
+  let hosts = host_list residual in
+  let mem_fits =
+    List.fold_left
+      (fun acc h ->
+        if d.Resources.mem_mb <= (residual_of residual h).Resources.mem_mb then
+          acc + 1
+        else acc)
+      0 hosts
+  in
+  let stor_fits =
+    List.fold_left
+      (fun acc h ->
+        if d.Resources.stor_gb <= (residual_of residual h).Resources.stor_gb
+        then acc + 1
+        else acc)
+      0 hosts
+  in
+  let both = fits_count residual d in
+  if both = 0 then
+    if mem_fits = 0 then Journal.Hosting Journal.Mem
+    else if stor_fits = 0 then Journal.Hosting Journal.Stor
+    else if mem_fits <= stor_fits then Journal.Hosting Journal.Mem
+    else Journal.Hosting Journal.Stor
+  else begin
+    let total_res =
+      List.fold_left
+        (fun acc h -> Resources.add acc (residual_of residual h))
+        Resources.zero hosts
+    in
+    let total_dem = ref Resources.zero in
+    for g = 0 to Venv.n_guests venv - 1 do
+      total_dem := Resources.add !total_dem (Venv.demand venv g)
+    done;
+    let dem = !total_dem in
+    let ratio d c = if c <= 0. then Float.infinity else d /. c in
+    let rm = ratio dem.Resources.mem_mb total_res.Resources.mem_mb in
+    let rs = ratio dem.Resources.stor_gb total_res.Resources.stor_gb in
+    if rm >= rs then Journal.Hosting Journal.Mem else Journal.Hosting Journal.Stor
+  end
+
+let derive_networking ~residual ~src ~dst ~bandwidth_mbps ~latency_ms =
+  let g = Cluster.graph residual in
+  let n = Graph.n_nodes g in
+  let adj = adjacency residual in
+  (* own O(V^2) Dijkstra over bandwidth-feasible edges *)
+  let dist = Array.make n Float.infinity in
+  let done_ = Array.make n false in
+  dist.(src) <- 0.;
+  let continue = ref true in
+  while !continue do
+    let u = ref (-1) in
+    let best = ref Float.infinity in
+    for v = 0 to n - 1 do
+      if (not done_.(v)) && dist.(v) < !best then begin
+        u := v;
+        best := dist.(v)
+      end
+    done;
+    if !u < 0 then continue := false
+    else begin
+      done_.(!u) <- true;
+      List.iter
+        (fun (v, eid) ->
+          let link = Cluster.link residual eid in
+          if link.Link.bandwidth_mbps >= bandwidth_mbps then begin
+            let d = dist.(!u) +. link.Link.latency_ms in
+            if d < dist.(v) then dist.(v) <- d
+          end)
+        adj.(!u)
+    end
+  done;
+  if dist.(dst) = Float.infinity then Journal.Networking Journal.Bandwidth
+  else if dist.(dst) > latency_ms then Journal.Networking Journal.Latency
+  else Journal.Networking Journal.Bandwidth
+
+let derive ~residual ~venv ~family ~detail =
+  match (family, (detail : Journal.detail)) with
+  | Screen, _ -> derive_screen ~residual ~venv
+  | Hosting, Journal.Guest guest ->
+      Some (derive_hosting ~residual ~venv ~guest)
+  | Hosting, Journal.No_detail ->
+      Some (derive_hosting ~residual ~venv ~guest:(hardest_guest ~residual ~venv))
+  | Hosting, Journal.Vlink _ -> None
+  | ( Networking,
+      Journal.Vlink { src_host; dst_host; bandwidth_mbps; latency_ms; _ } ) ->
+      Some
+        (derive_networking ~residual ~src:src_host ~dst:dst_host
+           ~bandwidth_mbps ~latency_ms)
+  | Networking, Journal.No_detail ->
+      (* convention mirrored from the admission classifier *)
+      Some (Journal.Networking Journal.Bandwidth)
+  | Networking, Journal.Guest _ -> None

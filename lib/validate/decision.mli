@@ -1,0 +1,48 @@
+(** Independent re-derivation of online rejection causes.
+
+    The online service classifies every rejection into the closed
+    {!Hmn_obs.Journal.cause} taxonomy ([Hmn_online.Admission.explain]).
+    This module re-derives the same verdict from raw data — the residual
+    cluster the request saw and the request's virtual environment — with
+    its own traversals (adjacency rebuilt from the edge list, its own
+    Dijkstra and feasibility counting), sharing no code with the
+    admission-side classifier. The service compares the two during
+    validation; a disagreement fails the run.
+
+    Shared semantics (both sides implement this contract):
+    - judgments are against the {e fresh} residual cluster, before any
+      reservation made by the rejected request itself;
+    - hosting: if the identified guest fits no host, the resource
+      locking it out of more hosts is binding (mem on ties); if it
+      still fits somewhere, the aggregate-scarcer resource is binding
+      (mem on ties). CPU never gates placement in this model.
+    - networking: bandwidth-infeasible if no path carries the vlink's
+      bandwidth; otherwise the latency bound decides; an
+      intra-request bandwidth conflict (feasible in the fresh residual)
+      is bandwidth.
+    - a networking failure with no vlink detail is bandwidth by
+      convention; a hosting failure with no guest detail is judged on
+      the hardest-to-place guest (fewest fitting hosts, larger memory
+      then lower index on ties). *)
+
+type family = Screen | Hosting | Networking
+(** Which stage family rejected — read off the journaled stage name. *)
+
+val family_of_stage : string -> family
+(** ["screen"] → [Screen]; ["networking"] and ["dfs-routing"] →
+    [Networking]; anything else → [Hosting]. *)
+
+val candidate_hosts :
+  residual:Hmn_testbed.Cluster.t -> venv:Hmn_vnet.Virtual_env.t -> int
+(** Hosts fitting (memory and storage) the request's most
+    memory-demanding guest — must equal the journaled [candidates]. *)
+
+val derive :
+  residual:Hmn_testbed.Cluster.t ->
+  venv:Hmn_vnet.Virtual_env.t ->
+  family:family ->
+  detail:Hmn_obs.Journal.detail ->
+  Hmn_obs.Journal.cause option
+(** The cause this module derives for the journaled record, or [None]
+    when the record is malformed for its family (e.g. a [Screen] family
+    whose screen re-check finds nothing wrong). *)

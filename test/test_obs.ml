@@ -223,6 +223,274 @@ let test_metrics_jobs_determinism () =
     (String.length seq > 0 && String.contains seq '\n');
   Alcotest.(check string) "aggregates identical across jobs" seq par
 
+(* ---- quantile histograms ---- *)
+
+module Quantile = Hmn_obs.Quantile
+
+let test_quantile_exact_below_precision () =
+  (* values below 2^p land in unit-width buckets: every quantile of a
+     small-value multiset is exact *)
+  let q = Quantile.create () in
+  List.iter (Quantile.record q) [ 5; 1; 9; 5; 3 ];
+  Alcotest.(check int) "count" 5 (Quantile.count q);
+  Alcotest.(check int) "p0 = min" 1 (Quantile.quantile q 0.);
+  Alcotest.(check int) "median" 5 (Quantile.quantile q 0.5);
+  Alcotest.(check int) "max" 9 (Quantile.max_value q);
+  Alcotest.(check int) "negative clamps to 0" 0
+    (let q' = Quantile.create () in
+     Quantile.record q' (-3);
+     Quantile.quantile q' 1.)
+
+let test_quantile_relative_error () =
+  (* a single large value: the reported quantile over-estimates by at
+     most the bucket's relative width 2^-(p-1) *)
+  let p = 7 in
+  let q = Quantile.create ~precision:p () in
+  let bound = 1. /. float_of_int (1 lsl (p - 1)) in
+  List.iter
+    (fun v ->
+      let q' = Quantile.copy q in
+      Quantile.record q' v;
+      let est = Quantile.quantile q' 0.5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "estimate %d covers %d" est v)
+        true (est >= v);
+      Alcotest.(check bool)
+        (Printf.sprintf "estimate %d within %g of %d" est bound v)
+        true
+        (float_of_int (est - v) <= bound *. float_of_int v))
+    [ 1; 127; 128; 129; 1000; 123_456; 987_654_321; max_int / 2 ]
+
+let prop_quantile_monotone_in_q =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
+    QCheck.(pair small_nat (list small_nat))
+    (fun (seed, values) ->
+      let q = Quantile.create () in
+      (* mix small and large magnitudes deterministically off the seed *)
+      List.iteri
+        (fun i v ->
+          Quantile.record q (v * ((i + seed) mod 5 |> fun k -> 1 lsl (4 * k))))
+        values;
+      let qs = [ 0.; 0.1; 0.25; 0.5; 0.9; 0.99; 0.999; 1. ] in
+      let vals = List.map (Quantile.quantile q) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vals)
+
+let prop_quantile_merge_exact =
+  QCheck.Test.make
+    ~name:"partitioned recordings merge to byte-identical quantiles"
+    ~count:200
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (xs, ys) ->
+      let one = Quantile.create () in
+      List.iter (Quantile.record one) (xs @ ys);
+      let a = Quantile.create () and b = Quantile.create () in
+      List.iter (Quantile.record a) xs;
+      List.iter (Quantile.record b) ys;
+      (* merge in the "wrong" order too: must not matter *)
+      let merged = Quantile.create () in
+      Quantile.merge_into ~into:merged b;
+      Quantile.merge_into ~into:merged a;
+      List.for_all
+        (fun p -> Quantile.quantile merged p = Quantile.quantile one p)
+        [ 0.; 0.5; 0.9; 0.99; 1. ]
+      && Quantile.count merged = Quantile.count one)
+
+let test_quantile_merge_guards () =
+  let a = Quantile.create ~precision:7 () in
+  let b = Quantile.create ~precision:8 () in
+  Alcotest.check_raises "precision mismatch"
+    (Invalid_argument "Quantile.merge_into: precision mismatch (7 vs 8)")
+    (fun () -> Quantile.merge_into ~into:a b)
+
+(* ---- time series ---- *)
+
+module Timeseries = Hmn_obs.Timeseries
+
+let test_timeseries_ring () =
+  let ts = Timeseries.create ~capacity:4 ~columns:[ "a"; "b" ] () in
+  for i = 0 to 5 do
+    Timeseries.sample ts ~t_s:(float_of_int i) [| float_of_int i; 0.5 |]
+  done;
+  Alcotest.(check int) "retained" 4 (Timeseries.length ts);
+  Alcotest.(check int) "total" 6 (Timeseries.total ts);
+  Alcotest.(check int) "dropped" 2 (Timeseries.dropped ts);
+  let stamps = ref [] in
+  Timeseries.iter ts (fun ~t_s _ -> stamps := t_s :: !stamps);
+  Alcotest.(check (list (float 0.))) "oldest first, window = last 4"
+    [ 2.; 3.; 4.; 5. ] (List.rev !stamps);
+  let csv = Timeseries.to_csv ts in
+  Alcotest.(check bool) "header" true
+    (String.length csv > 8 && String.sub csv 0 8 = "t_s,a,b\n");
+  (* rows are copied on sample: mutating the caller's array later must
+     not corrupt the series *)
+  let row = [| 7.; 7. |] in
+  Timeseries.sample ts ~t_s:6. row;
+  row.(0) <- 999.;
+  let last = ref [||] in
+  Timeseries.iter ts (fun ~t_s:_ r -> last := Array.copy r);
+  Alcotest.(check (float 0.)) "copied row" 7. !last.(0)
+
+(* ---- exposition ---- *)
+
+module Expose = Hmn_obs.Expose
+
+let test_expose_render () =
+  Metrics.enable ();
+  Metrics.reset ();
+  Metrics.Counter.add (Metrics.counter "t.expose/ops") 3;
+  Metrics.Gauge.observe (Metrics.gauge "t.expose.depth") 12;
+  let h = Metrics.histogram ~bounds:[| 1.; 10. |] "t.expose.lat" in
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 2.; 20. ];
+  let text = Expose.render ~namespace:"tt" (Metrics.snapshot ()) in
+  Metrics.disable ();
+  let has needle =
+    let n = String.length needle in
+    let rec find i =
+      i + n <= String.length text
+      && (String.sub text i n = needle || find (i + 1))
+    in
+    find 0
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "renders %S" line) true (has line))
+    [
+      "# TYPE tt_t_expose_ops_total counter";
+      "tt_t_expose_ops_total 3";
+      "tt_t_expose_depth_max 12";
+      "tt_t_expose_lat_bucket{le=\"1\"} 1";
+      "tt_t_expose_lat_bucket{le=\"10\"} 2";
+      "tt_t_expose_lat_bucket{le=\"+Inf\"} 3";
+      "tt_t_expose_lat_count 3";
+      "tt_t_expose_lat_sum 22.5";
+    ]
+
+let test_expose_metric_name () =
+  Alcotest.(check string) "sanitized + namespaced" "hmn_a_b_c"
+    (Expose.metric_name "a.b/c");
+  Alcotest.(check string) "no namespace" "a_b" (Expose.metric_name ~namespace:"" "a.b");
+  (* a leading digit is illegal bare; the guard prefixes an underscore *)
+  Alcotest.(check string) "leading digit guarded" "_9lives"
+    (Expose.metric_name ~namespace:"" "9lives")
+
+let test_log_bounds () =
+  let b = Metrics.log_bounds ~lo:1e-3 ~hi:1e4 ~per_decade:3 in
+  Alcotest.(check int) "22 edges" 22 (Array.length b);
+  Alcotest.(check (float 1e-12)) "first edge" 1e-3 b.(0);
+  Alcotest.(check (float 1e-9)) "last edge" 1e4 b.(Array.length b - 1);
+  Array.iteri
+    (fun i v -> if i > 0 then
+        Alcotest.(check bool) "strictly increasing" true (v > b.(i - 1)))
+    b;
+  (* bit-identical across call sites: computed from integer exponents *)
+  Alcotest.(check bool) "deterministic" true
+    (Metrics.log_bounds ~lo:1e-3 ~hi:1e4 ~per_decade:3 = b)
+
+let test_histogram_sum_milli () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let h = Metrics.histogram ~bounds:[| 1. |] "t.summilli" in
+  List.iter (Metrics.Histogram.observe h) [ 0.0015; 2.5; 0.25 ];
+  let snap = Metrics.snapshot () in
+  let hs = List.assoc "t.summilli" snap.Metrics.histograms in
+  Metrics.disable ();
+  (* 2 + 2500 + 250: each observation contributes round (v * 1000) *)
+  Alcotest.(check int) "integer milliunit sum" 2752 hs.Metrics.sum_milli
+
+(* ---- trace counters, ordering and escaping ---- *)
+
+let test_trace_counters_and_escaping () =
+  Trace.enable ();
+  Trace.clear ();
+  (* counters buffered out of order and with a hostile name: the writer
+     must sort deterministically and keep the JSON parseable *)
+  Trace.counter ~name:"online/lbf" ~ts_us:20. [ ("v", 2.) ];
+  Trace.counter ~name:"online/lbf" ~ts_us:10. [ ("v", 1.) ];
+  Trace.counter ~name:"bad\xffname\n" ~ts_us:10. [ ("v", 0.) ];
+  ignore (Trace.with_span ~args:[ ("k", "va\x01l") ] "span" (fun () -> ()));
+  Alcotest.(check int) "four events" 4 (Trace.span_count ());
+  let path = Filename.temp_file "hmn_trace_c" ".json" in
+  Trace.write ~path;
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Trace.disable ();
+  Trace.clear ();
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "printable ASCII only" true
+        (Char.code c >= 0x20 && Char.code c < 0x7F || c = '\n'))
+    text;
+  match Hmn_prelude.Json.of_string text with
+  | Error e -> Alcotest.failf "counter trace does not parse: %s" e
+  | Ok doc ->
+    let open Hmn_prelude.Json in
+    let events =
+      match
+        let* evs = member "traceEvents" doc in
+        to_list evs
+      with
+      | Ok evs -> evs
+      | Error e -> Alcotest.failf "traceEvents: %s" e
+    in
+    let phases =
+      List.map
+        (fun ev ->
+          match
+            let* v = member "ph" ev in
+            to_str v
+          with
+          | Ok s -> s
+          | Error e -> Alcotest.failf "ph: %s" e)
+        events
+    in
+    (* total order: both ts=10 counters before the ts=20 one; names
+       break the tie at ts=10 *)
+    Alcotest.(check (list string)) "counter phases sorted with span" [ "C"; "C"; "C"; "X" ]
+      (List.sort compare phases);
+    let stamps =
+      List.filter_map
+        (fun ev ->
+          match
+            let* p = member "ph" ev in
+            let* p = to_str p in
+            if p <> "C" then Ok None
+            else
+              let* ts = member "ts" ev in
+              let* ts = to_float ts in
+              Ok (Some ts)
+          with
+          | Ok x -> x
+          | Error e -> Alcotest.failf "ts: %s" e)
+        events
+    in
+    Alcotest.(check (list (float 0.))) "counters time-ordered" [ 10.; 10.; 20. ]
+      stamps
+
+let test_trace_write_deterministic () =
+  (* same buffered content, two writes: byte-identical files *)
+  let fill () =
+    Trace.enable ();
+    Trace.clear ();
+    Trace.counter ~name:"c" ~ts_us:5. [ ("v", 1.); ("w", 2.) ];
+    Trace.counter ~name:"b" ~ts_us:5. [ ("v", 3.) ];
+    let path = Filename.temp_file "hmn_trace_d" ".json" in
+    Trace.write ~path;
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    Trace.disable ();
+    Trace.clear ();
+    text
+  in
+  Alcotest.(check string) "byte-identical rewrites" (fill ()) (fill ())
+
 let () =
   Alcotest.run "hmn_obs"
     [
@@ -241,6 +509,33 @@ let () =
           Alcotest.test_case "spans and JSON" `Quick test_trace_spans_and_json;
           Alcotest.test_case "disabled records nothing" `Quick
             test_trace_disabled_records_nothing;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "exact below precision" `Quick
+            test_quantile_exact_below_precision;
+          Alcotest.test_case "relative error bound" `Quick
+            test_quantile_relative_error;
+          QCheck_alcotest.to_alcotest prop_quantile_monotone_in_q;
+          QCheck_alcotest.to_alcotest prop_quantile_merge_exact;
+          Alcotest.test_case "merge guards" `Quick test_quantile_merge_guards;
+        ] );
+      ( "timeseries",
+        [ Alcotest.test_case "ring buffer" `Quick test_timeseries_ring ] );
+      ( "expose",
+        [
+          Alcotest.test_case "prometheus render" `Quick test_expose_render;
+          Alcotest.test_case "metric names" `Quick test_expose_metric_name;
+          Alcotest.test_case "log bounds" `Quick test_log_bounds;
+          Alcotest.test_case "histogram milli sum" `Quick
+            test_histogram_sum_milli;
+        ] );
+      ( "trace counters",
+        [
+          Alcotest.test_case "ordering and escaping" `Quick
+            test_trace_counters_and_escaping;
+          Alcotest.test_case "deterministic write" `Quick
+            test_trace_write_deterministic;
         ] );
       ( "determinism",
         [
