@@ -19,6 +19,11 @@
    the opt-in path cache + tree fast path, recording routes/s,
    labels/route and cache/fast-path hit rates.
 
+   Part 4 is the artifact export axis: per size, the part-1 mapping is
+   compiled to deployable artifacts in both grammars (shell and JSON),
+   decompiled, and cross-validated by the round-trip checker, recording
+   compile and check wall time and artifact byte sizes.
+
    HMN_BENCH_FAST=1 caps the axes at 400 hosts (the tier-1 smoke rule
    sets it); the full run includes the 4000-host / 100 000-guest
    instance. *)
@@ -39,8 +44,10 @@ module Hmn = Hmn_core.Hmn
 let fast = Sys.getenv_opt "HMN_BENCH_FAST" <> None
 
 (* v2: adds the routing micro-axis (routes/s, labels/route, cache hit
-   rate, arena/accelerator speedups vs the retained list engine). *)
-let schema_version = 2
+   rate, arena/accelerator speedups vs the retained list engine).
+   v3: adds the artifact export axis (compile/check wall time and
+   artifact bytes per grammar per size). *)
+let schema_version = 3
 
 let iso8601_now () =
   let tm = Unix.gmtime (Unix.time ()) in
@@ -67,7 +74,8 @@ let size_point ~hosts =
     | Ok mapping -> Json.float (Hmn_mapping.Mapping.objective mapping)
     | Error _ -> Json.Null
   in
-  Json.Obj
+  ( Result.to_option r.Scale.outcome.Mapper.result,
+    Json.Obj
     [
       ("shape", Json.str (Scale.shape_name r.Scale.shape));
       ("hosts", Json.int r.Scale.n_hosts);
@@ -84,7 +92,52 @@ let size_point ~hosts =
       ("networking_s", Json.float r.Scale.report.Hmn.networking_s);
       ("total_s", Json.float r.Scale.outcome.Mapper.elapsed_s);
       ("wall_s", Json.float wall_s);
-    ]
+    ] )
+
+(* ---- part 4: artifact export axis ---- *)
+
+(* Reuses the part-1 mapping: the cost under test is compile + check,
+   not the mapping itself. *)
+let export_point ~hosts mapping =
+  match mapping with
+  | None ->
+    Printf.printf "%5d hosts: no mapping to export\n%!" hosts;
+    Json.Obj [ ("hosts", Json.int hosts); ("mapped", Json.Bool false) ]
+  | Some mapping ->
+    let module Compile = Hmn_artifact.Compile in
+    let t0 = Clock.now_s () in
+    let shell = Compile.of_mapping ~format:Hmn_artifact.Spec.Shell mapping in
+    let compile_shell_s = Clock.elapsed_s t0 in
+    let t1 = Clock.now_s () in
+    let json_b = Compile.of_mapping ~format:Hmn_artifact.Spec.Json mapping in
+    let compile_json_s = Clock.elapsed_s t1 in
+    let t2 = Clock.now_s () in
+    let check_ok =
+      match Hmn_artifact.Decompile.run ~files:shell.Compile.files with
+      | Error _ -> false
+      | Ok d ->
+        Hmn_validate.Artifact_check.ok
+          (Hmn_validate.Artifact_check.check ~mapping d)
+    in
+    let check_s = Clock.elapsed_s t2 in
+    let shell_bytes = Compile.bytes shell and json_bytes = Compile.bytes json_b in
+    Printf.printf
+      "%5d hosts: compile shell=%.3fs json=%.3fs  check=%.3fs  bytes \
+       shell=%d json=%d  %s\n\
+       %!"
+      hosts compile_shell_s compile_json_s check_s shell_bytes json_bytes
+      (if check_ok then "faithful" else "VIOLATIONS");
+    Json.Obj
+      [
+        ("hosts", Json.int hosts);
+        ("mapped", Json.Bool true);
+        ("compile_shell_s", Json.float compile_shell_s);
+        ("compile_json_s", Json.float compile_json_s);
+        ("check_s", Json.float check_s);
+        ("shell_bytes", Json.int shell_bytes);
+        ("json_bytes", Json.int json_bytes);
+        ("check_ok", Json.Bool check_ok);
+      ]
 
 (* ---- part 2: pre-PR hot-path baseline at 400 hosts ---- *)
 
@@ -481,7 +534,8 @@ let precompute_point ~hosts =
 
 let () =
   print_endline "== scale bench: size axis ==";
-  let points = List.map (fun hosts -> size_point ~hosts) sizes in
+  let sized = List.map (fun hosts -> (hosts, size_point ~hosts)) sizes in
+  let points = List.map (fun (_, (_, j)) -> j) sized in
   print_endline "== scale bench: pre-PR hot-path baseline (400 hosts) ==";
   let baseline = baseline_comparison () in
   print_endline "== scale bench: routing micro-axis ==";
@@ -489,6 +543,10 @@ let () =
   print_endline "== scale bench: precompute scaling ==";
   let precompute_axis =
     List.map (fun hosts -> precompute_point ~hosts) sizes
+  in
+  print_endline "== scale bench: artifact export axis ==";
+  let export_axis =
+    List.map (fun (hosts, (mapping, _)) -> export_point ~hosts mapping) sized
   in
   let path =
     Option.value
@@ -505,6 +563,7 @@ let () =
         ("baseline_400", baseline);
         ("routing_axis", Json.Arr routing_axis);
         ("precompute_axis", Json.Arr precompute_axis);
+        ("export_axis", Json.Arr export_axis);
       ]
   in
   let oc = open_out path in

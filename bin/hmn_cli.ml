@@ -11,6 +11,9 @@
      online        run the online tenant service (streaming arrivals and
                    departures with admission control and defragmentation),
                    or a policy-comparison report across load levels
+     export        compile a mapping into deployable testbed artifacts
+                   (VM launch plan, bridge + tc/netem shaping plan,
+                   manifest), with a round-trip dry-run verifier
      dot           emit the generated cluster or virtual topology as DOT *)
 
 open Cmdliner
@@ -694,10 +697,20 @@ let online_cmd =
              defragmentation round and retry the request once against the \
              compacted cluster.")
   in
+  let export_on_admit_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "export-on-admit" ] ~docv:"DIR"
+          ~doc:
+            "Realize every admitted tenant as a deployable artifact delta \
+             (shell grammar) under $(i,DIR)/t$(i,ID)/, verified by the \
+             round-trip checker at write time. Progress goes to stderr; the \
+             session summary is unchanged.")
+  in
   let run seed cluster_kind workload policies rate holding duration guests_lo
       guests_hi density scale no_defrag defrag_interval defrag_trigger
       defrag_moves validate smoke report loads csv events timeline trace_out
-      prom defrag_on_reject =
+      prom defrag_on_reject export_on_admit =
     let profile =
       match workload with
       | Hmn_experiments.Scenario.High_level -> Hmn_vnet.Workload.high_level
@@ -800,8 +813,60 @@ let online_cmd =
                    ~quantiles:true cluster)
             else None
           in
-          let summary = Service.run ?flight ~cluster ~policy config in
+          let exported = ref 0 in
+          let export_bad = ref 0 in
+          let on_admit =
+            match export_on_admit with
+            | None -> None
+            | Some dir ->
+              Some
+                (fun (t : Hmn_online.Tenant.t) ->
+                  let bundle =
+                    Hmn_artifact.Compile.of_tenant
+                      ~format:Hmn_artifact.Spec.Shell ~cluster
+                      ~venv:t.Hmn_online.Tenant.venv ~id:t.Hmn_online.Tenant.id
+                      ~hosts:t.Hmn_online.Tenant.hosts
+                      ~paths:t.Hmn_online.Tenant.paths ()
+                  in
+                  let tdir =
+                    Filename.concat dir
+                      (Printf.sprintf "t%d" t.Hmn_online.Tenant.id)
+                  in
+                  Hmn_artifact.Compile.write ~dir:tdir bundle;
+                  incr exported;
+                  (* dry-run verify each delta as it lands *)
+                  match
+                    Hmn_artifact.Decompile.run
+                      ~files:bundle.Hmn_artifact.Compile.files
+                  with
+                  | Error msg ->
+                    incr export_bad;
+                    Printf.eprintf "export-on-admit: tenant %d: %s\n"
+                      t.Hmn_online.Tenant.id msg
+                  | Ok d ->
+                    let report =
+                      Hmn_validate.Artifact_check.check_tenant ~cluster
+                        ~venv:t.Hmn_online.Tenant.venv
+                        ~hosts:t.Hmn_online.Tenant.hosts
+                        ~paths:t.Hmn_online.Tenant.paths d
+                    in
+                    if not (Hmn_validate.Artifact_check.ok report) then begin
+                      incr export_bad;
+                      Format.eprintf "export-on-admit: tenant %d: %a@."
+                        t.Hmn_online.Tenant.id
+                        Hmn_validate.Artifact_check.pp_report report
+                    end)
+          in
+          let summary = Service.run ?flight ?on_admit ~cluster ~policy config in
           print_string (Hmn_online.Session.render_summary summary);
+          (match export_on_admit with
+          | None -> ()
+          | Some dir ->
+            Printf.eprintf
+              "export-on-admit: %d tenant delta(s) under %s, %d with \
+               violations\n"
+              !exported dir !export_bad;
+            if !export_bad > 0 then exit 1);
           (match flight with
           | None -> ()
           | Some f ->
@@ -846,7 +911,8 @@ let online_cmd =
       $ holding_t $ duration_t $ guests_lo_t $ guests_hi_t $ online_density_t
       $ scale_t $ no_defrag_t $ defrag_interval_t $ defrag_trigger_t
       $ defrag_moves_t $ validate_t $ smoke_t $ report_t $ loads_t $ csv_t
-      $ events_t $ timeline_t $ trace_out_t $ prom_t $ defrag_on_reject_t)
+      $ events_t $ timeline_t $ trace_out_t $ prom_t $ defrag_on_reject_t
+      $ export_on_admit_t)
 
 (* ---- slo ---- *)
 
@@ -1134,6 +1200,186 @@ let gap_cmd =
           hosts, 8-30 guests), each solved to proven optimality.")
     Term.(const run $ seed_t $ smoke_t $ per_class_t $ budget_t $ csv_t)
 
+(* ---- export ---- *)
+
+let export_cmd =
+  let module Compile = Hmn_artifact.Compile in
+  let module Decompile = Hmn_artifact.Decompile in
+  let module Spec = Hmn_artifact.Spec in
+  let module Check = Hmn_validate.Artifact_check in
+  let module Scale = Hmn_experiments.Scale in
+  let heuristic_t =
+    Arg.(
+      value & opt string "HMN"
+      & info [ "heuristic" ] ~docv:"NAME"
+          ~doc:"Heuristic for the generated instance (see $(b,list)).")
+  in
+  let bundle_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "bundle" ] ~docv:"FILE"
+          ~doc:"Export a saved problem+mapping bundle (see $(b,map --save)).")
+  in
+  let scale_hosts_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "scale-hosts" ] ~docv:"INT"
+          ~doc:
+            "Map a scale-pipeline instance of this many hosts (see \
+             $(b,scale)) and export it.")
+  in
+  let shape_t =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("clos", Scale.Clos); ("fat-tree", Scale.Fat_tree) ]) Scale.Clos
+      & info [ "shape" ] ~docv:"clos|fat-tree"
+          ~doc:"Fabric family for $(b,--scale-hosts).")
+  in
+  let ratio_t =
+    Arg.(
+      value & opt int 25
+      & info [ "ratio" ] ~docv:"INT"
+          ~doc:"Guests per host for $(b,--scale-hosts).")
+  in
+  let jobs_t =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"INT"
+          ~doc:
+            "Worker domains for the $(b,--scale-hosts) mapping (default: \
+             $(b,HMN_JOBS) or the machine's core count minus one). The \
+             artifacts are byte-identical for any value — they derive from \
+             the mapping alone.")
+  in
+  let format_t =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("shell", Spec.Shell); ("json", Spec.Json) ]) Spec.Shell
+      & info [ "format" ] ~docv:"shell|json"
+          ~doc:"Artifact grammar: POSIX-shell command plans or JSON documents.")
+  in
+  let out_dir_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write $(b,manifest.json) plus the VM and network artifacts under \
+             DIR (created when missing).")
+  in
+  let stdout_t =
+    Arg.(
+      value & flag
+      & info [ "stdout" ]
+          ~doc:
+            "Dump every artifact file to stdout under `=== name ===' headers \
+             — byte-deterministic, which is what CI pins.")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Round-trip dry run: re-parse the emitted text with the \
+             independent decompiler and cross-validate it against the \
+             mapping; any violation exits non-zero.")
+  in
+  let run seed cluster_kind guests density workload heuristic bundle scale_hosts
+      shape ratio jobs format out_dir to_stdout check =
+    let jobs =
+      match jobs with
+      | Some _ -> jobs
+      | None -> Option.bind (Sys.getenv_opt "HMN_JOBS") int_of_string_opt
+    in
+    (match jobs with
+    | Some j when j < 1 ->
+      prerr_endline "hmn_cli: --jobs must be >= 1";
+      exit 2
+    | _ -> ());
+    if bundle <> None && scale_hosts <> None then begin
+      prerr_endline
+        "hmn_cli export: --bundle and --scale-hosts are mutually exclusive";
+      exit 2
+    end;
+    let mapping =
+      match (bundle, scale_hosts) with
+      | Some path, _ -> (
+        match Hmn_io.Codec.load_bundle ~path with
+        | Ok m -> m
+        | Error msg ->
+          Printf.eprintf "hmn_cli export: %s\n" msg;
+          exit 1)
+      | None, Some hosts -> (
+        let r = Scale.run ?jobs ~ratio ~seed ~shape ~hosts () in
+        (* wall clock to stderr; stdout stays byte-diffable *)
+        prerr_string (Scale.render_timings r);
+        match r.Scale.outcome.Hmn_core.Mapper.result with
+        | Ok m -> m
+        | Error _ ->
+          Format.eprintf "hmn_cli export: mapping failed: %a@."
+            Hmn_core.Mapper.pp_outcome r.Scale.outcome;
+          exit 1)
+      | None, None -> (
+        match Hmn_core.Registry.find heuristic with
+        | None ->
+          Printf.eprintf "unknown heuristic %s; try `hmn_cli list'\n" heuristic;
+          exit 2
+        | Some mapper -> (
+          let problem =
+            build_problem ~seed ~cluster_kind ~guests ~density ~workload
+          in
+          let outcome =
+            mapper.Hmn_core.Mapper.run ~rng:(Hmn_rng.Rng.create (seed + 1))
+              problem
+          in
+          match outcome.Hmn_core.Mapper.result with
+          | Ok m -> m
+          | Error _ ->
+            Format.eprintf "hmn_cli export: mapping failed: %a@."
+              Hmn_core.Mapper.pp_outcome outcome;
+            exit 1))
+    in
+    let b = Compile.of_mapping ~format mapping in
+    (match out_dir with
+    | None -> ()
+    | Some dir ->
+      Compile.write ~dir b;
+      Printf.printf "wrote %d files under %s\n" (List.length b.Compile.files) dir);
+    if to_stdout then
+      List.iter
+        (fun (name, content) ->
+          Printf.printf "=== %s ===\n" name;
+          print_string content;
+          if content = "" || content.[String.length content - 1] <> '\n' then
+            print_newline ())
+        b.Compile.files;
+    Printf.printf "export: format=%s files=%d bytes=%d\n"
+      (Spec.format_name format)
+      (List.length b.Compile.files)
+      (Compile.bytes b);
+    if check then begin
+      match Decompile.run ~files:b.Compile.files with
+      | Error msg ->
+        Printf.printf "check: decompile FAILED: %s\n" msg;
+        exit 1
+      | Ok d ->
+        let report = Check.check ~mapping d in
+        Format.printf "check: %a@." Check.pp_report report;
+        if not (Check.ok report) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Compile a mapping into deployable testbed artifacts — per-host VM \
+          launch plan, OVS-style bridge plan and tc/netem shaping profile, \
+          and a manifest tying them to the problem instance — and \
+          optionally ($(b,--check)) prove the emitted text faithful by \
+          decompiling it and cross-validating against the mapping.")
+    Term.(
+      const run $ seed_t $ cluster_t $ guests_t $ density_t $ workload_t
+      $ heuristic_t $ bundle_t $ scale_hosts_t $ shape_t $ ratio_t $ jobs_t
+      $ format_t $ out_dir_t $ stdout_t $ check_t)
+
 (* ---- dot ---- *)
 
 let dot_cmd =
@@ -1169,12 +1415,19 @@ let dot_cmd =
 
 let () =
   let doc = "virtual machine and link mapping for emulation testbeds (HMN)" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "hmn_cli" ~doc)
-          [
-            list_cmd; map_cmd; profile_cmd; validate_cmd; fuzz_cmd;
-            experiments_cmd; figure1_cmd; ablation_cmd; online_cmd; slo_cmd;
-            scale_cmd;
-            gap_cmd; dot_cmd;
-          ]))
+  (* Uniform usage-error exit: cmdliner answers a `Term error (unknown
+     flag, missing positional) with ~term_err but a `Parse error (bad
+     converter value) always with Exit.cli_error = 124. Fold both onto
+     2, matching the hand-rolled argument checks, so every subcommand's
+     usage error prints to stderr and exits 2. *)
+  let code =
+    Cmd.eval ~term_err:2
+      (Cmd.group (Cmd.info "hmn_cli" ~doc)
+         [
+           list_cmd; map_cmd; profile_cmd; validate_cmd; fuzz_cmd;
+           experiments_cmd; figure1_cmd; ablation_cmd; online_cmd; slo_cmd;
+           scale_cmd;
+           gap_cmd; export_cmd; dot_cmd;
+         ])
+  in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

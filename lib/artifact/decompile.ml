@@ -1,0 +1,424 @@
+module Json = Hmn_prelude.Json
+
+type vm = {
+  guest : int;
+  name : string;
+  host : int;
+  mem_mb : float;
+  stor_gb : float;
+  cpu_mips : float;
+  iface : string;
+  bridge : string;
+}
+
+type cls = { minor : int; vlink : int; rate_mbps : float; delay_ms : float }
+
+type shaped_link = {
+  edge : int;
+  u : int;
+  v : int;
+  capacity_mbps : float;
+  link_delay_ms : float;
+  classes : cls list;
+}
+
+type bridge = { bridge_name : string; ports : string list }
+
+type scope = Full | Tenant of int
+
+type t = {
+  artifact_format : Spec.format;
+  schema_version : int;
+  scope : scope;
+  vmm_label : string;
+  vms : vm list;
+  bridges : bridge list;
+  links : shaped_link list;
+  problem : Json.t option;
+  venv : Json.t option;
+  counts : (string * int) list;
+  tolerance_mbps : float;
+}
+
+exception Parse of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse msg)) fmt
+
+let int_field ctx s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail "%s: expected an integer, got %S" ctx s
+
+let float_field ctx s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> fail "%s: expected a number, got %S" ctx s
+
+(* strip a known prefix/suffix, e.g. "pe7" -> 7, "25mbit" -> "25" *)
+let strip_prefix ctx ~prefix s =
+  let np = String.length prefix and n = String.length s in
+  if n > np && String.sub s 0 np = prefix then String.sub s np (n - np)
+  else fail "%s: expected %s-prefixed token, got %S" ctx prefix s
+
+let strip_suffix ctx ~suffix s =
+  let ns = String.length suffix and n = String.length s in
+  if n > ns && String.sub s (n - ns) ns = suffix then String.sub s 0 (n - ns)
+  else fail "%s: expected %s-suffixed token, got %S" ctx suffix s
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then String.sub s 1 (n - 2)
+  else s
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* "--flag value --flag value ..." -> assoc list *)
+let rec flag_pairs ctx = function
+  | [] -> []
+  | flag :: value :: rest when starts_with ~prefix:"--" flag ->
+    (String.sub flag 2 (String.length flag - 2), unquote value)
+    :: flag_pairs ctx rest
+  | tok :: _ -> fail "%s: malformed flag list at %S" ctx tok
+
+let flag ctx pairs name =
+  match List.assoc_opt name pairs with
+  | Some v -> v
+  | None -> fail "%s: missing --%s" ctx name
+
+(* "k=v k=v ..." -> assoc list *)
+let kv_pairs ctx toks =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+        ( String.sub tok 0 i,
+          String.sub tok (i + 1) (String.length tok - i - 1) )
+      | None -> fail "%s: expected key=value, got %S" ctx tok)
+    toks
+
+let kv ctx pairs name =
+  match List.assoc_opt name pairs with
+  | Some v -> v
+  | None -> fail "%s: missing %s=" ctx name
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+(* ---- shell grammar ---- *)
+
+let parse_vms_shell content =
+  List.filter_map
+    (fun line ->
+      if starts_with ~prefix:"hmn_vm launch " line then begin
+        let ctx = "vms" in
+        let pairs = flag_pairs ctx (List.tl (List.tl (tokens line))) in
+        let f = flag ctx pairs in
+        Some
+          {
+            guest = int_field ctx (f "guest");
+            name = f "name";
+            host = int_field ctx (f "host");
+            mem_mb = float_field ctx (f "mem-mb");
+            stor_gb = float_field ctx (f "stor-gb");
+            cpu_mips = float_field ctx (f "cpu-mips");
+            iface = f "iface";
+            bridge = f "bridge";
+          }
+      end
+      else None)
+    (lines content)
+
+(* Partial tc class being assembled from its three lines. *)
+type partial = {
+  p_minor : int;
+  mutable p_rate : float option;
+  mutable p_delay : float option;
+  mutable p_vlink : int option;
+}
+
+let parse_net_shell content =
+  let bridges = ref [] (* (name, ports ref) in reverse order *) in
+  let bridge_ports name =
+    match List.assoc_opt name !bridges with
+    | Some ports -> ports
+    | None ->
+      (* tenant deltas add ports to pre-existing bridges *)
+      let ports = ref [] in
+      bridges := (name, ports) :: !bridges;
+      ports
+  in
+  let links = ref [] in
+  let current = ref None (* (shaped_link sans classes, partials rev) *) in
+  let finalize () =
+    match !current with
+    | None -> ()
+    | Some (link, partials) ->
+      let classes =
+        List.rev_map
+          (fun p ->
+            let need what = function
+              | Some v -> v
+              | None ->
+                fail "net: link e%d class 1:%d missing its %s line" link.edge
+                  p.p_minor what
+            in
+            {
+              minor = p.p_minor;
+              rate_mbps = need "class" p.p_rate;
+              delay_ms = need "netem" p.p_delay;
+              vlink = need "filter" p.p_vlink;
+            })
+          partials
+      in
+      links := { link with classes } :: !links;
+      current := None
+  in
+  let expect_dev ctx dev =
+    match !current with
+    | Some (link, _) when dev = Printf.sprintf "pe%d" link.edge -> link
+    | Some (link, _) ->
+      fail "net: %s on dev %s outside its link block (current e%d)" ctx dev
+        link.edge
+    | None -> fail "net: %s on dev %s before any # link header" ctx dev
+  in
+  let find_partial ctx minor pick =
+    match !current with
+    | None -> assert false
+    | Some (_, partials) -> (
+      match List.find_opt pick partials with
+      | Some p -> p
+      | None -> fail "net: %s for class 1:%d has no matching class" ctx minor)
+  in
+  List.iter
+    (fun line ->
+      let toks = tokens line in
+      match toks with
+      | "ovs-vsctl" :: "add-br" :: name :: [] ->
+        bridges := (name, ref []) :: !bridges
+      | "ovs-vsctl" :: "add-port" :: br :: port :: [] ->
+        let ports = bridge_ports br in
+        ports := port :: !ports
+      | "#" :: "link" :: rest ->
+        finalize ();
+        let ctx = "net link header" in
+        (match rest with
+        | e :: kvs ->
+          let pairs = kv_pairs ctx kvs in
+          let link =
+            {
+              edge = int_field ctx (strip_prefix ctx ~prefix:"e" e);
+              u = int_field ctx (kv ctx pairs "u");
+              v = int_field ctx (kv ctx pairs "v");
+              capacity_mbps = float_field ctx (kv ctx pairs "cap-mbit");
+              link_delay_ms = float_field ctx (kv ctx pairs "delay-ms");
+              classes = [];
+            }
+          in
+          current := Some (link, [])
+        | [] -> fail "%s: empty" ctx)
+      | "tc" :: "qdisc" :: "add" :: "dev" :: dev :: "root" :: _ ->
+        ignore (expect_dev "root qdisc" dev)
+      | "tc" :: "class" :: "add" :: "dev" :: dev :: "parent" :: "1:"
+        :: "classid" :: classid :: "htb" :: "rate" :: rate :: _ ->
+        let ctx = "net class" in
+        ignore (expect_dev ctx dev);
+        let minor =
+          int_field ctx (strip_prefix ctx ~prefix:"1:" classid)
+        in
+        let p =
+          {
+            p_minor = minor;
+            p_rate =
+              Some (float_field ctx (strip_suffix ctx ~suffix:"mbit" rate));
+            p_delay = None;
+            p_vlink = None;
+          }
+        in
+        (match !current with
+        | Some (link, partials) -> current := Some (link, p :: partials)
+        | None -> assert false)
+      | "tc" :: "qdisc" :: "add" :: "dev" :: dev :: "parent" :: parent
+        :: "handle" :: _ :: "netem" :: "delay" :: delay :: _ ->
+        let ctx = "net netem" in
+        ignore (expect_dev ctx dev);
+        let minor = int_field ctx (strip_prefix ctx ~prefix:"1:" parent) in
+        let p =
+          find_partial ctx minor (fun p ->
+              p.p_minor = minor && p.p_delay = None)
+        in
+        p.p_delay <- Some (float_field ctx (strip_suffix ctx ~suffix:"ms" delay))
+      | "tc" :: "filter" :: "add" :: "dev" :: dev :: "parent" :: "1:"
+        :: "handle" :: handle :: "fw" :: "flowid" :: flowid :: _ ->
+        let ctx = "net filter" in
+        ignore (expect_dev ctx dev);
+        let minor = int_field ctx (strip_prefix ctx ~prefix:"1:" flowid) in
+        let p =
+          find_partial ctx minor (fun p ->
+              p.p_minor = minor && p.p_vlink = None)
+        in
+        p.p_vlink <- Some (int_field ctx handle)
+      | _ -> ())
+    (lines content);
+  finalize ();
+  let bridges =
+    List.rev_map
+      (fun (name, ports) -> { bridge_name = name; ports = List.rev !ports })
+      !bridges
+  in
+  (bridges, List.rev !links)
+
+(* ---- JSON grammar ---- *)
+
+let result_or_parse = function Ok v -> v | Error e -> raise (Parse e)
+
+let j_member name json = result_or_parse (Json.member name json)
+let j_int json = result_or_parse (Json.to_int json)
+let j_float json = result_or_parse (Json.to_float json)
+let j_str json = result_or_parse (Json.to_str json)
+let j_list json = result_or_parse (Json.to_list json)
+
+let parse_doc ctx content =
+  match Json.of_string content with
+  | Ok json -> json
+  | Error e -> fail "%s: %s" ctx e
+
+let parse_vms_json content =
+  let json = parse_doc "vms.json" content in
+  List.concat_map
+    (fun host_entry ->
+      let host = j_int (j_member "host" host_entry) in
+      let bridge = j_str (j_member "bridge" host_entry) in
+      List.map
+        (fun vm ->
+          {
+            guest = j_int (j_member "guest" vm);
+            name = j_str (j_member "name" vm);
+            host;
+            mem_mb = j_float (j_member "mem_mb" vm);
+            stor_gb = j_float (j_member "stor_gb" vm);
+            cpu_mips = j_float (j_member "cpu_mips" vm);
+            iface = j_str (j_member "iface" vm);
+            bridge;
+          })
+        (j_list (j_member "vms" host_entry)))
+    (j_list (j_member "hosts" json))
+
+let parse_net_json content =
+  let json = parse_doc "net.json" content in
+  let bridges =
+    List.map
+      (fun b ->
+        {
+          bridge_name = j_str (j_member "name" b);
+          ports = List.map j_str (j_list (j_member "ports" b));
+        })
+      (j_list (j_member "bridges" json))
+  in
+  let links =
+    List.map
+      (fun l ->
+        {
+          edge = j_int (j_member "edge" l);
+          u = j_int (j_member "u" l);
+          v = j_int (j_member "v" l);
+          capacity_mbps = j_float (j_member "capacity_mbps" l);
+          link_delay_ms = j_float (j_member "delay_ms" l);
+          classes =
+            List.map
+              (fun c ->
+                {
+                  minor = j_int (j_member "minor" c);
+                  vlink = j_int (j_member "vlink" c);
+                  rate_mbps = j_float (j_member "rate_mbps" c);
+                  delay_ms = j_float (j_member "delay_ms" c);
+                })
+              (j_list (j_member "classes" l));
+        })
+      (j_list (j_member "links" json))
+  in
+  (bridges, links)
+
+(* ---- manifest + assembly ---- *)
+
+let run ~files =
+  try
+    let file name =
+      match List.assoc_opt name files with
+      | Some content -> content
+      | None -> fail "bundle is missing %s" name
+    in
+    let manifest = parse_doc Spec.manifest_file (file Spec.manifest_file) in
+    (match j_str (j_member "format" manifest) with
+    | "hmn-artifact-manifest" -> ()
+    | other -> fail "manifest: unexpected format %S" other);
+    let artifact_format =
+      result_or_parse (Spec.format_of_name (j_str (j_member "artifact_format" manifest)))
+    in
+    let scope =
+      match j_str (j_member "scope" manifest) with
+      | "full" -> Full
+      | "tenant" -> Tenant (j_int (j_member "tenant_id" manifest))
+      | other -> fail "manifest: unknown scope %S" other
+    in
+    let vms_text = file (Spec.vms_file artifact_format) in
+    let net_text = file (Spec.net_file artifact_format) in
+    let vms, (bridges, links) =
+      match artifact_format with
+      | Spec.Shell -> (parse_vms_shell vms_text, parse_net_shell net_text)
+      | Spec.Json -> (parse_vms_json vms_text, parse_net_json net_text)
+    in
+    let opt name =
+      match Json.member name manifest with Ok j -> Some j | Error _ -> None
+    in
+    let counts =
+      match opt "counts" with
+      | Some (Json.Obj fields) ->
+        List.map (fun (k, v) -> (k, j_int v)) fields
+      | _ -> fail "manifest: missing counts"
+    in
+    Ok
+      {
+        artifact_format;
+        schema_version = j_int (j_member "schema_version" manifest);
+        scope;
+        vmm_label = j_str (j_member "label" (j_member "vmm" manifest));
+        vms;
+        bridges;
+        links;
+        problem = opt "problem";
+        venv = opt "venv";
+        counts;
+        tolerance_mbps = j_float (j_member "tolerance_mbps" manifest);
+      }
+  with Parse msg -> Error ("decompile: " ^ msg)
+
+let read_dir ~dir =
+  try
+    let read name =
+      let path = Filename.concat dir name in
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let manifest = read Spec.manifest_file in
+    let fmt =
+      match Json.of_string manifest with
+      | Ok json ->
+        result_or_parse
+          (Spec.format_of_name (j_str (j_member "artifact_format" json)))
+      | Error e -> fail "%s: %s" Spec.manifest_file e
+    in
+    Ok
+      [
+        (Spec.manifest_file, manifest);
+        (Spec.vms_file fmt, read (Spec.vms_file fmt));
+        (Spec.net_file fmt, read (Spec.net_file fmt));
+      ]
+  with
+  | Parse msg -> Error ("decompile: " ^ msg)
+  | Sys_error msg -> Error ("decompile: " ^ msg)

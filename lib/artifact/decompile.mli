@@ -1,0 +1,72 @@
+(** The artifact decompiler: re-parse an emitted bundle back into a
+    structured deployment description, from the {e text alone}.
+
+    This module shares only the grammar ({!Spec}) with {!Compile} —
+    never in-memory state — so a successful round trip through
+    [Compile → Decompile → Hmn_validate.Artifact_check] is evidence the
+    artifacts themselves are faithful, not merely that the compiler
+    agrees with itself.
+
+    Parsing is deliberately lenient about {e semantic} fidelity: it
+    recovers structure and numbers and leaves judgement (is every guest
+    launched once? do the rates sum to the reservations?) to the
+    checker, so that a tampered bundle decompiles and is then rejected
+    with a precise violation class. Only structurally unreadable input
+    is a decompile error. *)
+
+type vm = {
+  guest : int;
+  name : string;
+  host : int;
+  mem_mb : float;
+  stor_gb : float;
+  cpu_mips : float;
+  iface : string;
+  bridge : string;
+}
+
+type cls = {
+  minor : int;  (** HTB class minor id *)
+  vlink : int;  (** joined back via the fw-filter handle *)
+  rate_mbps : float;
+  delay_ms : float;  (** the class's netem stage *)
+}
+
+type shaped_link = {
+  edge : int;
+  u : int;
+  v : int;
+  capacity_mbps : float;
+  link_delay_ms : float;
+  classes : cls list;  (** in emission order *)
+}
+
+type bridge = {
+  bridge_name : string;
+  ports : string list;  (** in emission order *)
+}
+
+type scope = Full | Tenant of int
+
+type t = {
+  artifact_format : Spec.format;
+  schema_version : int;  (** as recorded in the manifest *)
+  scope : scope;
+  vmm_label : string;
+  vms : vm list;  (** in emission order *)
+  bridges : bridge list;
+  links : shaped_link list;
+  problem : Hmn_prelude.Json.t option;  (** manifest ["problem"], full scope *)
+  venv : Hmn_prelude.Json.t option;  (** manifest ["venv"], tenant scope *)
+  counts : (string * int) list;  (** manifest ["counts"] *)
+  tolerance_mbps : float;
+}
+
+val run : files:(string * string) list -> (t, string) result
+(** [run ~files] decompiles a bundle given as [(name, content)] pairs —
+    exactly the shape {!Compile} emits and {!Compile.write} puts on
+    disk. The manifest names the artifact format; the vms/net files are
+    then parsed under the shell or JSON grammar of {!Spec}. *)
+
+val read_dir : dir:string -> ((string * string) list, string) result
+(** Load the bundle files of [dir] (manifest first) for {!run}. *)

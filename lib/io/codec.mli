@@ -15,6 +15,13 @@
 val problem_to_json : Hmn_mapping.Problem.t -> Hmn_prelude.Json.t
 val problem_of_json : Hmn_prelude.Json.t -> (Hmn_mapping.Problem.t, string) result
 
+val venv_to_json : Hmn_vnet.Virtual_env.t -> Hmn_prelude.Json.t
+(** The virtual environment alone — used by the artifact compiler to tie
+    a per-tenant export to its request without the whole problem. *)
+
+val venv_of_json :
+  Hmn_prelude.Json.t -> (Hmn_vnet.Virtual_env.t, string) result
+
 val mapping_to_json : Hmn_mapping.Mapping.t -> Hmn_prelude.Json.t
 (** Encodes the placement and the link paths; the problem must be
     stored alongside (see {!bundle_to_json}). *)

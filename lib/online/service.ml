@@ -86,7 +86,7 @@ exception Validation_failed of string
    distinct from the first attempt's stream. *)
 let retry_seed seed = seed lxor 0x5bd1e995
 
-let run ?flight ~cluster ~policy config =
+let run ?flight ?on_admit ~cluster ~policy config =
   let occ = Occupancy.create cluster in
   let session =
     Session.create ?flight ~policy:policy.Mapper.name ~seed:config.seed occ
@@ -168,6 +168,7 @@ let run ?flight ~cluster ~policy config =
           ~holding_s:req.holding_s mapping
       in
       Occupancy.admit occ tenant;
+      (match on_admit with Some f -> f tenant | None -> ());
       Session.observe_arrival session ~admitted:true ~admit_seconds:elapsed_s
         ~work;
       journal

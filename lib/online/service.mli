@@ -51,6 +51,7 @@ exception Validation_failed of string
 
 val run :
   ?flight:Flight.t ->
+  ?on_admit:(Tenant.t -> unit) ->
   cluster:Hmn_testbed.Cluster.t ->
   policy:Hmn_core.Mapper.t ->
   config ->
@@ -60,6 +61,12 @@ val run :
     defragments on the configured cadence while arrivals last, then
     drains the queue (all departures fire) and closes the session at
     [max duration_s last-event-time].
+
+    [on_admit] fires once per admission (including defrag-assisted
+    re-admissions), right after the tenant enters the occupancy — the
+    hook the artifact exporter uses to realize each admitted tenant as a
+    deployable delta. It must not mutate service state; like [flight],
+    it never changes the session.
 
     [flight] attaches a flight recorder: every admission decision,
     departure, and defrag move is journaled (with the rejection cause
